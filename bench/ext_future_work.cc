@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Extensions from the paper's Future Work section (SSVII), built on
+ * the same machine:
+ *
+ *  1. Dynamic scheduling: instead of the paper's static startup
+ *     binding, threads are periodically migrated between cores (a
+ *     hypervisor reassigning virtual CPUs / an over-committed
+ *     system). Sweeping the migration interval shows the cost of
+ *     losing cache affinity.
+ *
+ *  2. Different numbers of threads per workload: an asymmetric mix
+ *     (one 8-thread SPECjbb + two 4-thread TPC-H) on the same chip.
+ *
+ *  3. Higher degrees of consolidation per workload: two 8-thread
+ *     instances instead of four 4-thread instances.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+namespace
+{
+
+using namespace consim;
+
+void
+dynamicSchedulingSweep()
+{
+    std::cout << "1) Dynamic thread migration (Mix C, affinity "
+                 "start, shared-4-way):\n";
+    TextTable table({"migration interval", "cycles/txn",
+                     "LLC miss rate", "miss lat (cy)"});
+    struct Point
+    {
+        Cycle interval;
+        const char *label;
+    };
+    const Point points[] = {{0, "static (paper)"},
+                            {400'000, "every 400K cycles"},
+                            {100'000, "every 100K cycles"},
+                            {25'000, "every 25K cycles"}};
+    for (const auto &pt : points) {
+        RunConfig cfg = mixConfig(Mix::byName("Mix C"),
+                                  SchedPolicy::Affinity,
+                                  SharingDegree::Shared4);
+        cfg.migrationIntervalCycles = pt.interval;
+        const RunResult r = runAveraged(cfg, benchSeeds());
+        table.addRow(
+            {pt.label,
+             TextTable::num(r.meanCyclesPerTxn(WorkloadKind::SpecJbb),
+                            0),
+             TextTable::pct(r.meanMissRate(WorkloadKind::SpecJbb)),
+             TextTable::num(
+                 r.meanMissLatency(WorkloadKind::SpecJbb), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Run a custom set of (profile, seed) VMs and report per VM. */
+void
+runCustom(const char *title,
+          const std::vector<WorkloadProfile> &profiles,
+          SchedPolicy policy)
+{
+    std::vector<std::unique_ptr<VirtualMachine>> storage;
+    std::vector<VirtualMachine *> vms;
+    std::vector<int> threads;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        storage.push_back(std::make_unique<VirtualMachine>(
+            profiles[i], static_cast<VmId>(i), 1000003ull + i));
+        vms.push_back(storage.back().get());
+        threads.push_back(profiles[i].numThreads);
+    }
+    MachineConfig machine;
+    machine.sharing = SharingDegree::Shared4;
+    const auto placements =
+        scheduleThreads(machine, threads, policy, 1);
+    System sys(machine, vms, placements);
+    sys.run(defaultWarmupCycles());
+    sys.resetStats();
+    const Cycle measure = defaultMeasureCycles();
+    sys.run(measure);
+
+    std::cout << title << "\n";
+    TextTable table({"vm", "threads", "cycles/txn", "LLC miss rate",
+                     "miss lat (cy)"});
+    for (auto *vm : vms) {
+        const auto &s = vm->vmStats();
+        const double cpt =
+            s.transactions.value()
+                ? static_cast<double>(measure) /
+                      static_cast<double>(s.transactions.value())
+                : 0.0;
+        table.addRow({toString(vm->profile().kind) + " #" +
+                          std::to_string(vm->id()),
+                      std::to_string(vm->profile().numThreads),
+                      TextTable::num(cpt, 0),
+                      TextTable::pct(s.missRate()),
+                      TextTable::num(s.missLatency.mean(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+WorkloadProfile
+withThreads(WorkloadKind kind, int threads)
+{
+    WorkloadProfile p = WorkloadProfile::get(kind);
+    p.numThreads = threads;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace consim;
+    logging::setVerbose(false);
+
+    printHeader(std::cout,
+                "Extensions: paper SSVII future work",
+                "dynamic scheduling; asymmetric thread counts; "
+                "higher consolidation degree",
+                "migration churn should cost cache affinity; bigger "
+                "instances amplify intra-workload sharing");
+
+    dynamicSchedulingSweep();
+
+    runCustom("2) Asymmetric mix: 8-thread SPECjbb + 2x 4-thread "
+              "TPC-H (affinity):",
+              {withThreads(WorkloadKind::SpecJbb, 8),
+               withThreads(WorkloadKind::TpcH, 4),
+               withThreads(WorkloadKind::TpcH, 4)},
+              SchedPolicy::Affinity);
+
+    runCustom("3) Higher degree: 2x 8-thread SPECjbb (affinity) -- "
+              "compare with Mix C's 4x4:",
+              {withThreads(WorkloadKind::SpecJbb, 8),
+               withThreads(WorkloadKind::SpecJbb, 8)},
+              SchedPolicy::Affinity);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Fig. 11: effect of the degree of sharing on average
+ * miss latency for the heterogeneous mixes, restricted (as in the
+ * paper) to affinity scheduling and normalized to the shared-4-way
+ * isolation latencies. Partially shared degrees swept: shared-2-way
+ * (8 caches), shared-4-way (4 caches), shared-8-way (2 caches).
+ *
+ * Paper shape: TPC-H has the lowest latency at shared-4-way (its own
+ * partition: no replication, no interference); shared-8-way's
+ * flexibility helps SPECjbb, especially when mixed with the
+ * low-pressure TPC-H; with only two caches TPC-H must share and
+ * suffers; TPC-W and SPECjbb prefer fewer, larger caches.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace consim;
+    logging::setVerbose(false);
+
+    printHeader(std::cout,
+                "Fig 11: Miss Latency vs Degree of Sharing "
+                "(heterogeneous, affinity)",
+                "Figure 11 (miss latency relative to isolation, "
+                "affinity, shared-4-way)",
+                "TPC-H best at shared-4-way; SPECjbb helped by "
+                "shared-8-way; TPC-H hurt with only 2 caches");
+
+    const SharingDegree degrees[] = {
+        SharingDegree::Shared2, SharingDegree::Shared4,
+        SharingDegree::Shared8};
+
+    TextTable table({"mix", "workload", "shared-2-way (8$)",
+                     "shared-4-way (4$)", "shared-8-way (2$)"});
+
+    for (const auto &mix : Mix::heterogeneous()) {
+        std::vector<WorkloadKind> kinds;
+        for (auto k : mix.vms) {
+            if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
+                kinds.push_back(k);
+        }
+        for (auto kind : kinds) {
+            const auto &base = isolationBaseline(
+                kind, SchedPolicy::Affinity, SharingDegree::Shared4,
+                benchSeeds());
+            std::vector<std::string> row = {
+                mix.name + " (" + std::to_string(mix.count(kind)) +
+                    "x)",
+                toString(kind)};
+            for (auto degree : degrees) {
+                const RunConfig cfg =
+                    mixConfig(mix, SchedPolicy::Affinity, degree);
+                const RunResult r = runAveraged(cfg, benchSeeds());
+                row.push_back(TextTable::num(
+                    base.missLatency > 0.0
+                        ? r.meanMissLatency(kind) / base.missLatency
+                        : 0.0,
+                    2));
+            }
+            table.addRow(std::move(row));
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n(1.00 = isolation, affinity, shared-4-way)\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 5: single-workload performance of the homogeneous
+ * mixes (four instances of the same workload, Table IV Mixes A-D) at
+ * shared-4-way under the four scheduling policies, normalized to one
+ * instance run in isolation with the 16 MB fully-shared L2.
+ *
+ * Paper shape: affinity is the best policy (shared data stays in one
+ * partition); SPECjbb and SPECweb degrade badly under round robin;
+ * TPC-W does best with random placement (less interconnect
+ * congestion than affinity's hotspots).
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace consim;
+    logging::setVerbose(false);
+
+    printHeader(std::cout,
+                "Fig 5: Homogeneous Mix Performance by Policy",
+                "Figure 5 (cycles/txn relative to isolation)",
+                "affinity best; SPECjbb/SPECweb degrade most under "
+                "round robin");
+
+    const SchedPolicy policies[] = {
+        SchedPolicy::RoundRobin, SchedPolicy::Affinity,
+        SchedPolicy::AffinityRR, SchedPolicy::Random};
+
+    std::vector<std::string> headers = {"mix"};
+    for (auto p : policies)
+        headers.push_back(toString(p));
+    TextTable table(headers);
+
+    for (const auto &mix : Mix::homogeneous()) {
+        const WorkloadKind kind = mix.vms.front();
+        const auto &base =
+            isolationBaseline(kind, SchedPolicy::Affinity,
+                              SharingDegree::Shared16, benchSeeds());
+        std::vector<std::string> row = {
+            mix.name + " (" + toString(kind) + ")"};
+        for (auto policy : policies) {
+            const RunConfig cfg =
+                mixConfig(mix, policy, SharingDegree::Shared4);
+            const RunResult r = runAveraged(cfg, benchSeeds());
+            row.push_back(TextTable::num(
+                r.meanCyclesPerTxn(kind) / base.cyclesPerTxn, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n(1.00 = one instance alone with 16MB fully-"
+                 "shared L2; higher is slower)\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces Fig. 8: single-workload performance of the nine
+ * heterogeneous mixes (Table IV) on shared-4-way caches, with
+ * affinity and round-robin scheduling, normalized to each workload's
+ * run in isolation with the 16 MB fully-shared L2. Isolated
+ * shared-4-way reference points are printed for comparison, as in
+ * the figure.
+ *
+ * Paper shape: TPC-H is largely unaffected by co-runners (small
+ * footprint, high c2c service rate); SPECjbb sees large degradation,
+ * worst when combined with TPC-W (Mixes 7-9).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace consim;
+    logging::setVerbose(false);
+
+    printHeader(std::cout,
+                "Fig 8: Heterogeneous Mix Performance",
+                "Figure 8 (cycles/txn relative to isolation, "
+                "fully-shared)",
+                "TPC-H barely affected; SPECjbb degrades most, "
+                "especially with TPC-W (Mixes 7-9)");
+
+    TextTable table({"mix", "workload", "affinity", "round-robin"});
+
+    for (const auto &mix : Mix::heterogeneous()) {
+        const RunResult aff = runAveraged(
+            mixConfig(mix, SchedPolicy::Affinity,
+                      SharingDegree::Shared4),
+            benchSeeds());
+        const RunResult rr = runAveraged(
+            mixConfig(mix, SchedPolicy::RoundRobin,
+                      SharingDegree::Shared4),
+            benchSeeds());
+        std::vector<WorkloadKind> kinds;
+        for (auto k : mix.vms) {
+            if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
+                kinds.push_back(k);
+        }
+        for (auto kind : kinds) {
+            const auto &base = isolationBaseline(
+                kind, SchedPolicy::Affinity, SharingDegree::Shared16,
+                benchSeeds());
+            table.addRow(
+                {mix.name + " (" +
+                     std::to_string(mix.count(kind)) + "x)",
+                 toString(kind),
+                 TextTable::num(
+                     aff.meanCyclesPerTxn(kind) / base.cyclesPerTxn,
+                     2),
+                 TextTable::num(
+                     rr.meanCyclesPerTxn(kind) / base.cyclesPerTxn,
+                     2)});
+        }
+        table.addSeparator();
+    }
+
+    // Isolated shared-4-way reference (degree of isolation check).
+    for (const auto &prof : WorkloadProfile::all()) {
+        const auto &base =
+            isolationBaseline(prof.kind, SchedPolicy::Affinity,
+                              SharingDegree::Shared16, benchSeeds());
+        std::vector<std::string> row = {"isolated 4-way",
+                                        prof.name};
+        for (auto policy :
+             {SchedPolicy::Affinity, SchedPolicy::RoundRobin}) {
+            const RunConfig cfg = isolationConfig(
+                prof.kind, policy, SharingDegree::Shared4);
+            const RunResult r = runAveraged(cfg, benchSeeds());
+            row.push_back(TextTable::num(
+                r.meanCyclesPerTxn(prof.kind) / base.cyclesPerTxn,
+                2));
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.print(std::cout);
+    std::cout << "\n(1.00 = isolation with 16MB fully-shared L2; "
+                 "higher is slower)\n";
+    return 0;
+}

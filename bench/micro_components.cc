@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the simulator's hot paths:
+ * RNG, cache-array operations, mesh packet transport, and whole-
+ * system simulation throughput. These gate simulator performance,
+ * not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "common/rng.hh"
+#include "core/experiment.hh"
+#include "noc/mesh.hh"
+
+namespace consim
+{
+namespace
+{
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngBelow(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1'000'000));
+}
+BENCHMARK(BM_RngBelow);
+
+void
+BM_CacheArrayLookupHit(benchmark::State &state)
+{
+    CacheGeometry g;
+    g.sizeBytes = 1024 * 1024;
+    g.assoc = 8;
+    CacheArray<L2CacheLine> array(g);
+    for (BlockAddr b = 0; b < 1024; ++b)
+        array.install(array.victim(b), b);
+    BlockAddr b = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.lookup(b));
+        b = (b + 1) % 1024;
+    }
+}
+BENCHMARK(BM_CacheArrayLookupHit);
+
+void
+BM_CacheArrayMissAndFill(benchmark::State &state)
+{
+    CacheGeometry g;
+    g.sizeBytes = 64 * 1024;
+    g.assoc = 4;
+    CacheArray<PrivateCacheLine> array(g);
+    BlockAddr b = 0;
+    for (auto _ : state) {
+        auto *victim = array.victim(b);
+        array.install(victim, b);
+        ++b;
+    }
+}
+BENCHMARK(BM_CacheArrayMissAndFill);
+
+void
+BM_MeshUniformRandomTraffic(benchmark::State &state)
+{
+    MachineConfig cfg;
+    Mesh mesh(cfg);
+    int delivered = 0;
+    mesh.setDeliver([&](const Msg &) { ++delivered; });
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        // One injection attempt plus one mesh cycle per iteration.
+        const auto src = static_cast<CoreId>(rng.below(16));
+        const auto dst = static_cast<CoreId>(rng.below(16));
+        if (src != dst) {
+            Msg m;
+            m.type = rng.chance(0.3) ? MsgType::Data : MsgType::GetS;
+            m.srcTile = src;
+            m.dstTile = dst;
+            m.injectCycle = now;
+            mesh.inject(m);
+        }
+        mesh.tick(now++);
+    }
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_MeshUniformRandomTraffic);
+
+void
+BM_SystemCyclesPerSecond(benchmark::State &state)
+{
+    RunConfig cfg = mixConfig(Mix::byName("Mix C"),
+                              SchedPolicy::Affinity,
+                              SharingDegree::Shared4);
+    // Build once; measure steady-state simulation throughput.
+    std::vector<std::unique_ptr<VirtualMachine>> vms;
+    std::vector<VirtualMachine *> ptrs;
+    std::vector<int> tpv;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        vms.push_back(std::make_unique<VirtualMachine>(
+            prof, static_cast<VmId>(i), 1));
+        ptrs.push_back(vms.back().get());
+        tpv.push_back(prof.numThreads);
+    }
+    const auto placements =
+        scheduleThreads(cfg.machine, tpv, cfg.policy, 1);
+    System sys(cfg.machine, ptrs, placements);
+    sys.run(20'000); // warm
+    for (auto _ : state)
+        sys.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemCyclesPerSecond);
+
+} // namespace
+} // namespace consim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Generic set-associative cache array with LRU replacement.
+ *
+ * The array stores metadata only: consim is a timing simulator, so
+ * lines never carry data payloads. Clients instantiate the template
+ * with a line type derived from CacheLineBase (see cache_line.hh) and
+ * drive the replacement decisions explicitly:
+ *
+ *   line = array.lookup(block);         // nullptr on miss
+ *   victim = array.victim(block);       // slot a fill would take
+ *   ... evict victim's contents if valid ...
+ *   array.install(victim, block);       // claim the slot
+ */
+
+#ifndef CONSIM_CACHE_CACHE_ARRAY_HH
+#define CONSIM_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_line.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Size/shape of a cache array; validates and derives set counts. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    int assoc = 1;
+
+    /** Lines held by the array. */
+    std::uint64_t numLines() const { return sizeBytes / blockBytes; }
+
+    /** Sets in the array. */
+    std::uint64_t numSets() const { return numLines() / assoc; }
+
+    /** Panics on inconsistent geometry (simulator wiring bug). */
+    void check() const;
+};
+
+/**
+ * Set-associative array over lines of type LineT (derived from
+ * CacheLineBase). Indexing uses the low-order bits of the block
+ * address above any bank-interleave bits, which the owner strips by
+ * passing a pre-shifted index address when banked (see L2Bank).
+ */
+template <typename LineT>
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geom)
+        : geom_(geom), lines_(geom.numLines())
+    {
+        geom_.check();
+    }
+
+    /** @return set index for a block (callers may want it for stats). */
+    std::uint64_t
+    setIndex(BlockAddr block) const
+    {
+        return block % geom_.numSets();
+    }
+
+    /**
+     * Look up a block.
+     * @return pointer to the valid matching line, or nullptr on miss.
+     * Does not update LRU; call touch() on an actual access.
+     */
+    LineT *
+    lookup(BlockAddr block)
+    {
+        auto [begin, end] = setRange(block);
+        for (auto i = begin; i != end; ++i) {
+            if (lines_[i].valid && lines_[i].tag == block)
+                return &lines_[i];
+        }
+        return nullptr;
+    }
+
+    /** Const lookup for inspection (no LRU effect). */
+    const LineT *
+    lookup(BlockAddr block) const
+    {
+        return const_cast<CacheArray *>(this)->lookup(block);
+    }
+
+    /**
+     * @return the slot a fill of @p block would claim: an invalid slot
+     * in the set if one exists, else the LRU line. Never nullptr.
+     */
+    LineT *
+    victim(BlockAddr block)
+    {
+        auto [begin, end] = setRange(block);
+        LineT *lru = &lines_[begin];
+        for (auto i = begin; i != end; ++i) {
+            if (!lines_[i].valid)
+                return &lines_[i];
+            if (lines_[i].lruStamp < lru->lruStamp)
+                lru = &lines_[i];
+        }
+        return lru;
+    }
+
+    /**
+     * Claim a (previously vacated) slot for a block. The caller must
+     * have handled eviction of the old contents. Resets the line to a
+     * default-constructed LineT with tag/valid/LRU set.
+     */
+    void
+    install(LineT *slot, BlockAddr block)
+    {
+        CONSIM_ASSERT(slot != nullptr, "install into null slot");
+        *slot = LineT{};
+        slot->tag = block;
+        slot->valid = true;
+        slot->lruStamp = ++stamp_;
+    }
+
+    /** Record an access for replacement purposes. */
+    void
+    touch(LineT *line)
+    {
+        line->lruStamp = ++stamp_;
+    }
+
+    /** Invalidate a line (slot becomes reusable). */
+    void
+    invalidate(LineT *line)
+    {
+        *line = LineT{};
+    }
+
+    /** @return number of valid lines (walks the array; for stats). */
+    std::uint64_t
+    countValid() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &l : lines_)
+            n += l.valid ? 1 : 0;
+        return n;
+    }
+
+    /** Iterate all lines (valid or not) for snapshots/invariants. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const auto &l : lines_)
+            fn(l);
+    }
+
+    /** Iterate the lines of the set that holds @p block (mutable). */
+    template <typename Fn>
+    void
+    forEachInSet(BlockAddr block, Fn &&fn)
+    {
+        auto [begin, end] = setRange(block);
+        for (auto i = begin; i != end; ++i)
+            fn(lines_[i]);
+    }
+
+    /** Mutable iteration (e.g. bulk invalidation in tests). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &l : lines_)
+            fn(l);
+    }
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+  private:
+    /** [begin, end) line indices of the set holding @p block. */
+    std::pair<std::uint64_t, std::uint64_t>
+    setRange(BlockAddr block) const
+    {
+        const std::uint64_t set = block % geom_.numSets();
+        const std::uint64_t begin = set * geom_.assoc;
+        return {begin, begin + geom_.assoc};
+    }
+
+    CacheGeometry geom_;
+    std::vector<LineT> lines_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cache line base type and coherence state enums shared by the private
+ * (L0/L1) and last-level (L2) caches.
+ */
+
+#ifndef CONSIM_CACHE_CACHE_LINE_HH
+#define CONSIM_CACHE_CACHE_LINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace consim
+{
+
+/**
+ * Coherence state of a line in a private L0/L1 cache. Within an L2
+ * sharing group the partition acts as a local directory over member
+ * L1s, so a simple MSI suffices at this level.
+ */
+enum class L1State : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** @return short name ("I"/"S"/"M"). */
+inline const char *
+toString(L1State s)
+{
+    switch (s) {
+      case L1State::Invalid:
+        return "I";
+      case L1State::Shared:
+        return "S";
+      case L1State::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+/**
+ * Partition-level MESI state of a line in an L2 partition, as tracked
+ * by the global (SGI-Origin-style) directory. Exclusive allows silent
+ * upgrade to Modified inside the partition.
+ */
+enum class L2State : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** @return short name ("I"/"S"/"E"/"M"). */
+inline const char *
+toString(L2State s)
+{
+    switch (s) {
+      case L2State::Invalid:
+        return "I";
+      case L2State::Shared:
+        return "S";
+      case L2State::Exclusive:
+        return "E";
+      case L2State::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+/** Common bookkeeping for any cache line; caches derive from this. */
+struct CacheLineBase
+{
+    BlockAddr tag = 0;          ///< block address stored in this slot
+    bool valid = false;
+    std::uint64_t lruStamp = 0; ///< last-touch stamp for LRU
+};
+
+/** A line in a private L0 or L1 cache. */
+struct PrivateCacheLine : CacheLineBase
+{
+    L1State state = L1State::Invalid;
+};
+
+/** A line in an L2 partition bank. */
+struct L2CacheLine : CacheLineBase
+{
+    L2State state = L2State::Invalid;
+    bool dirty = false;          ///< modified relative to memory
+    bool pinned = false;         ///< mid-eviction; not a victim candidate
+    std::uint16_t presence = 0;  ///< member-core L1 presence bitmask
+    std::int8_t ownerCore = -1;  ///< local index of L1 owner, -1 none
+    VmId vm = invalidVm;         ///< owning virtual machine (for stats)
+};
+
+} // namespace consim
+
+#endif // CONSIM_CACHE_CACHE_LINE_HH

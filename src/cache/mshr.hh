@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Miss Status Holding Registers: track outstanding misses per block so
+ * that concurrent requests for the same block coalesce instead of
+ * issuing duplicate protocol transactions.
+ */
+
+#ifndef CONSIM_CACHE_MSHR_HH
+#define CONSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/**
+ * One outstanding miss. EntryT carries client-defined per-requester
+ * context (e.g. which member core asked, read vs write).
+ */
+template <typename EntryT>
+struct Mshr
+{
+    BlockAddr block = 0;
+    bool wantsWrite = false;       ///< any coalesced requester writes
+    int pendingAcks = 0;           ///< invalidation acks still due
+    bool dataArrived = false;
+    Cycle issued = 0;              ///< cycle the miss left this level
+    std::vector<EntryT> targets;   ///< coalesced requesters
+};
+
+/**
+ * Fixed-capacity MSHR file keyed by block address. At most one MSHR
+ * exists per block; additional requests coalesce onto it.
+ */
+template <typename EntryT>
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
+
+    /** @return MSHR for a block, or nullptr if none outstanding. */
+    Mshr<EntryT> *
+    find(BlockAddr block)
+    {
+        auto it = map_.find(block);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** @return true when no new MSHR can be allocated. */
+    bool full() const { return map_.size() >= capacity_; }
+
+    /** Number of outstanding misses. */
+    std::size_t size() const { return map_.size(); }
+
+    /**
+     * Allocate an MSHR for a block; the file must not be full and the
+     * block must not already have one.
+     */
+    Mshr<EntryT> &
+    allocate(BlockAddr block, Cycle now)
+    {
+        CONSIM_ASSERT(!full(), "MSHR file overflow");
+        CONSIM_ASSERT(find(block) == nullptr,
+                      "duplicate MSHR for block ", block);
+        auto &m = map_[block];
+        m.block = block;
+        m.issued = now;
+        return m;
+    }
+
+    /** Release a completed MSHR. */
+    void
+    release(BlockAddr block)
+    {
+        auto erased = map_.erase(block);
+        CONSIM_ASSERT(erased == 1, "releasing absent MSHR ", block);
+    }
+
+    /** Iterate outstanding misses (diagnostics / invariant checks). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[blk, m] : map_)
+            fn(m);
+    }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<BlockAddr, Mshr<EntryT>> map_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CACHE_MSHR_HH

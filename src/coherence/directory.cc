@@ -1,0 +1,454 @@
+#include "coherence/directory.hh"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "noc/routing.hh"
+
+namespace consim
+{
+
+namespace
+{
+
+CacheGeometry
+dirCacheGeometry(const MachineConfig &cfg)
+{
+    // The CacheArray is a tag array here; one "line" per entry.
+    CacheGeometry g;
+    g.sizeBytes = cfg.dirCacheEntries * blockBytes;
+    g.assoc = cfg.dirCacheAssoc;
+    return g;
+}
+
+std::uint16_t
+bitOf(GroupId g)
+{
+    return static_cast<std::uint16_t>(1u << g);
+}
+
+} // namespace
+
+DirectorySlice::DirectorySlice(Fabric &fabric, CoreId tile,
+                               DirectoryStorage &store)
+    : fab_(fabric), tile_(tile), store_(store),
+      dirCache_(dirCacheGeometry(fabric.config()))
+{
+}
+
+void
+DirectorySlice::handle(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutM:
+      case MsgType::PutS:
+        ++stats_.requests;
+        startTxn(msg);
+        break;
+      case MsgType::InvAck:
+        onInvAck(msg);
+        break;
+      case MsgType::FwdAck:
+        onFwdAck(msg);
+        break;
+      case MsgType::Done:
+        onDone(msg);
+        break;
+      default:
+        CONSIM_PANIC("directory slice ", tile_, " got ",
+                     describe(msg));
+    }
+}
+
+void
+DirectorySlice::startTxn(Msg m)
+{
+    const BlockAddr block = m.block;
+    if (active_.count(block)) {
+        ++stats_.queuedRequests;
+        waiting_[block].push_back(std::move(m));
+        return;
+    }
+    Txn &t = active_[block];
+    t.req = std::move(m);
+
+    Cycle lat = fab_.config().dirLatency;
+    if (fab_.config().dirCacheEnabled) {
+        if (dirCacheAccess(block)) {
+            ++stats_.dirCacheHits;
+        } else {
+            ++stats_.dirCacheMisses;
+            lat += fab_.config().memLatency;
+            t.dirFetched = true;
+        }
+    } else {
+        // No directory cache: every lookup fetches state off-chip.
+        lat += fab_.config().memLatency;
+        t.dirFetched = true;
+    }
+    fab_.schedule(lat, [this, block] { process(block); });
+}
+
+bool
+DirectorySlice::dirCacheAccess(BlockAddr block)
+{
+    if (auto *line = dirCache_.lookup(block)) {
+        dirCache_.touch(line);
+        return true;
+    }
+    auto *victim = dirCache_.victim(block);
+    // Victim state lives in the backing store; eviction is silent.
+    dirCache_.install(victim, block);
+    return false;
+}
+
+void
+DirectorySlice::process(BlockAddr block)
+{
+    auto it = active_.find(block);
+    CONSIM_ASSERT(it != active_.end(), "process() for inactive block");
+    Txn &t = it->second;
+    DirEntry &e = store_.entry(block);
+
+    switch (t.req.type) {
+      case MsgType::GetS:
+        processGetS(t, e);
+        break;
+      case MsgType::GetM:
+        processGetM(t, e);
+        break;
+      case MsgType::PutM:
+      case MsgType::PutS:
+        processPut(t, e);
+        break;
+      default:
+        CONSIM_PANIC("bad txn type ", toString(t.req.type));
+    }
+}
+
+void
+DirectorySlice::processGetS(Txn &t, DirEntry &e)
+{
+    const GroupId req = t.req.reqGroup;
+    switch (e.state) {
+      case L2State::Invalid:
+        sendMemRead(t.req);
+        e.state = L2State::Exclusive;
+        e.owner = static_cast<std::int8_t>(req);
+        e.sharers = bitOf(req);
+        sendGrant(t, L2State::Exclusive, false);
+        break;
+      case L2State::Exclusive:
+      case L2State::Modified: {
+        const auto owner = static_cast<GroupId>(e.owner);
+        CONSIM_ASSERT(owner != req,
+                      "owner group re-requesting GetS, block ",
+                      t.req.block);
+        sendToBank(MsgType::FwdGetS, owner, t.req);
+        ++stats_.forwards;
+        t.fwdAckPending = true;
+        e.state = L2State::Shared;
+        e.sharers = bitOf(owner) | bitOf(req);
+        e.owner = -1;
+        sendGrant(t, L2State::Shared, false);
+        break;
+      }
+      case L2State::Shared: {
+        CONSIM_ASSERT(!(e.sharers & bitOf(req)),
+                      "sharer re-requesting GetS, block ", t.req.block);
+        if (fab_.config().cleanForwarding) {
+            const GroupId fwd = closestSharer(e.sharers, invalidGroup,
+                                              t.req.block,
+                                              t.req.reqBankTile);
+            sendToBank(MsgType::FwdGetS, fwd, t.req);
+            ++stats_.forwards;
+            t.fwdAckPending = true;
+        } else {
+            sendMemRead(t.req);
+        }
+        e.sharers |= bitOf(req);
+        sendGrant(t, L2State::Shared, false);
+        break;
+      }
+    }
+}
+
+void
+DirectorySlice::processGetM(Txn &t, DirEntry &e)
+{
+    const GroupId req = t.req.reqGroup;
+    switch (e.state) {
+      case L2State::Invalid:
+        sendMemRead(t.req);
+        e.state = L2State::Modified;
+        e.owner = static_cast<std::int8_t>(req);
+        e.sharers = bitOf(req);
+        sendGrant(t, L2State::Modified, false);
+        break;
+      case L2State::Exclusive:
+      case L2State::Modified: {
+        const auto owner = static_cast<GroupId>(e.owner);
+        CONSIM_ASSERT(owner != req,
+                      "owner group re-requesting GetM, block ",
+                      t.req.block);
+        sendToBank(MsgType::FwdGetM, owner, t.req);
+        ++stats_.forwards;
+        t.fwdAckPending = true;
+        e.state = L2State::Modified;
+        e.owner = static_cast<std::int8_t>(req);
+        e.sharers = bitOf(req);
+        sendGrant(t, L2State::Modified, false);
+        break;
+      }
+      case L2State::Shared: {
+        const std::uint16_t others =
+            e.sharers & static_cast<std::uint16_t>(~bitOf(req));
+        const bool has_copy = (e.sharers & bitOf(req)) != 0;
+        if (others == 0) {
+            // Requester is the sole sharer: silent data, pure grant.
+            e.state = L2State::Modified;
+            e.owner = static_cast<std::int8_t>(req);
+            e.sharers = bitOf(req);
+            sendGrant(t, L2State::Modified, true);
+            break;
+        }
+        GroupId fwd = invalidGroup;
+        if (!has_copy) {
+            // One sharer forwards data and invalidates itself.
+            fwd = closestSharer(others, invalidGroup, t.req.block,
+                                t.req.reqBankTile);
+            sendToBank(MsgType::FwdGetM, fwd, t.req);
+            ++stats_.forwards;
+            t.fwdAckPending = true;
+        }
+        for (GroupId g = 0; g < 16; ++g) {
+            if (!(others & bitOf(g)) || g == fwd)
+                continue;
+            sendToBank(MsgType::Inv, g, t.req);
+            ++stats_.invalidations;
+            ++t.acksPending;
+        }
+        e.state = L2State::Modified;
+        e.owner = static_cast<std::int8_t>(req);
+        e.sharers = bitOf(req);
+        sendGrant(t, L2State::Modified, has_copy);
+        break;
+      }
+    }
+}
+
+void
+DirectorySlice::processPut(Txn &t, DirEntry &e)
+{
+    const GroupId g = t.req.reqGroup;
+    const bool is_put_m = t.req.type == MsgType::PutM;
+    const bool is_owner =
+        (e.state == L2State::Exclusive || e.state == L2State::Modified) &&
+        static_cast<GroupId>(e.owner) == g;
+
+    if (is_owner) {
+        if (is_put_m && t.req.dirtyData)
+            sendMemWrite(t.req);
+        e = DirEntry{};
+    } else if (e.state == L2State::Shared && (e.sharers & bitOf(g))) {
+        // A demoted owner's PutM degenerates to PutS; any dirty data
+        // was already written back when the line was forwarded.
+        e.sharers &= static_cast<std::uint16_t>(~bitOf(g));
+        if (e.sharers == 0)
+            e = DirEntry{};
+    }
+    // Otherwise the Put is stale (the line moved on); just ack.
+
+    Msg ack;
+    ack.type = MsgType::PutAck;
+    ack.block = t.req.block;
+    ack.vm = t.req.vm;
+    ack.srcTile = tile_;
+    ack.srcUnit = Unit::Dir;
+    ack.dstTile = t.req.srcTile;
+    ack.dstUnit = Unit::L2Bank;
+    fab_.send(ack);
+
+    finishTxn(t.req.block);
+}
+
+void
+DirectorySlice::onInvAck(const Msg &m)
+{
+    auto it = active_.find(m.block);
+    CONSIM_ASSERT(it != active_.end(), "InvAck for inactive block ",
+                  m.block);
+    Txn &t = it->second;
+    CONSIM_ASSERT(t.acksPending > 0, "unexpected InvAck, block ",
+                  m.block);
+    --t.acksPending;
+    tryFinish(m.block);
+}
+
+void
+DirectorySlice::onFwdAck(const Msg &m)
+{
+    auto it = active_.find(m.block);
+    CONSIM_ASSERT(it != active_.end(), "FwdAck for inactive block ",
+                  m.block);
+    Txn &t = it->second;
+    CONSIM_ASSERT(t.fwdAckPending, "unexpected FwdAck, block ",
+                  m.block);
+    t.fwdAckPending = false;
+    // A dirty line forwarded on GetS performs a sharing writeback so
+    // that memory is clean while the line is Shared.
+    if (t.req.type == MsgType::GetS && m.dirtyData)
+        sendMemWrite(t.req);
+    tryFinish(m.block);
+}
+
+void
+DirectorySlice::onDone(const Msg &m)
+{
+    auto it = active_.find(m.block);
+    CONSIM_ASSERT(it != active_.end(), "Done for inactive block ",
+                  m.block);
+    Txn &t = it->second;
+    CONSIM_ASSERT(t.grantSent, "Done before grant, block ", m.block);
+    CONSIM_ASSERT(!t.doneReceived, "double Done, block ", m.block);
+    t.doneReceived = true;
+    tryFinish(m.block);
+}
+
+void
+DirectorySlice::tryFinish(BlockAddr block)
+{
+    // A transaction retires only when the requester has confirmed the
+    // fill (Done) and every invalidation/forward ack has returned; the
+    // blocking home then admits the next queued request for the block.
+    auto it = active_.find(block);
+    CONSIM_ASSERT(it != active_.end(), "tryFinish of inactive txn");
+    const Txn &t = it->second;
+    if (t.doneReceived && t.acksPending == 0 && !t.fwdAckPending)
+        finishTxn(block);
+}
+
+void
+DirectorySlice::finishTxn(BlockAddr block)
+{
+    auto it = active_.find(block);
+    CONSIM_ASSERT(it != active_.end(), "finish of inactive txn");
+    CONSIM_ASSERT(it->second.acksPending == 0 &&
+                      !it->second.fwdAckPending,
+                  "finishing txn with outstanding acks, block ", block);
+    active_.erase(it);
+
+    auto wit = waiting_.find(block);
+    if (wit == waiting_.end() || wit->second.empty())
+        return;
+    Msg next = std::move(wit->second.front());
+    wit->second.pop_front();
+    if (wit->second.empty())
+        waiting_.erase(wit);
+    startTxn(std::move(next));
+}
+
+GroupId
+DirectorySlice::closestSharer(std::uint16_t sharers, GroupId exclude,
+                              BlockAddr block, CoreId req_bank) const
+{
+    GroupId best = invalidGroup;
+    int best_dist = std::numeric_limits<int>::max();
+    for (GroupId g = 0; g < 16; ++g) {
+        if (!(sharers & bitOf(g)) || g == exclude)
+            continue;
+        const CoreId bank = fab_.bankTileFor(g, block);
+        const int d = hopDistance(bank, req_bank, fab_.config().meshX);
+        if (d < best_dist) {
+            best_dist = d;
+            best = g;
+        }
+    }
+    CONSIM_ASSERT(best != invalidGroup, "no sharer to pick");
+    return best;
+}
+
+void
+DirectorySlice::sendMemRead(const Msg &req)
+{
+    ++stats_.memReads;
+    Msg m = req;
+    m.type = MsgType::MemRead;
+    m.srcTile = tile_;
+    m.srcUnit = Unit::Dir;
+    m.dstTile = fab_.memTileFor(req.block);
+    m.dstUnit = Unit::Mem;
+    // If this transaction already fetched directory state off-chip,
+    // the data came up with it (state sits beside the block in DRAM);
+    // the controller then only charges a transfer cost.
+    auto it = active_.find(req.block);
+    m.overlappedFetch = it != active_.end() && it->second.dirFetched;
+    fab_.send(m);
+}
+
+void
+DirectorySlice::sendMemWrite(const Msg &req)
+{
+    ++stats_.memWrites;
+    Msg m = req;
+    m.type = MsgType::MemWrite;
+    m.srcTile = tile_;
+    m.srcUnit = Unit::Dir;
+    m.dstTile = fab_.memTileFor(req.block);
+    m.dstUnit = Unit::Mem;
+    m.dirtyData = true;
+    fab_.send(m);
+}
+
+void
+DirectorySlice::sendGrant(Txn &t, L2State grant, bool no_data)
+{
+    CONSIM_ASSERT(!t.grantSent, "double grant");
+    t.grantSent = true;
+    Msg m = t.req;
+    m.type = MsgType::Grant;
+    m.srcTile = tile_;
+    m.srcUnit = Unit::Dir;
+    m.dstTile = t.req.reqBankTile;
+    m.dstUnit = Unit::L2Bank;
+    m.grantState = grant;
+    m.noDataNeeded = no_data;
+    fab_.send(m);
+}
+
+void
+DirectorySlice::sendToBank(MsgType type, GroupId g, const Msg &req)
+{
+    Msg m = req;
+    m.type = type;
+    m.srcTile = tile_;
+    m.srcUnit = Unit::Dir;
+    m.dstTile = fab_.bankTileFor(g, req.block);
+    m.dstUnit = Unit::L2Bank;
+    fab_.send(m);
+}
+
+void
+DirectorySlice::debugDump() const
+{
+    for (const auto &[block, t] : active_) {
+        std::fprintf(stderr,
+                     "  dir%d blk=0x%llx req=%s from=%d acks=%d "
+                     "fwdAck=%d grant=%d done=%d\n",
+                     tile_, (unsigned long long)block,
+                     toString(t.req.type), t.req.srcTile,
+                     t.acksPending, t.fwdAckPending, t.grantSent,
+                     t.doneReceived);
+    }
+    for (const auto &[block, q] : waiting_) {
+        if (!q.empty())
+            std::fprintf(stderr, "  dir%d blk=0x%llx waiting=%zu\n",
+                         tile_, (unsigned long long)block, q.size());
+    }
+}
+
+} // namespace consim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Global directory: SGI-Origin-style full-map directory tracking the
+ * partition-level MESI state of every block, striped across the 16
+ * tiles by block address (paper §IV-A). Each tile's DirectorySlice
+ * serializes transactions per block (a blocking home) and owns a
+ * directory cache; a directory-cache miss pays the off-chip latency
+ * for the directory-state fetch, modelling the paper's per-core
+ * directory caches that "reduce the number of off-chip references".
+ */
+
+#ifndef CONSIM_COHERENCE_DIRECTORY_HH
+#define CONSIM_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "coherence/fabric.hh"
+#include "coherence/protocol.hh"
+#include "common/stats.hh"
+
+namespace consim
+{
+
+/** Width of each VM's block-address window (blocks = 1 << bits). */
+constexpr int vmSpanBits = 24;
+
+/** @return the base block address of a VM's window. */
+constexpr BlockAddr
+vmBaseBlock(VmId vm)
+{
+    return static_cast<BlockAddr>(vm) << vmSpanBits;
+}
+
+/** One directory entry: partition-granular MESI + full sharer map. */
+struct DirEntry
+{
+    L2State state = L2State::Invalid;
+    std::uint16_t sharers = 0; ///< bitmask over GroupIds
+    std::int8_t owner = -1;    ///< GroupId for E/M
+};
+
+/**
+ * Backing store for directory entries: one flat array per registered
+ * VM, indexed by block offset within the VM's address window. The
+ * storage is logically distributed across the tiles (each slice only
+ * touches entries it is home for); a single allocation keeps it fast.
+ */
+class DirectoryStorage
+{
+  public:
+    /** Declare a VM's address window before simulation starts. */
+    void
+    registerVm(VmId vm, std::uint64_t num_blocks)
+    {
+        CONSIM_ASSERT(vm >= 0, "bad vm");
+        CONSIM_ASSERT(num_blocks <= (1ull << vmSpanBits),
+                      "VM footprint exceeds its address window");
+        if (static_cast<std::size_t>(vm) >= perVm_.size())
+            perVm_.resize(vm + 1);
+        perVm_[vm].assign(num_blocks, DirEntry{});
+    }
+
+    /** @return mutable entry for a block. */
+    DirEntry &
+    entry(BlockAddr block)
+    {
+        const auto vm = static_cast<std::size_t>(block >> vmSpanBits);
+        const auto off = block & ((1ull << vmSpanBits) - 1);
+        CONSIM_ASSERT(vm < perVm_.size() && off < perVm_[vm].size(),
+                      "directory access outside registered windows: "
+                      "block ", block);
+        return perVm_[vm][off];
+    }
+
+    /** Walk all registered entries (invariant checks, stats). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t vm = 0; vm < perVm_.size(); ++vm) {
+            for (std::size_t off = 0; off < perVm_[vm].size(); ++off) {
+                const BlockAddr block =
+                    (static_cast<BlockAddr>(vm) << vmSpanBits) | off;
+                fn(block, perVm_[vm][off]);
+            }
+        }
+    }
+
+  private:
+    std::vector<std::vector<DirEntry>> perVm_;
+};
+
+/** Per-slice statistic counters. */
+struct DirSliceStats
+{
+    stats::Counter requests;
+    stats::Counter forwards;      ///< FwdGetS/FwdGetM sent
+    stats::Counter invalidations; ///< Inv sent
+    stats::Counter memReads;
+    stats::Counter memWrites;
+    stats::Counter dirCacheHits;
+    stats::Counter dirCacheMisses;
+    stats::Counter queuedRequests; ///< arrived while block busy
+};
+
+/** The home-node directory logic for one tile. */
+class DirectorySlice
+{
+  public:
+    DirectorySlice(Fabric &fabric, CoreId tile, DirectoryStorage &store);
+
+    /** Handle any directory-bound message. */
+    void handle(const Msg &msg);
+
+    /** @return true when no transaction is in flight at this slice. */
+    bool idle() const { return active_.empty(); }
+
+    DirSliceStats &sliceStats() { return stats_; }
+    const DirSliceStats &sliceStats() const { return stats_; }
+
+    /** Write active/waiting transaction state to stderr. */
+    void debugDump() const;
+
+  private:
+    struct DirCacheLine : CacheLineBase
+    {
+    };
+
+    struct Txn
+    {
+        Msg req;
+        int acksPending = 0;
+        bool fwdAckPending = false;
+        bool grantSent = false;
+        bool doneReceived = false;
+        bool dirFetched = false; ///< paid the off-chip state fetch
+    };
+
+    void startTxn(Msg m);
+    void process(BlockAddr block);
+    void processGetS(Txn &t, DirEntry &e);
+    void processGetM(Txn &t, DirEntry &e);
+    void processPut(Txn &t, DirEntry &e);
+    void onInvAck(const Msg &m);
+    void onFwdAck(const Msg &m);
+    void onDone(const Msg &m);
+    void tryFinish(BlockAddr block);
+    void finishTxn(BlockAddr block);
+
+    /** @return true on directory-cache hit; inserts on miss. */
+    bool dirCacheAccess(BlockAddr block);
+
+    /** Pick the sharer whose bank is closest to the requester. */
+    GroupId closestSharer(std::uint16_t sharers, GroupId exclude,
+                          BlockAddr block, CoreId req_bank) const;
+
+    void sendMemRead(const Msg &req);
+    void sendMemWrite(const Msg &req);
+    void sendGrant(Txn &t, L2State grant, bool no_data);
+    void sendToBank(MsgType type, GroupId g, const Msg &req);
+
+    Fabric &fab_;
+    CoreId tile_;
+    DirectoryStorage &store_;
+    CacheArray<DirCacheLine> dirCache_;
+    std::unordered_map<BlockAddr, Txn> active_;
+    std::unordered_map<BlockAddr, std::deque<Msg>> waiting_;
+    DirSliceStats stats_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_COHERENCE_DIRECTORY_HH

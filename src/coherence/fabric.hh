@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fabric: the slim interface components use to talk to the rest of
+ * the machine. The concrete System implements it; unit tests provide
+ * mock fabrics to exercise controllers in isolation.
+ */
+
+#ifndef CONSIM_COHERENCE_FABRIC_HH
+#define CONSIM_COHERENCE_FABRIC_HH
+
+#include <functional>
+
+#include "coherence/protocol.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Interface to the surrounding machine (clock, transport, mapping). */
+class Fabric
+{
+  public:
+    virtual ~Fabric() = default;
+
+    /** @return current simulated cycle. */
+    virtual Cycle now() const = 0;
+
+    /**
+     * Send a protocol message. Same-tile messages take a fixed local
+     * hop; cross-tile messages ride the interconnect.
+     */
+    virtual void send(Msg m) = 0;
+
+    /** Run a callback after @p delay cycles (delay >= 1). */
+    virtual void schedule(Cycle delay, std::function<void()> fn) = 0;
+
+    /** @return the machine configuration. */
+    virtual const MachineConfig &config() const = 0;
+
+    /** @return L2 group a tile's core belongs to. */
+    virtual GroupId groupOfTile(CoreId tile) const = 0;
+
+    /** @return tile holding group @p g's bank for @p block. */
+    virtual CoreId bankTileFor(GroupId g, BlockAddr block) const = 0;
+
+    /** @return tile whose directory slice is home for @p block. */
+    virtual CoreId homeTileFor(BlockAddr block) const = 0;
+
+    /** @return tile of the memory controller serving @p block. */
+    virtual CoreId memTileFor(BlockAddr block) const = 0;
+
+    /** @return VM that owns @p block (address-partitioned). */
+    virtual VmId vmOfBlock(BlockAddr block) const = 0;
+
+    // --- per-VM statistic hooks (driven by the controllers) ---
+
+    /** An access reached the VM's last-level cache. */
+    virtual void recordL2Access(VmId vm) = 0;
+
+    /** An LLC miss was resolved (data came from off-partition). */
+    virtual void recordL2Miss(VmId vm, bool c2c, bool c2c_dirty) = 0;
+
+    /** A miss to the last private level (L1) completed. */
+    virtual void recordL1Miss(VmId vm, Cycle latency) = 0;
+
+    /** A workload transaction committed on some core. */
+    virtual void recordTransaction(VmId vm) = 0;
+
+    /** A core retired instructions for a VM. */
+    virtual void recordInstructions(VmId vm, std::uint64_t n) = 0;
+};
+
+} // namespace consim
+
+#endif // CONSIM_COHERENCE_FABRIC_HH

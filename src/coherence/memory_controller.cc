@@ -1,0 +1,60 @@
+#include "coherence/memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+MemoryController::MemoryController(Fabric &fabric, CoreId tile)
+    : fab_(fabric), tile_(tile)
+{
+}
+
+void
+MemoryController::registerStats(stats::Group &g)
+{
+    g.add("reads", &reads);
+    g.add("writes", &writes);
+    g.add("queue_delay", &queueDelay);
+}
+
+void
+MemoryController::handle(const Msg &msg)
+{
+    const Cycle now = fab_.now();
+    const Cycle start = std::max(now, nextFree_);
+    nextFree_ = start + fab_.config().memIssueInterval;
+    queueDelay.sample(static_cast<double>(start - now));
+
+    if (msg.type == MsgType::MemWrite) {
+        // Writebacks are absorbed; no reply needed.
+        ++writes;
+        return;
+    }
+
+    CONSIM_ASSERT(msg.type == MsgType::MemRead,
+                  "MC got ", toString(msg.type));
+    ++reads;
+    ++outstanding_;
+
+    const int access_latency = msg.overlappedFetch
+                                   ? fab_.config().memOverlapLatency
+                                   : fab_.config().memLatency;
+    const Cycle done = (start - now) + static_cast<Cycle>(access_latency);
+    Msg reply = msg;
+    reply.type = MsgType::Data;
+    reply.srcTile = tile_;
+    reply.srcUnit = Unit::Mem;
+    reply.dstTile = msg.reqBankTile;
+    reply.dstUnit = Unit::L2Bank;
+    reply.c2cTransfer = false;
+    reply.dirtyData = false;
+    fab_.schedule(done, [this, reply] {
+        --outstanding_;
+        fab_.send(reply);
+    });
+}
+
+} // namespace consim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory controller: terminates MemRead/MemWrite messages from the
+ * directory slices. Models the paper's flat 150-cycle off-chip
+ * latency plus a simple bandwidth constraint (one access may start
+ * every memIssueInterval cycles per controller), so that miss storms
+ * in consolidated mixes queue at the controllers like the paper's
+ * discussion of memory-controller pressure describes.
+ */
+
+#ifndef CONSIM_COHERENCE_MEMORY_CONTROLLER_HH
+#define CONSIM_COHERENCE_MEMORY_CONTROLLER_HH
+
+#include "coherence/fabric.hh"
+#include "coherence/protocol.hh"
+#include "common/stats.hh"
+
+namespace consim
+{
+
+/** One off-chip memory channel, attached to a mesh tile. */
+class MemoryController
+{
+  public:
+    /**
+     * @param fabric surrounding machine
+     * @param tile   mesh tile this controller is attached to
+     */
+    MemoryController(Fabric &fabric, CoreId tile);
+
+    /** Handle a MemRead or MemWrite. */
+    void handle(const Msg &msg);
+
+    /** @return true when no access is outstanding. */
+    bool idle() const { return outstanding_ == 0; }
+
+    /** Statistics. */
+    stats::Counter reads;
+    stats::Counter writes;
+    stats::Average queueDelay;  ///< cycles a request waited to issue
+
+    /** Attach stats to a group for dumping. */
+    void registerStats(stats::Group &g);
+
+  private:
+    Fabric &fab_;
+    CoreId tile_;
+    Cycle nextFree_ = 0;   ///< earliest cycle the channel can issue
+    int outstanding_ = 0;
+};
+
+} // namespace consim
+
+#endif // CONSIM_COHERENCE_MEMORY_CONTROLLER_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Coherence protocol message set.
+ *
+ * The protocol has two levels, mirroring the paper's machine:
+ *
+ *  - Intra-group: each L2 partition is inclusive of its member cores'
+ *    L1s and acts as a local directory over them (presence bits +
+ *    owner). Messages: L1GetS/L1GetM/L1PutM requests, L1Inv/L1WbReq
+ *    forwards, L1Data/L1InvAck/L1WbData responses.
+ *
+ *  - Inter-group: an SGI-Origin-style full-map directory, striped
+ *    across the 16 tiles by block address, tracks which partitions
+ *    hold each block (partition-granular MESI). The home forwards
+ *    dirty requests to the owner partition and (optionally) clean
+ *    requests to a sharer partition, producing the cache-to-cache
+ *    transfers the paper characterizes. Invalidation acks collect at
+ *    the home, which then grants; this differs from Origin (acks to
+ *    requester) but simplifies transient states without changing the
+ *    characterization-level behaviour.
+ *
+ * Messages travel on three virtual networks to break protocol message
+ * dependency cycles: vnet0 requests, vnet1 forwards, vnet2 responses.
+ */
+
+#ifndef CONSIM_COHERENCE_PROTOCOL_HH
+#define CONSIM_COHERENCE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_line.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** On-tile destination unit of a message. */
+enum class Unit : std::uint8_t
+{
+    L1,      ///< core-side private cache controller
+    L2Bank,  ///< L2 partition bank on this tile
+    Dir,     ///< global directory slice on this tile
+    Mem,     ///< memory controller attached to this tile
+};
+
+/** Protocol message opcodes. */
+enum class MsgType : std::uint8_t
+{
+    // --- intra-group, L1 <-> bank ---
+    L1GetS,      ///< L1 read miss -> bank            (request, ctrl)
+    L1GetM,      ///< L1 write miss/upgrade -> bank   (request, ctrl)
+    L1PutM,      ///< L1 dirty eviction -> bank       (request, data)
+    L1Inv,       ///< bank invalidates a member L1    (forward, ctrl)
+    L1WbReq,     ///< bank extracts data from owner   (forward, ctrl)
+    L1Data,      ///< bank grants line to L1          (response, data)
+    L1InvAck,    ///< member L1 ack                   (response, ctrl)
+    L1WbData,    ///< owner L1 writeback to bank      (response, data)
+
+    // --- inter-group, bank <-> home directory ---
+    GetS,        ///< bank read miss -> home          (request, ctrl)
+    GetM,        ///< bank write miss -> home         (request, ctrl)
+    PutM,        ///< bank dirty eviction -> home     (request, data)
+    PutS,        ///< bank clean eviction -> home     (request, ctrl)
+    FwdGetS,     ///< home -> owner/sharer bank       (forward, ctrl)
+    FwdGetM,     ///< home -> owner bank              (forward, ctrl)
+    Inv,         ///< home -> sharer bank             (forward, ctrl)
+    Data,        ///< data to requester bank          (response, data)
+    Grant,       ///< home completion gate            (response, ctrl)
+    InvAck,      ///< sharer bank -> home             (response, ctrl)
+    FwdAck,      ///< forwarder bank -> home          (response, ctrl)
+    PutAck,      ///< home -> evicting bank           (response, ctrl)
+    Done,        ///< requester bank -> home, unblock (response, ctrl)
+
+    // --- memory controller ---
+    MemRead,     ///< home -> MC                      (forward, ctrl)
+    MemWrite,    ///< home -> MC, writeback absorb    (forward, data)
+    // MC replies with Data directly to the requester bank.
+};
+
+/** @return printable opcode name (diagnostics). */
+const char *toString(MsgType t);
+
+/** @return virtual network a message class travels on (0/1/2). */
+int vnetOf(MsgType t);
+
+/** @return true when the message carries a cache block of data. */
+bool carriesData(MsgType t);
+
+/** @return true for intra-group (L1 <-> partition bank) messages. */
+bool isIntraGroup(MsgType t);
+
+/**
+ * A protocol message. consim is a timing simulator: messages carry
+ * metadata only, never data payloads. One flat struct keeps the
+ * network fast and the protocol code free of downcasts.
+ */
+struct Msg
+{
+    MsgType type = MsgType::GetS;
+    BlockAddr block = 0;
+
+    // routing
+    CoreId srcTile = invalidCore;
+    CoreId dstTile = invalidCore;
+    Unit srcUnit = Unit::L1;
+    Unit dstUnit = Unit::L1;
+
+    // transaction context
+    CoreId reqCore = invalidCore;   ///< core that started the miss
+    CoreId reqBankTile = invalidCore; ///< bank tile awaiting the fill
+    GroupId reqGroup = invalidGroup;  ///< requesting partition
+    VmId vm = invalidVm;
+
+    // flags / small payloads
+    bool isWrite = false;     ///< GetM-class transaction
+    bool dirtyData = false;   ///< data was modified at the source
+    bool noDataNeeded = false;   ///< Grant: requester already has data
+    bool c2cTransfer = false;    ///< Data came from another partition
+    bool stale = false;          ///< L1WbData: line already gone
+    bool toInvalid = false;      ///< L1WbReq: downgrade target is I
+    bool overlappedFetch = false; ///< MemRead: data fetched with the
+                                  ///< directory state already
+    L2State grantState = L2State::Invalid; ///< Grant: install state
+    std::int16_t ackCount = 0;   ///< diagnostics
+
+    // timing
+    Cycle injectCycle = 0;    ///< set by the network on inject
+};
+
+/** @return one-line description (diagnostics). */
+std::string describe(const Msg &m);
+
+} // namespace consim
+
+#endif // CONSIM_COHERENCE_PROTOCOL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches, directories, and the
+ * mesh address interleaving.
+ */
+
+#ifndef CONSIM_COMMON_BITOPS_HH
+#define CONSIM_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace consim
+{
+
+/** @return true iff x is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); x must be non-zero. */
+constexpr int
+floorLog2(std::uint64_t x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** @return ceil(log2(x)); x must be non-zero. */
+constexpr int
+ceilLog2(std::uint64_t x)
+{
+    return isPow2(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** @return number of set bits. */
+constexpr int
+popCount(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** @return index of lowest set bit; x must be non-zero. */
+constexpr int
+lowestSetBit(std::uint64_t x)
+{
+    return std::countr_zero(x);
+}
+
+/**
+ * Mix the bits of a block address for bank/home interleaving. A simple
+ * multiplicative hash avoids pathological striding when workloads walk
+ * contiguous regions.
+ */
+constexpr std::uint64_t
+mixBits(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_BITOPS_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Machine configuration for the consolidation CMP (paper Table III)
+ * and the mapping from cores to L2 sharing groups.
+ *
+ * The chip is a 4x4 mesh of tiles; each tile holds one in-order core,
+ * private L0/L1 caches, one bank of its group's L2 partition, and one
+ * slice of the global directory. The aggregate L2 is 16 MB regardless
+ * of sharing degree:
+ *   - private:       16 groups x 1 MB
+ *   - shared-2-way:   8 groups x 2 MB
+ *   - shared-4-way:   4 groups x 4 MB
+ *   - shared-8-way:   2 groups x 8 MB
+ *   - fully shared:   1 group x 16 MB
+ * Groups are geometrically contiguous on the mesh (pairs, quadrants,
+ * halves) as depicted in Fig. 1 of the paper.
+ */
+
+#ifndef CONSIM_COMMON_CONFIG_HH
+#define CONSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Number of cores sharing one last-level-cache partition. */
+enum class SharingDegree : int
+{
+    Private = 1,
+    Shared2 = 2,
+    Shared4 = 4,
+    Shared8 = 8,
+    Shared16 = 16,
+};
+
+/** @return cores per group as an int. */
+constexpr int
+coresPerGroup(SharingDegree d)
+{
+    return static_cast<int>(d);
+}
+
+/** @return human-readable name, matching the paper's labels. */
+inline std::string
+toString(SharingDegree d)
+{
+    switch (d) {
+      case SharingDegree::Private:
+        return "private";
+      case SharingDegree::Shared2:
+        return "shared-2-way";
+      case SharingDegree::Shared4:
+        return "shared-4-way";
+      case SharingDegree::Shared8:
+        return "shared-8-way";
+      case SharingDegree::Shared16:
+        return "fully-shared";
+    }
+    return "?";
+}
+
+/** Hypervisor thread-to-core scheduling policy (paper §III-D). */
+enum class SchedPolicy
+{
+    RoundRobin,  ///< spread each workload's threads across groups
+    Affinity,    ///< pack each workload's threads into few groups
+    AffinityRR,  ///< round robin with >=2 threads per group
+    Random,      ///< seeded random placement (over-committed VM model)
+};
+
+/** @return human-readable name. */
+inline std::string
+toString(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::RoundRobin:
+        return "round-robin";
+      case SchedPolicy::Affinity:
+        return "affinity";
+      case SchedPolicy::AffinityRR:
+        return "aff-rr";
+      case SchedPolicy::Random:
+        return "random";
+    }
+    return "?";
+}
+
+/** Full machine configuration (defaults follow paper Table III). */
+struct MachineConfig
+{
+    // --- chip geometry ---
+    int meshX = 4;                 ///< mesh columns
+    int meshY = 4;                 ///< mesh rows
+    int numCores() const { return meshX * meshY; }
+
+    // --- private cache hierarchy ---
+    std::uint64_t l0Bytes = 8 * 1024;   ///< 8 KB L0, 1 cycle
+    int l0Assoc = 2;
+    int l0Latency = 1;
+    std::uint64_t l1Bytes = 64 * 1024;  ///< 64 KB L1, 2 cycles
+    int l1Assoc = 4;
+    int l1Latency = 2;
+
+    // --- last level cache ---
+    std::uint64_t l2TotalBytes = 16 * 1024 * 1024; ///< 16 MB aggregate
+    int l2Assoc = 8;
+    int l2Latency = 6;
+    SharingDegree sharing = SharingDegree::Shared4;
+
+    // --- memory system ---
+    int memLatency = 150;          ///< off-chip access latency (cycles)
+    int numMemCtrls = 4;           ///< controllers at the mesh corners
+    int memIssueInterval = 4;      ///< min cycles between MC accepts
+    /** Reply latency when the block came up with the directory-state
+     *  fetch (state and data live in the same DRAM region, so an
+     *  I-state miss that already paid the directory fetch only pays
+     *  a transfer cost, not a second full access). */
+    int memOverlapLatency = 25;
+
+    // --- global directory ---
+    bool dirCacheEnabled = true;   ///< per-tile directory caches
+    std::uint64_t dirCacheEntries = 8192; ///< entries per tile slice
+    int dirCacheAssoc = 8;
+    int dirLatency = 2;            ///< directory-cache hit latency
+    bool cleanForwarding = true;   ///< sharer supplies clean data (c2c)
+
+    // --- interconnect ---
+    bool idealNoc = false;         ///< ablation: fixed-latency network
+    int idealNocLatency = 8;       ///< per-message latency when ideal
+    /** Intra-group L1<->bank traffic takes a flat on-partition path
+     *  (the paper's constant 6-cycle L2 regardless of sharing
+     *  degree). Disable to route it over the mesh (ablation). */
+    bool flatIntraGroup = true;
+    int intraGroupLatency = 3;     ///< flat per-message latency
+    int flitBytes = 16;            ///< 64B data + header = 5 flits
+    int vcsPerVnet = 2;            ///< virtual channels per vnet
+    int vcBufferFlits = 4;         ///< buffer depth per VC
+    int numVnets = 3;              ///< request / forward / response
+
+    // --- L2 group topology helpers ---
+
+    /** @return number of L2 sharing groups. */
+    int
+    numGroups() const
+    {
+        return numCores() / coresPerGroup(sharing);
+    }
+
+    /** @return bytes per L2 partition. */
+    std::uint64_t
+    l2PartitionBytes() const
+    {
+        return l2TotalBytes / static_cast<std::uint64_t>(numGroups());
+    }
+
+    /** @return the group a core belongs to (contiguous grouping). */
+    GroupId
+    groupOfCore(CoreId core) const
+    {
+        CONSIM_ASSERT(core >= 0 && core < numCores(), "bad core ", core);
+        switch (sharing) {
+          case SharingDegree::Private:
+            return core;
+          case SharingDegree::Shared2:
+            // horizontally adjacent pairs
+            return core / 2;
+          case SharingDegree::Shared4: {
+            // 2x2 quadrants on the 4x4 mesh
+            const int x = core % meshX;
+            const int y = core / meshX;
+            return (y / 2) * 2 + (x / 2);
+          }
+          case SharingDegree::Shared8:
+            // top half / bottom half
+            return core / 8;
+          case SharingDegree::Shared16:
+            return 0;
+        }
+        return invalidGroup;
+    }
+
+    /** @return the member cores of a group, ascending. */
+    std::vector<CoreId>
+    coresOfGroup(GroupId g) const
+    {
+        std::vector<CoreId> members;
+        for (CoreId c = 0; c < numCores(); ++c) {
+            if (groupOfCore(c) == g)
+                members.push_back(c);
+        }
+        CONSIM_ASSERT(!members.empty(), "empty group ", g);
+        return members;
+    }
+
+    /** Validate structural constraints; fatal on user error. */
+    void
+    validate() const
+    {
+        if (!isPow2(l0Bytes) || !isPow2(l1Bytes) || !isPow2(l2TotalBytes))
+            CONSIM_FATAL("cache sizes must be powers of two");
+        if (meshX != 4 || meshY != 4) {
+            if (sharing != SharingDegree::Private &&
+                sharing != SharingDegree::Shared16) {
+                CONSIM_FATAL("contiguous grouping is defined for the "
+                             "4x4 mesh only");
+            }
+        }
+        if (numCores() % coresPerGroup(sharing) != 0)
+            CONSIM_FATAL("cores not divisible into groups");
+        if (numMemCtrls < 1 || numMemCtrls > numCores())
+            CONSIM_FATAL("bad number of memory controllers");
+    }
+};
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_CONFIG_HH

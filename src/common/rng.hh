@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload address streams,
+ * random scheduling, random replacement) draws from instances of Rng so
+ * that every simulation is exactly reproducible from its seed. The
+ * generator is xoshiro256** (public domain, Blackman & Vigna), chosen
+ * for speed and quality; <random> engines are avoided because their
+ * distributions are not bit-reproducible across standard libraries.
+ */
+
+#ifndef CONSIM_COMMON_RNG_HH
+#define CONSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+/** Small, fast, reproducible PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion so any 64-bit seed is usable. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        CONSIM_ASSERT(bound > 0, "Rng::below(0)");
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        CONSIM_ASSERT(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Container>
+    void
+    shuffle(Container &c)
+    {
+        for (std::size_t i = c.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(c[i - 1], c[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_RNG_HH

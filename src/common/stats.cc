@@ -1,0 +1,80 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+namespace stats
+{
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i];
+        if (running >= target)
+            return (i + 1) * width_;
+    }
+    return buckets_.size() * width_;
+}
+
+void
+Group::add(const std::string &stat_name, Counter *c)
+{
+    CONSIM_ASSERT(c != nullptr, "null counter registered in ", name_);
+    counters_[stat_name] = c;
+}
+
+void
+Group::add(const std::string &stat_name, Average *a)
+{
+    CONSIM_ASSERT(a != nullptr, "null average registered in ", name_);
+    averages_[stat_name] = a;
+}
+
+void
+Group::add(const std::string &stat_name, Histogram *h)
+{
+    CONSIM_ASSERT(h != nullptr, "null histogram registered in ", name_);
+    histograms_[stat_name] = h;
+}
+
+void
+Group::resetAll()
+{
+    for (auto &[k, c] : counters_)
+        c->reset();
+    for (auto &[k, a] : averages_)
+        a->reset();
+    for (auto &[k, h] : histograms_)
+        h->reset();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[k, c] : counters_)
+        os << name_ << "." << k << " " << c->value() << "\n";
+    for (const auto &[k, a] : averages_) {
+        os << name_ << "." << k << ".mean " << a->mean() << "\n";
+        os << name_ << "." << k << ".count " << a->count() << "\n";
+    }
+    for (const auto &[k, h] : histograms_) {
+        os << name_ << "." << k << ".mean " << h->mean() << "\n";
+        os << name_ << "." << k << ".max " << h->max() << "\n";
+        os << name_ << "." << k << ".count " << h->count() << "\n";
+    }
+}
+
+} // namespace stats
+
+} // namespace consim

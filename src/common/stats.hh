@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, running
+ * averages, and fixed-bucket histograms, grouped per component and
+ * dumpable as text. Modelled loosely on the gem5 stats package but
+ * much smaller: the consolidation framework extracts most results
+ * through typed accessors rather than by parsing dumps.
+ */
+
+#ifndef CONSIM_COMMON_STATS_HH
+#define CONSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace consim
+{
+
+namespace stats
+{
+
+/** A named monotonically increasing scalar. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Sum + count, reporting a mean. */
+class Average
+{
+  public:
+    Average() = default;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+
+    /** @return mean of all samples, or 0 when empty. */
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket
+     * @param num_buckets  number of regular buckets; samples at or
+     *                     beyond bucket_width*num_buckets land in the
+     *                     overflow bucket.
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+        : width_(bucket_width), buckets_(num_buckets + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = static_cast<std::size_t>(v / width_);
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+        sum_ += v;
+        ++count_;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /** @return sample count in bucket i (last bucket = overflow). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketWidth() const { return width_; }
+
+    /**
+     * @return value below which the given fraction of samples fall
+     * (resolved to bucket upper edges); 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        sum_ = 0;
+        count_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A registry of named statistics owned by one component, supporting
+ * text dumps and bulk reset. Components embed a Group and register
+ * their stats in their constructor; registration stores pointers, so
+ * a Group must not outlive its members (embed them side by side).
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string &stat_name, Counter *c);
+    void add(const std::string &stat_name, Average *a);
+    void add(const std::string &stat_name, Histogram *h);
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    /** Write "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter *> counters_;
+    std::map<std::string, Average *> averages_;
+    std::map<std::string, Histogram *> histograms_;
+};
+
+} // namespace stats
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_STATS_HH

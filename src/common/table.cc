@@ -1,0 +1,89 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CONSIM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    CONSIM_ASSERT(cells.size() == headers_.size(),
+                  "row has ", cells.size(), " cells, expected ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back(); // empty row encodes a separator
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_sep = [&] {
+        os << "+";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            os << " " << s << std::string(widths[c] - s.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+
+    print_sep();
+    print_cells(headers_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_sep();
+        else
+            print_cells(row);
+    }
+    print_sep();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+} // namespace consim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness. Every
+ * table/figure bench prints its rows through TextTable so the output
+ * format (aligned columns, optional normalization) is uniform and easy
+ * to diff against EXPERIMENTS.md.
+ */
+
+#ifndef CONSIM_COMMON_TABLE_HH
+#define CONSIM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace consim
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** @param headers column titles, defining the column count. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with column alignment to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a percentage (0.153 -> "15.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row = separator
+};
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_TABLE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental scalar types and chip-wide constants for the consim
+ * server-consolidation CMP simulator.
+ *
+ * The machine modelled throughout the library follows Table III of
+ * Enright Jerger et al., "An Evaluation of Server Consolidation
+ * Workloads for Multi-Core Designs" (IISWC 2007): a 16-core CMP on a
+ * 4x4 mesh with private L0/L1 caches and a 16 MB aggregate L2 whose
+ * sharing degree is configurable.
+ */
+
+#ifndef CONSIM_COMMON_TYPES_HH
+#define CONSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace consim
+{
+
+/** Simulated clock cycle. Monotonically increasing from 0. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Cache-block-granular address (byte address >> blockBits). */
+using BlockAddr = std::uint64_t;
+
+/** Index of a physical core / tile on the chip (0..numCores-1). */
+using CoreId = std::int32_t;
+
+/** Index of an L2 sharing group ("partition"), 0..numGroups-1. */
+using GroupId = std::int32_t;
+
+/** Index of a virtual machine (consolidated workload instance). */
+using VmId = std::int32_t;
+
+/** Sentinel for "no core" / "no owner". */
+constexpr CoreId invalidCore = -1;
+
+/** Sentinel for "no group". */
+constexpr GroupId invalidGroup = -1;
+
+/** Sentinel for "no VM" (e.g. an idle core). */
+constexpr VmId invalidVm = -1;
+
+/** Sentinel cycle value meaning "never" / "unscheduled". */
+constexpr Cycle cycleNever = std::numeric_limits<Cycle>::max();
+
+/** Cache block size in bytes (64 B lines, as in the paper). */
+constexpr int blockBytes = 64;
+
+/** log2(blockBytes). */
+constexpr int blockBits = 6;
+
+/** Convert a byte address to a block address. */
+constexpr BlockAddr
+blockOf(Addr a)
+{
+    return a >> blockBits;
+}
+
+/** Convert a block address back to the base byte address. */
+constexpr Addr
+addrOf(BlockAddr b)
+{
+    return b << blockBits;
+}
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_TYPES_HH

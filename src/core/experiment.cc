@@ -1,0 +1,234 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+namespace
+{
+
+Cycle
+envCycles(const char *name, Cycle fallback)
+{
+    if (const char *v = std::getenv(name)) {
+        const auto parsed = std::strtoull(v, nullptr, 10);
+        if (parsed > 0)
+            return parsed;
+    }
+    return fallback;
+}
+
+} // namespace
+
+Cycle
+defaultWarmupCycles()
+{
+    return envCycles("CONSIM_WARMUP", 4'000'000);
+}
+
+Cycle
+defaultMeasureCycles()
+{
+    return envCycles("CONSIM_MEASURE", 3'000'000);
+}
+
+double
+RunResult::meanCyclesPerTxn(WorkloadKind kind) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &v : vms) {
+        if (v.kind == kind) {
+            sum += v.cyclesPerTransaction;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+RunResult::meanMissRate(WorkloadKind kind) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &v : vms) {
+        if (v.kind == kind) {
+            sum += v.missRate;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+RunResult::meanMissLatency(WorkloadKind kind) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &v : vms) {
+        if (v.kind == kind) {
+            sum += v.avgMissLatency;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+RunResult
+runExperiment(const RunConfig &cfg)
+{
+    const Cycle warmup =
+        cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
+    const Cycle measure =
+        cfg.measureCycles ? cfg.measureCycles : defaultMeasureCycles();
+
+    // Build the VMs.
+    std::vector<std::unique_ptr<VirtualMachine>> vm_storage;
+    std::vector<VirtualMachine *> vms;
+    std::vector<int> threads_per_vm;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        vm_storage.push_back(std::make_unique<VirtualMachine>(
+            prof, static_cast<VmId>(i),
+            cfg.seed * 1000003ull + i * 7919ull));
+        vms.push_back(vm_storage.back().get());
+        threads_per_vm.push_back(prof.numThreads);
+    }
+
+    const auto placements = scheduleThreads(cfg.machine, threads_per_vm,
+                                            cfg.policy, cfg.seed);
+
+    System sys(cfg.machine, vms, placements);
+    if (cfg.migrationIntervalCycles == 0) {
+        sys.run(warmup);
+        sys.resetStats();
+        sys.run(measure);
+    } else {
+        // Dynamic scheduling: periodically migrate threads, as a
+        // hypervisor under reassignment pressure would.
+        Rng mig_rng(cfg.seed ^ 0xd15ea5e);
+        auto run_with_migrations = [&](Cycle total) {
+            Cycle done = 0;
+            while (done < total) {
+                const Cycle chunk = std::min(
+                    cfg.migrationIntervalCycles, total - done);
+                sys.run(chunk);
+                done += chunk;
+                if (done < total)
+                    sys.swapRandomThreads(mig_rng);
+            }
+        };
+        run_with_migrations(warmup);
+        sys.resetStats();
+        run_with_migrations(measure);
+    }
+
+    RunResult out;
+    out.measuredCycles = measure;
+    for (auto *vm : vms) {
+        const VmStats &s = vm->vmStats();
+        VmResult r;
+        r.kind = vm->profile().kind;
+        r.transactions = s.transactions.value();
+        r.instructions = s.instructions.value();
+        r.l1Misses = s.l1Misses.value();
+        r.l2Accesses = s.l2Accesses.value();
+        r.l2Misses = s.l2Misses.value();
+        r.c2cClean = s.c2cClean.value();
+        r.c2cDirty = s.c2cDirty.value();
+        r.distinctBlocks = vm->distinctBlocks();
+        r.cyclesPerTransaction =
+            r.transactions
+                ? static_cast<double>(measure) /
+                      static_cast<double>(r.transactions)
+                : static_cast<double>(measure);
+        r.missRate = s.missRate();
+        r.avgMissLatency = s.missLatency.mean();
+        r.c2cFraction = s.c2cFraction();
+        r.c2cDirtyShare = s.c2cDirtyShare();
+        out.vms.push_back(r);
+    }
+    const auto &net = sys.network().netStats();
+    out.netAvgLatency = net.latency.mean();
+    out.netPackets = net.packetsEjected.value();
+    out.replication = sys.replicationSnapshot();
+    out.occupancy = sys.occupancySnapshot();
+    return out;
+}
+
+RunResult
+runAveraged(RunConfig cfg, const std::vector<std::uint64_t> &seeds)
+{
+    CONSIM_ASSERT(!seeds.empty(), "need at least one seed");
+    RunResult acc;
+    bool first = true;
+    for (const auto seed : seeds) {
+        cfg.seed = seed;
+        RunResult r = runExperiment(cfg);
+        if (first) {
+            acc = std::move(r);
+            first = false;
+            continue;
+        }
+        CONSIM_ASSERT(r.vms.size() == acc.vms.size(),
+                      "seed runs disagree on VM count");
+        for (std::size_t i = 0; i < r.vms.size(); ++i) {
+            auto &a = acc.vms[i];
+            const auto &b = r.vms[i];
+            a.transactions += b.transactions;
+            a.instructions += b.instructions;
+            a.l1Misses += b.l1Misses;
+            a.l2Accesses += b.l2Accesses;
+            a.l2Misses += b.l2Misses;
+            a.c2cClean += b.c2cClean;
+            a.c2cDirty += b.c2cDirty;
+            a.cyclesPerTransaction += b.cyclesPerTransaction;
+            a.missRate += b.missRate;
+            a.avgMissLatency += b.avgMissLatency;
+            a.c2cFraction += b.c2cFraction;
+            a.c2cDirtyShare += b.c2cDirtyShare;
+        }
+        acc.netAvgLatency += r.netAvgLatency;
+        acc.netPackets += r.netPackets;
+    }
+    const double n = static_cast<double>(seeds.size());
+    for (auto &v : acc.vms) {
+        v.cyclesPerTransaction /= n;
+        v.missRate /= n;
+        v.avgMissLatency /= n;
+        v.c2cFraction /= n;
+        v.c2cDirtyShare /= n;
+    }
+    acc.netAvgLatency /= n;
+    return acc;
+}
+
+RunConfig
+isolationConfig(WorkloadKind kind, SchedPolicy policy,
+                SharingDegree sharing)
+{
+    RunConfig cfg;
+    cfg.machine.sharing = sharing;
+    cfg.workloads = {kind};
+    cfg.policy = policy;
+    return cfg;
+}
+
+RunConfig
+mixConfig(const Mix &mix, SchedPolicy policy, SharingDegree sharing)
+{
+    RunConfig cfg;
+    cfg.machine.sharing = sharing;
+    cfg.workloads = mix.vms;
+    cfg.policy = policy;
+    return cfg;
+}
+
+} // namespace consim

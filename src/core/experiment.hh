@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment driver: builds a System for a workload mix + schedule +
+ * cache configuration, runs warmup and a measurement window, and
+ * extracts the paper's metrics. Multi-seed averaging implements the
+ * statistical-simulation discipline of Alameldeen & Wood that the
+ * paper follows (§V).
+ */
+
+#ifndef CONSIM_CORE_EXPERIMENT_HH
+#define CONSIM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/mix.hh"
+#include "core/system.hh"
+#include "workload/profile.hh"
+
+namespace consim
+{
+
+/** Everything that defines one simulation point. */
+struct RunConfig
+{
+    MachineConfig machine;
+    std::vector<WorkloadKind> workloads; ///< one entry per VM
+    SchedPolicy policy = SchedPolicy::Affinity;
+    std::uint64_t seed = 1;
+    Cycle warmupCycles = 0;  ///< 0 = library default
+    Cycle measureCycles = 0; ///< 0 = library default
+    /** Dynamic-scheduling extension (paper SSVII): swap the threads
+     *  of two random cores every this many cycles (0 = static
+     *  binding, the paper's methodology). */
+    Cycle migrationIntervalCycles = 0;
+};
+
+/** Default warmup window (overridable via env CONSIM_WARMUP). */
+Cycle defaultWarmupCycles();
+
+/** Default measurement window (overridable via env CONSIM_MEASURE). */
+Cycle defaultMeasureCycles();
+
+/** Metrics for one VM instance in one run. */
+struct VmResult
+{
+    WorkloadKind kind = WorkloadKind::TpcW;
+    std::uint64_t transactions = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t c2cClean = 0;
+    std::uint64_t c2cDirty = 0;
+    std::uint64_t distinctBlocks = 0;
+
+    double cyclesPerTransaction = 0.0;
+    double missRate = 0.0;       ///< VM-level LLC miss rate
+    double avgMissLatency = 0.0; ///< L1-miss latency (cycles)
+    double c2cFraction = 0.0;    ///< of LLC misses
+    double c2cDirtyShare = 0.0;  ///< of c2c transfers
+};
+
+/** Metrics for one full run. */
+struct RunResult
+{
+    std::vector<VmResult> vms;
+    Cycle measuredCycles = 0;
+    double netAvgLatency = 0.0;
+    std::uint64_t netPackets = 0;
+    ReplicationSnapshot replication;
+    OccupancySnapshot occupancy;
+
+    /** Mean metric over all instances of @p kind in this run. */
+    double meanCyclesPerTxn(WorkloadKind kind) const;
+    double meanMissRate(WorkloadKind kind) const;
+    double meanMissLatency(WorkloadKind kind) const;
+};
+
+/** Run one simulation point. */
+RunResult runExperiment(const RunConfig &cfg);
+
+/**
+ * Run one point under several seeds and average every numeric field
+ * (snapshots come from the first seed).
+ */
+RunResult runAveraged(RunConfig cfg,
+                      const std::vector<std::uint64_t> &seeds);
+
+/**
+ * Paper baseline: one workload in isolation on the 16-core chip with
+ * the full 16 MB fully-shared LLC (its four threads spread per the
+ * default placement).
+ */
+RunConfig isolationConfig(WorkloadKind kind,
+                          SchedPolicy policy = SchedPolicy::Affinity,
+                          SharingDegree sharing = SharingDegree::Shared16);
+
+/** A consolidated mix on the standard machine. */
+RunConfig mixConfig(const Mix &mix, SchedPolicy policy,
+                    SharingDegree sharing = SharingDegree::Shared4);
+
+} // namespace consim
+
+#endif // CONSIM_CORE_EXPERIMENT_HH

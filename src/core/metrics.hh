@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-VM metrics, matching §V of the paper: single-workload
+ * performance (cycles per transaction), VM-level last-level-cache
+ * miss rate, and miss latency at the last private level, plus the
+ * cache-to-cache transfer breakdown used for Table II.
+ */
+
+#ifndef CONSIM_CORE_METRICS_HH
+#define CONSIM_CORE_METRICS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Statistics attributed to one virtual machine. */
+struct VmStats
+{
+    stats::Counter instructions;
+    stats::Counter transactions;
+    stats::Counter l1Misses;    ///< misses to the last private level
+    stats::Counter l2Accesses;  ///< requests reaching the VM's LLC
+    stats::Counter l2Misses;    ///< LLC misses seen by the VM
+    stats::Counter c2cClean;    ///< misses served by a clean transfer
+    stats::Counter c2cDirty;    ///< misses served by a dirty transfer
+    stats::Average missLatency; ///< L1-miss latency (cycles)
+
+    /** VM-level LLC miss rate (misses per LLC access). */
+    double
+    missRate() const
+    {
+        const auto acc = l2Accesses.value();
+        return acc ? static_cast<double>(l2Misses.value()) /
+                         static_cast<double>(acc)
+                   : 0.0;
+    }
+
+    /** Fraction of LLC misses served by any c2c transfer. */
+    double
+    c2cFraction() const
+    {
+        const auto m = l2Misses.value();
+        return m ? static_cast<double>(c2cClean.value() +
+                                       c2cDirty.value()) /
+                       static_cast<double>(m)
+                 : 0.0;
+    }
+
+    /** Of the c2c transfers, the fraction that carried dirty data. */
+    double
+    c2cDirtyShare() const
+    {
+        const auto t = c2cClean.value() + c2cDirty.value();
+        return t ? static_cast<double>(c2cDirty.value()) /
+                       static_cast<double>(t)
+                 : 0.0;
+    }
+
+    void
+    reset()
+    {
+        instructions.reset();
+        transactions.reset();
+        l1Misses.reset();
+        l2Accesses.reset();
+        l2Misses.reset();
+        c2cClean.reset();
+        c2cDirty.reset();
+        missLatency.reset();
+    }
+};
+
+} // namespace consim
+
+#endif // CONSIM_CORE_METRICS_HH

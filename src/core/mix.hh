@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Workload mixes from Table IV of the paper: nine heterogeneous
+ * two-workload mixes and four homogeneous mixes, each consolidating
+ * four 4-thread workload instances onto the 16-core chip at exactly
+ * full capacity (never over-committed).
+ */
+
+#ifndef CONSIM_CORE_MIX_HH
+#define CONSIM_CORE_MIX_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace consim
+{
+
+/** A named consolidation mix: one WorkloadKind per VM instance. */
+struct Mix
+{
+    std::string name;
+    std::vector<WorkloadKind> vms;
+
+    /** @return instance count of a workload in this mix. */
+    int count(WorkloadKind k) const;
+
+    /** @return Mixes 1-9 (heterogeneous, Table IV). */
+    static const std::vector<Mix> &heterogeneous();
+
+    /** @return Mixes A-D (homogeneous, Table IV). */
+    static const std::vector<Mix> &homogeneous();
+
+    /** @return a mix by its Table IV name ("Mix 3", "Mix C"). */
+    static const Mix &byName(const std::string &name);
+};
+
+} // namespace consim
+
+#endif // CONSIM_CORE_MIX_HH

@@ -1,0 +1,65 @@
+#include "core/report.hh"
+
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+namespace consim
+{
+
+const std::vector<std::uint64_t> &
+benchSeeds()
+{
+    static const std::vector<std::uint64_t> seeds = [] {
+        // One seed by default; set CONSIM_SEEDS=N for the multi-seed
+        // averaging of Alameldeen & Wood that the paper follows.
+        int n = 1;
+        if (const char *v = std::getenv("CONSIM_SEEDS")) {
+            const int parsed = std::atoi(v);
+            if (parsed > 0 && parsed <= 16)
+                n = parsed;
+        }
+        std::vector<std::uint64_t> s;
+        for (int i = 0; i < n; ++i)
+            s.push_back(1 + i);
+        return s;
+    }();
+    return seeds;
+}
+
+const Baseline &
+isolationBaseline(WorkloadKind kind, SchedPolicy policy,
+                  SharingDegree sharing,
+                  const std::vector<std::uint64_t> &seeds)
+{
+    using Key = std::tuple<int, int, int, std::size_t>;
+    static std::map<Key, Baseline> cache;
+    const Key key{static_cast<int>(kind), static_cast<int>(policy),
+                  static_cast<int>(sharing), seeds.size()};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const RunConfig cfg = isolationConfig(kind, policy, sharing);
+    const RunResult r = runAveraged(cfg, seeds);
+    Baseline b;
+    b.cyclesPerTxn = r.meanCyclesPerTxn(kind);
+    b.missRate = r.meanMissRate(kind);
+    b.missLatency = r.meanMissLatency(kind);
+    return cache.emplace(key, b).first->second;
+}
+
+void
+printHeader(std::ostream &os, const std::string &title,
+            const std::string &paper_ref,
+            const std::string &expectation)
+{
+    os << "\n=== " << title << " ===\n";
+    if (!paper_ref.empty())
+        os << "reproduces: " << paper_ref << "\n";
+    if (!expectation.empty())
+        os << "paper shape: " << expectation << "\n";
+    os << "\n";
+}
+
+} // namespace consim

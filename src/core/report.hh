@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reporting helpers for the benchmark harness: cached isolation
+ * baselines (every figure normalizes to a workload's isolated run)
+ * and uniform normalized-table printing.
+ */
+
+#ifndef CONSIM_CORE_REPORT_HH
+#define CONSIM_CORE_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace consim
+{
+
+/** Isolation reference numbers for one workload/policy/sharing. */
+struct Baseline
+{
+    double cyclesPerTxn = 0.0;
+    double missRate = 0.0;
+    double missLatency = 0.0;
+};
+
+/**
+ * Compute (and memoize per process) a workload's isolation baseline
+ * under a given policy and sharing degree, averaged over @p seeds.
+ */
+const Baseline &isolationBaseline(
+    WorkloadKind kind, SchedPolicy policy, SharingDegree sharing,
+    const std::vector<std::uint64_t> &seeds);
+
+/** @return the standard seed set used by the bench harness. */
+const std::vector<std::uint64_t> &benchSeeds();
+
+/** Print a titled section header for bench output. */
+void printHeader(std::ostream &os, const std::string &title,
+                 const std::string &paper_ref,
+                 const std::string &expectation);
+
+} // namespace consim
+
+#endif // CONSIM_CORE_REPORT_HH

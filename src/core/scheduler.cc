@@ -1,0 +1,205 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace consim
+{
+
+namespace
+{
+
+/** Free-core bookkeeping per group. */
+struct GroupSlots
+{
+    std::vector<std::vector<CoreId>> freeCores; // per group, ascending
+
+    explicit GroupSlots(const MachineConfig &cfg)
+        : freeCores(cfg.numGroups())
+    {
+        for (GroupId g = 0; g < cfg.numGroups(); ++g)
+            freeCores[g] = cfg.coresOfGroup(g);
+    }
+
+    /** Claim a core in @p g; invalidCore when the group is full. */
+    CoreId
+    claim(GroupId g)
+    {
+        auto &v = freeCores[g];
+        if (v.empty())
+            return invalidCore;
+        const CoreId c = v.front();
+        v.erase(v.begin());
+        return c;
+    }
+
+    int free(GroupId g) const
+    {
+        return static_cast<int>(freeCores[g].size());
+    }
+};
+
+std::vector<ThreadPlacement>
+scheduleRoundRobin(const MachineConfig &cfg,
+                   const std::vector<int> &threads_per_vm)
+{
+    GroupSlots slots(cfg);
+    const int num_groups = cfg.numGroups();
+    std::vector<ThreadPlacement> out;
+    // Each VM starts again at group 0, so every partition receives
+    // one thread from each workload (Fig. 1, round robin).
+    for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
+         ++vm) {
+        int g = 0;
+        for (int t = 0; t < threads_per_vm[vm]; ++t) {
+            CoreId core = invalidCore;
+            for (int probe = 0; probe < num_groups; ++probe) {
+                const GroupId cand = (g + probe) % num_groups;
+                core = slots.claim(cand);
+                if (core != invalidCore) {
+                    g = (cand + 1) % num_groups;
+                    break;
+                }
+            }
+            CONSIM_ASSERT(core != invalidCore, "machine over-committed");
+            out.push_back({vm, t, core});
+        }
+    }
+    return out;
+}
+
+std::vector<ThreadPlacement>
+scheduleAffinity(const MachineConfig &cfg,
+                 const std::vector<int> &threads_per_vm)
+{
+    GroupSlots slots(cfg);
+    const int num_groups = cfg.numGroups();
+    std::vector<ThreadPlacement> out;
+    GroupId g = 0;
+    // Pack each VM's threads into as few partitions as possible,
+    // filling a partition completely before moving on.
+    for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
+         ++vm) {
+        for (int t = 0; t < threads_per_vm[vm]; ++t) {
+            CoreId core = invalidCore;
+            for (int probe = 0; probe < num_groups; ++probe) {
+                const GroupId cand = (g + probe) % num_groups;
+                core = slots.claim(cand);
+                if (core != invalidCore) {
+                    g = cand; // stay in this group until it fills
+                    break;
+                }
+            }
+            CONSIM_ASSERT(core != invalidCore, "machine over-committed");
+            out.push_back({vm, t, core});
+        }
+    }
+    return out;
+}
+
+std::vector<ThreadPlacement>
+scheduleAffinityRr(const MachineConfig &cfg,
+                   const std::vector<int> &threads_per_vm)
+{
+    GroupSlots slots(cfg);
+    const int num_groups = cfg.numGroups();
+    const int pair = std::min(2, coresPerGroup(cfg.sharing));
+    std::vector<ThreadPlacement> out;
+    GroupId g = 0;
+    // Round robin over partitions in units of thread pairs, so at
+    // least two threads of a workload co-reside (paper hybrid). With
+    // private caches this degenerates to plain round robin.
+    for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
+         ++vm) {
+        int placed_in_group = 0;
+        for (int t = 0; t < threads_per_vm[vm]; ++t) {
+            if (placed_in_group == pair) {
+                g = (g + 1) % num_groups;
+                placed_in_group = 0;
+            }
+            CoreId core = invalidCore;
+            for (int probe = 0; probe < num_groups; ++probe) {
+                const GroupId cand = (g + probe) % num_groups;
+                core = slots.claim(cand);
+                if (core != invalidCore) {
+                    if (cand != g) {
+                        g = cand;
+                        placed_in_group = 0;
+                    }
+                    break;
+                }
+            }
+            CONSIM_ASSERT(core != invalidCore, "machine over-committed");
+            ++placed_in_group;
+            out.push_back({vm, t, core});
+        }
+        g = (g + 1) % num_groups;
+        placed_in_group = 0;
+    }
+    return out;
+}
+
+std::vector<ThreadPlacement>
+scheduleRandom(const MachineConfig &cfg,
+               const std::vector<int> &threads_per_vm,
+               std::uint64_t seed)
+{
+    std::vector<CoreId> cores(cfg.numCores());
+    std::iota(cores.begin(), cores.end(), 0);
+    Rng rng(seed ^ 0xc0ffee);
+    rng.shuffle(cores);
+
+    std::vector<ThreadPlacement> out;
+    std::size_t next = 0;
+    for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
+         ++vm) {
+        for (int t = 0; t < threads_per_vm[vm]; ++t) {
+            CONSIM_ASSERT(next < cores.size(), "machine over-committed");
+            out.push_back({vm, t, cores[next++]});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<ThreadPlacement>
+scheduleThreads(const MachineConfig &cfg,
+                const std::vector<int> &threads_per_vm,
+                SchedPolicy policy, std::uint64_t seed)
+{
+    const int total =
+        std::accumulate(threads_per_vm.begin(), threads_per_vm.end(), 0);
+    if (total > cfg.numCores())
+        CONSIM_FATAL("cannot place ", total, " threads on ",
+                     cfg.numCores(), " cores");
+
+    std::vector<ThreadPlacement> out;
+    switch (policy) {
+      case SchedPolicy::RoundRobin:
+        out = scheduleRoundRobin(cfg, threads_per_vm);
+        break;
+      case SchedPolicy::Affinity:
+        out = scheduleAffinity(cfg, threads_per_vm);
+        break;
+      case SchedPolicy::AffinityRR:
+        out = scheduleAffinityRr(cfg, threads_per_vm);
+        break;
+      case SchedPolicy::Random:
+        out = scheduleRandom(cfg, threads_per_vm, seed);
+        break;
+    }
+
+    // Sanity: no core claimed twice.
+    std::vector<bool> used(cfg.numCores(), false);
+    for (const auto &p : out) {
+        CONSIM_ASSERT(!used[p.core], "core ", p.core, " double-booked");
+        used[p.core] = true;
+    }
+    return out;
+}
+
+} // namespace consim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hypervisor scheduling policies (paper §III-D): static assignment of
+ * workload threads to physical cores, which — because cores share
+ * L2 partitions — also assigns threads to shared-N-way caches.
+ *
+ *  - round-robin: each workload's threads spread across partitions
+ *    (load balancing, maximum aggregate capacity, most replication);
+ *  - affinity: each workload's threads packed into as few partitions
+ *    as possible (maximum sharing, minimum replication);
+ *  - aff-rr: round robin of thread *pairs*, so at least two threads
+ *    of a workload share each partition;
+ *  - random: seeded random placement, modelling the steady state of
+ *    an over-committed virtual machine system.
+ */
+
+#ifndef CONSIM_CORE_SCHEDULER_HH
+#define CONSIM_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** One thread-to-core binding. */
+struct ThreadPlacement
+{
+    VmId vm = invalidVm;
+    int thread = 0;
+    CoreId core = invalidCore;
+};
+
+/**
+ * Compute static thread placements for a set of VMs.
+ *
+ * @param cfg             machine (defines groups via sharing degree)
+ * @param threads_per_vm  thread count of each VM, by VmId order
+ * @param policy          scheduling policy
+ * @param seed            used by SchedPolicy::Random only
+ * @return one placement per thread; never over-commits a core.
+ */
+std::vector<ThreadPlacement>
+scheduleThreads(const MachineConfig &cfg,
+                const std::vector<int> &threads_per_vm,
+                SchedPolicy policy, std::uint64_t seed);
+
+} // namespace consim
+
+#endif // CONSIM_CORE_SCHEDULER_HH

@@ -1,0 +1,541 @@
+#include "core/system.hh"
+
+#include <unordered_map>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "noc/mesh.hh"
+
+namespace consim
+{
+
+System::System(const MachineConfig &cfg,
+               std::vector<VirtualMachine *> vms,
+               const std::vector<ThreadPlacement> &placements)
+    : cfg_(cfg), vms_(std::move(vms))
+{
+    cfg_.validate();
+    const int n = cfg_.numCores();
+
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+        CONSIM_ASSERT(vms_[i] != nullptr &&
+                          vms_[i]->id() == static_cast<VmId>(i),
+                      "VM ids must be dense and ordered");
+        dirStorage_.registerVm(vms_[i]->id(),
+                               vms_[i]->profile().totalBlocks());
+    }
+
+    groupOf_.resize(n);
+    for (CoreId t = 0; t < n; ++t)
+        groupOf_[t] = cfg_.groupOfCore(t);
+    membersOf_.resize(cfg_.numGroups());
+    for (GroupId g = 0; g < cfg_.numGroups(); ++g)
+        membersOf_[g] = cfg_.coresOfGroup(g);
+
+    // Memory controllers at the mesh corners (then wrap for more).
+    const std::vector<CoreId> corner_order = {
+        0, n - 1, cfg_.meshX - 1, n - cfg_.meshX};
+    mcIndexOfTile_.assign(n, -1);
+    for (int i = 0; i < cfg_.numMemCtrls; ++i) {
+        const CoreId tile =
+            corner_order[i % corner_order.size()] ;
+        CONSIM_ASSERT(mcIndexOfTile_[tile] < 0,
+                      "two memory controllers on tile ", tile);
+        mcTiles_.push_back(tile);
+        mcIndexOfTile_[tile] = i;
+    }
+
+    if (cfg_.idealNoc)
+        net_ = std::make_unique<IdealNetwork>(cfg_.idealNocLatency);
+    else
+        net_ = std::make_unique<Mesh>(cfg_);
+    net_->setDeliver([this](const Msg &m) { deliver(m); });
+
+    for (CoreId t = 0; t < n; ++t) {
+        l1s_.push_back(std::make_unique<L1Controller>(*this, t));
+        cores_.push_back(std::make_unique<Core>(*this, t, *l1s_[t]));
+        banks_.push_back(std::make_unique<L2Bank>(*this, t));
+        dirs_.push_back(
+            std::make_unique<DirectorySlice>(*this, t, dirStorage_));
+    }
+    for (int i = 0; i < cfg_.numMemCtrls; ++i)
+        mcs_.push_back(
+            std::make_unique<MemoryController>(*this, mcTiles_[i]));
+
+    for (const auto &p : placements) {
+        CONSIM_ASSERT(p.vm >= 0 &&
+                          p.vm < static_cast<VmId>(vms_.size()),
+                      "placement for unknown VM ", p.vm);
+        VirtualMachine &vm = *vms_[p.vm];
+        cores_.at(p.core)->bindThread(&vm.instance().thread(p.thread),
+                                      p.vm);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------
+
+void
+System::send(Msg m)
+{
+    m.injectCycle = now_;
+    if (m.srcTile == m.dstTile) {
+        // Local hop: fixed one-cycle on-tile transfer.
+        schedule(1, [this, m] { deliver(m); });
+        return;
+    }
+    if (cfg_.flatIntraGroup && isIntraGroup(m.type)) {
+        // On-partition path: the paper models a constant L2 access
+        // latency regardless of sharing degree, so traffic between a
+        // core and its partition's banks bypasses the mesh.
+        schedule(cfg_.intraGroupLatency, [this, m] { deliver(m); });
+        return;
+    }
+    net_->inject(std::move(m));
+}
+
+void
+System::schedule(Cycle delay, std::function<void()> fn)
+{
+    CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
+    events_.push(Event{now_ + delay, eventSeq_++, std::move(fn)});
+}
+
+CoreId
+System::bankTileFor(GroupId g, BlockAddr block) const
+{
+    const auto &members = membersOf_[g];
+    return members[block % members.size()];
+}
+
+CoreId
+System::homeTileFor(BlockAddr block) const
+{
+    return static_cast<CoreId>(mixBits(block) %
+                               static_cast<std::uint64_t>(
+                                   cfg_.numCores()));
+}
+
+CoreId
+System::memTileFor(BlockAddr block) const
+{
+    const auto h = mixBits(block * 0x9e3779b97f4a7c15ull + 1);
+    return mcTiles_[h % mcTiles_.size()];
+}
+
+void
+System::recordL2Access(VmId vm)
+{
+    if (vm >= 0)
+        ++vms_[vm]->vmStats().l2Accesses;
+}
+
+void
+System::recordL2Miss(VmId vm, bool c2c, bool c2c_dirty)
+{
+    if (vm < 0)
+        return;
+    auto &s = vms_[vm]->vmStats();
+    ++s.l2Misses;
+    if (c2c) {
+        if (c2c_dirty)
+            ++s.c2cDirty;
+        else
+            ++s.c2cClean;
+    }
+}
+
+void
+System::recordL1Miss(VmId vm, Cycle latency)
+{
+    if (vm < 0)
+        return;
+    auto &s = vms_[vm]->vmStats();
+    ++s.l1Misses;
+    s.missLatency.sample(static_cast<double>(latency));
+}
+
+void
+System::recordTransaction(VmId vm)
+{
+    if (vm >= 0)
+        ++vms_[vm]->vmStats().transactions;
+}
+
+void
+System::recordInstructions(VmId vm, std::uint64_t n)
+{
+    if (vm >= 0)
+        vms_[vm]->vmStats().instructions += n;
+}
+
+// ---------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------
+
+void
+System::deliver(const Msg &m)
+{
+    switch (m.dstUnit) {
+      case Unit::L1:
+        l1s_.at(m.dstTile)->handle(m);
+        break;
+      case Unit::L2Bank:
+        banks_.at(m.dstTile)->handle(m);
+        break;
+      case Unit::Dir:
+        dirs_.at(m.dstTile)->handle(m);
+        break;
+      case Unit::Mem: {
+        const int idx = mcIndexOfTile_.at(m.dstTile);
+        CONSIM_ASSERT(idx >= 0, "no memory controller at tile ",
+                      m.dstTile);
+        mcs_.at(idx)->handle(m);
+        break;
+      }
+    }
+}
+
+void
+System::tick()
+{
+    while (!events_.empty() && events_.top().when <= now_) {
+        CONSIM_ASSERT(events_.top().when == now_,
+                      "event missed its cycle");
+        auto fn = std::move(const_cast<Event &>(events_.top()).fn);
+        events_.pop();
+        fn();
+    }
+    for (auto &c : cores_)
+        c->tick();
+    net_->tick(now_);
+    ++now_;
+}
+
+void
+System::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    while (now_ < end)
+        tick();
+}
+
+bool
+System::runUntilQuiescent(Cycle max_cycles)
+{
+    const Cycle end = now_ + max_cycles;
+    while (now_ < end) {
+        tick();
+        if (quiesced())
+            return true;
+    }
+    return quiesced();
+}
+
+bool
+System::quiesced() const
+{
+    if (!events_.empty() || !net_->idle())
+        return false;
+    for (const auto &l1 : l1s_) {
+        if (!l1->idle())
+            return false;
+    }
+    for (const auto &b : banks_) {
+        if (!b->idle())
+            return false;
+    }
+    for (const auto &d : dirs_) {
+        if (!d->idle())
+            return false;
+    }
+    for (const auto &mc : mcs_) {
+        if (!mc->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+System::resetStats()
+{
+    for (auto *vm : vms_)
+        vm->vmStats().reset();
+    net_->netStats().reset();
+    for (auto &l1 : l1s_)
+        l1->l1Stats() = L1Stats{};
+    for (auto &b : banks_)
+        b->bankStats() = L2BankStats{};
+    for (auto &d : dirs_)
+        d->sliceStats() = DirSliceStats{};
+    for (auto &mc : mcs_) {
+        mc->reads.reset();
+        mc->writes.reset();
+        mc->queueDelay.reset();
+    }
+    for (auto &c : cores_)
+        c->coreStats() = CoreStats{};
+}
+
+bool
+System::swapRandomThreads(Rng &rng)
+{
+    const int n = cfg_.numCores();
+    for (int attempt = 0; attempt < 32; ++attempt) {
+        const auto a = static_cast<CoreId>(rng.below(n));
+        const auto b = static_cast<CoreId>(rng.below(n));
+        if (a == b)
+            continue;
+        Core &ca = *cores_[a];
+        Core &cb = *cores_[b];
+        if (ca.blocked() || cb.blocked())
+            continue;
+        if (ca.idle() && cb.idle())
+            continue;
+        InstrStream *sa = ca.stream();
+        const VmId va = ca.vm();
+        InstrStream *sb = cb.stream();
+        const VmId vb = cb.vm();
+        ca.bindThread(sb, vb);
+        cb.bindThread(sa, va);
+        return true;
+    }
+    return false;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
+        const auto &cs = cores_[t]->coreStats();
+        const std::string c = "core" + std::to_string(t);
+        os << c << ".instructions " << cs.instructions.value() << "\n";
+        os << c << ".mem_refs " << cs.memRefs.value() << "\n";
+        os << c << ".stall_cycles " << cs.stallCycles.value() << "\n";
+
+        const auto &l1 = l1s_[t]->l1Stats();
+        const std::string l = "l1_" + std::to_string(t);
+        os << l << ".l0_hits " << l1.l0Hits.value() << "\n";
+        os << l << ".l1_hits " << l1.l1Hits.value() << "\n";
+        os << l << ".misses " << l1.misses.value() << "\n";
+        os << l << ".writebacks " << l1.writebacks.value() << "\n";
+
+        const auto &b = banks_[t]->bankStats();
+        const std::string bk = "l2bank" + std::to_string(t);
+        os << bk << ".hits " << b.hits.value() << "\n";
+        os << bk << ".misses " << b.misses.value() << "\n";
+        os << bk << ".upgrades " << b.upgrades.value() << "\n";
+        os << bk << ".evict_dirty " << b.evictDirty.value() << "\n";
+        os << bk << ".evict_clean " << b.evictClean.value() << "\n";
+        os << bk << ".fwds_served " << b.fwdsServed.value() << "\n";
+
+        const auto &d = dirs_[t]->sliceStats();
+        const std::string dr = "dir" + std::to_string(t);
+        os << dr << ".requests " << d.requests.value() << "\n";
+        os << dr << ".forwards " << d.forwards.value() << "\n";
+        os << dr << ".invalidations " << d.invalidations.value()
+           << "\n";
+        os << dr << ".mem_reads " << d.memReads.value() << "\n";
+        os << dr << ".dir_cache_hits " << d.dirCacheHits.value()
+           << "\n";
+        os << dr << ".dir_cache_misses " << d.dirCacheMisses.value()
+           << "\n";
+    }
+    for (std::size_t i = 0; i < mcs_.size(); ++i) {
+        const std::string m = "mc" + std::to_string(i);
+        os << m << ".reads " << mcs_[i]->reads.value() << "\n";
+        os << m << ".writes " << mcs_[i]->writes.value() << "\n";
+        os << m << ".queue_delay " << mcs_[i]->queueDelay.mean()
+           << "\n";
+    }
+    const auto &ns = net_->netStats();
+    os << "net.packets " << ns.packetsEjected.value() << "\n";
+    os << "net.flit_hops " << ns.flitHops.value() << "\n";
+    os << "net.latency " << ns.latency.mean() << "\n";
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+        const auto &s = vms_[v]->vmStats();
+        const std::string vm = "vm" + std::to_string(v);
+        os << vm << ".instructions " << s.instructions.value() << "\n";
+        os << vm << ".transactions " << s.transactions.value() << "\n";
+        os << vm << ".l1_misses " << s.l1Misses.value() << "\n";
+        os << vm << ".l2_accesses " << s.l2Accesses.value() << "\n";
+        os << vm << ".l2_misses " << s.l2Misses.value() << "\n";
+        os << vm << ".c2c_clean " << s.c2cClean.value() << "\n";
+        os << vm << ".c2c_dirty " << s.c2cDirty.value() << "\n";
+        os << vm << ".miss_latency " << s.missLatency.mean() << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots & invariants
+// ---------------------------------------------------------------------
+
+ReplicationSnapshot
+System::replicationSnapshot() const
+{
+    ReplicationSnapshot snap;
+    snap.validPerVm.assign(vms_.size(), 0);
+    snap.replicatedPerVm.assign(vms_.size(), 0);
+
+    // Count partition-level copies per block. Each group's partition
+    // holds at most one copy of a block, so counting valid lines per
+    // block across banks counts partitions.
+    std::unordered_map<BlockAddr, std::uint32_t> copies;
+    for (const auto &b : banks_) {
+        b->forEachLine([&](BlockAddr block, const L2CacheLine &line) {
+            if (!line.valid)
+                return;
+            ++copies[block];
+        });
+    }
+    snap.distinctBlocks = copies.size();
+    for (const auto &b : banks_) {
+        b->forEachLine([&](BlockAddr block, const L2CacheLine &line) {
+            if (!line.valid)
+                return;
+            ++snap.validLines;
+            const VmId vm = vmOfBlock(block);
+            if (vm >= 0 && vm < static_cast<VmId>(vms_.size()))
+                ++snap.validPerVm[vm];
+            if (copies[block] > 1) {
+                ++snap.replicatedLines;
+                if (vm >= 0 && vm < static_cast<VmId>(vms_.size()))
+                    ++snap.replicatedPerVm[vm];
+            }
+        });
+    }
+    return snap;
+}
+
+OccupancySnapshot
+System::occupancySnapshot() const
+{
+    OccupancySnapshot snap;
+    const int num_groups = cfg_.numGroups();
+    snap.lines.assign(num_groups,
+                      std::vector<std::uint64_t>(vms_.size(), 0));
+    snap.capacity.assign(num_groups, 0);
+
+    const std::uint64_t lines_per_bank =
+        cfg_.l2TotalBytes /
+        static_cast<std::uint64_t>(cfg_.numCores()) / blockBytes;
+    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
+        const GroupId g = groupOf_[t];
+        snap.capacity[g] += lines_per_bank;
+        banks_[t]->forEachLine(
+            [&](BlockAddr block, const L2CacheLine &line) {
+                if (!line.valid)
+                    return;
+                const VmId vm = vmOfBlock(block);
+                if (vm >= 0 && vm < static_cast<VmId>(vms_.size()))
+                    ++snap.lines[g][vm];
+            });
+    }
+    return snap;
+}
+
+void
+System::checkInvariants() const
+{
+    for (const auto &l1 : l1s_)
+        l1->checkInvariants();
+    for (const auto &b : banks_)
+        b->checkInvariants();
+}
+
+void
+System::checkGlobalCoherence() const
+{
+    CONSIM_ASSERT(quiesced(),
+                  "global coherence check on a non-quiesced machine");
+
+    // Gather the ground truth: which partitions hold which blocks,
+    // and in what state.
+    struct Copy
+    {
+        std::uint16_t groups = 0;    // partitions with a valid line
+        std::uint16_t dirtyish = 0;  // partitions with E/M or dirty
+    };
+    std::unordered_map<BlockAddr, Copy> copies;
+    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
+        const GroupId g = groupOf_[t];
+        banks_[t]->forEachLine(
+            [&](BlockAddr block, const L2CacheLine &line) {
+                if (!line.valid)
+                    return;
+                auto &c = copies[block];
+                CONSIM_ASSERT(!(c.groups & (1u << g)),
+                              "two copies of block in one partition");
+                c.groups |= static_cast<std::uint16_t>(1u << g);
+                if (line.state == L2State::Exclusive ||
+                    line.state == L2State::Modified || line.dirty) {
+                    c.dirtyish |=
+                        static_cast<std::uint16_t>(1u << g);
+                }
+            });
+    }
+
+    // Directory agreement in both directions.
+    dirStorage_.forEach([&](BlockAddr block, const DirEntry &e) {
+        auto it = copies.find(block);
+        const std::uint16_t held =
+            it == copies.end() ? 0 : it->second.groups;
+        switch (e.state) {
+          case L2State::Invalid:
+            CONSIM_ASSERT(held == 0,
+                          "cached block directory thinks invalid: 0x",
+                          std::hex, block);
+            break;
+          case L2State::Shared:
+            CONSIM_ASSERT(e.sharers != 0, "S entry with no sharers");
+            CONSIM_ASSERT(held == e.sharers,
+                          "sharer mismatch for block 0x", std::hex,
+                          block, " dir=", e.sharers, " held=", held);
+            break;
+          case L2State::Exclusive:
+          case L2State::Modified:
+            CONSIM_ASSERT(e.owner >= 0, "owned entry without owner");
+            CONSIM_ASSERT(held ==
+                              static_cast<std::uint16_t>(1u << e.owner),
+                          "owner mismatch for block 0x", std::hex,
+                          block);
+            break;
+        }
+        // Only owned lines may be dirty or exclusive in a cache.
+        if (it != copies.end() && e.state == L2State::Shared) {
+            CONSIM_ASSERT(it->second.dirtyish == 0,
+                          "dirty/exclusive cache line under a Shared "
+                          "directory entry, block 0x",
+                          std::hex, block);
+        }
+    });
+
+    // L1 inclusion: every valid L1 line is covered by its group's
+    // partition line and presence bits.
+    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
+        const GroupId g = groupOf_[t];
+        l1s_[t]->forEachL1Line([&](BlockAddr block, L1State state) {
+            const CoreId bank_tile = bankTileFor(g, block);
+            bool covered = false;
+            banks_[bank_tile]->forEachLine(
+                [&](BlockAddr b, const L2CacheLine &line) {
+                    if (!line.valid || b != block)
+                        return;
+                    covered = true;
+                    if (state == L1State::Modified) {
+                        CONSIM_ASSERT(
+                            line.ownerCore >= 0,
+                            "L1 owner unknown to its bank, block 0x",
+                            std::hex, block);
+                    }
+                });
+            CONSIM_ASSERT(covered,
+                          "L1 line not backed by its partition "
+                          "(inclusion violated), block 0x",
+                          std::hex, block, std::dec, " core ", t);
+        });
+    }
+}
+
+} // namespace consim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * System: the whole 16-core CMP. Owns the cores, private caches, L2
+ * banks, directory slices, memory controllers, and the interconnect;
+ * implements the Fabric interface the components talk through; binds
+ * VM threads to cores per a schedule; and drives the global clock.
+ */
+
+#ifndef CONSIM_CORE_SYSTEM_HH
+#define CONSIM_CORE_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+
+#include "coherence/directory.hh"
+#include "coherence/fabric.hh"
+#include "coherence/l1_controller.hh"
+#include "coherence/l2_bank.hh"
+#include "coherence/memory_controller.hh"
+#include "core/scheduler.hh"
+#include "core/vm.hh"
+#include "cpu/core.hh"
+#include "noc/network.hh"
+
+namespace consim
+{
+
+/** Chip-wide replication snapshot (paper Fig. 12). */
+struct ReplicationSnapshot
+{
+    std::uint64_t validLines = 0;      ///< valid L2 lines chip-wide
+    std::uint64_t replicatedLines = 0; ///< lines whose block has >1 copy
+    std::uint64_t distinctBlocks = 0;
+    /** per-VM valid/replicated line counts. */
+    std::vector<std::uint64_t> validPerVm;
+    std::vector<std::uint64_t> replicatedPerVm;
+
+    double
+    replicatedFraction() const
+    {
+        return validLines ? static_cast<double>(replicatedLines) /
+                                static_cast<double>(validLines)
+                          : 0.0;
+    }
+
+    double
+    replicatedFractionVm(VmId vm) const
+    {
+        const auto v = validPerVm.at(vm);
+        return v ? static_cast<double>(replicatedPerVm.at(vm)) /
+                       static_cast<double>(v)
+                 : 0.0;
+    }
+};
+
+/** Per-partition occupancy snapshot (paper Fig. 13). */
+struct OccupancySnapshot
+{
+    /** lines[group][vm] = valid lines of that VM in that partition. */
+    std::vector<std::vector<std::uint64_t>> lines;
+    std::vector<std::uint64_t> capacity; ///< total lines per partition
+
+    /** Fraction of partition @p g's valid+free capacity held by vm. */
+    double share(GroupId g, VmId vm) const
+    {
+        return capacity.at(g)
+                   ? static_cast<double>(lines.at(g).at(vm)) /
+                         static_cast<double>(capacity.at(g))
+                   : 0.0;
+    }
+};
+
+/** The simulated chip. */
+class System : public Fabric
+{
+  public:
+    /**
+     * @param cfg        machine configuration (validated here)
+     * @param vms        consolidated workload instances (not owned);
+     *                   vms[i]->id() must equal i
+     * @param placements static thread-to-core bindings
+     */
+    System(const MachineConfig &cfg,
+           std::vector<VirtualMachine *> vms,
+           const std::vector<ThreadPlacement> &placements);
+
+    // --- Fabric interface ---
+    Cycle now() const override { return now_; }
+    void send(Msg m) override;
+    void schedule(Cycle delay, std::function<void()> fn) override;
+    const MachineConfig &config() const override { return cfg_; }
+    GroupId groupOfTile(CoreId tile) const override
+    {
+        return groupOf_[tile];
+    }
+    CoreId bankTileFor(GroupId g, BlockAddr block) const override;
+    CoreId homeTileFor(BlockAddr block) const override;
+    CoreId memTileFor(BlockAddr block) const override;
+    VmId vmOfBlock(BlockAddr block) const override
+    {
+        return static_cast<VmId>(block >> vmSpanBits);
+    }
+    void recordL2Access(VmId vm) override;
+    void recordL2Miss(VmId vm, bool c2c, bool c2c_dirty) override;
+    void recordL1Miss(VmId vm, Cycle latency) override;
+    void recordTransaction(VmId vm) override;
+    void recordInstructions(VmId vm, std::uint64_t n) override;
+
+    // --- simulation control ---
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run for @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Tests: run until every queue drains or @p max_cycles elapse.
+     * @return true when the machine quiesced.
+     */
+    bool runUntilQuiescent(Cycle max_cycles);
+
+    /** Reset all measurement state (end of warmup). */
+    void resetStats();
+
+    /**
+     * Dynamic-scheduling extension (paper SSVII): migrate by swapping
+     * the threads of two random cores (one may be idle). Mimics a
+     * hypervisor reassigning virtual CPUs over time; the migrated
+     * threads restart cold in their new L1s and pull their working
+     * sets across partitions. Cores blocked on a miss are skipped.
+     * @return true when a swap happened.
+     */
+    bool swapRandomThreads(Rng &rng);
+
+    /** Dump every component's statistics as "name.stat value". */
+    void dumpStats(std::ostream &os) const;
+
+    // --- component access (tests, benches, snapshots) ---
+    Core &core(CoreId t) { return *cores_.at(t); }
+    L1Controller &l1(CoreId t) { return *l1s_.at(t); }
+    L2Bank &bank(CoreId t) { return *banks_.at(t); }
+    DirectorySlice &dir(CoreId t) { return *dirs_.at(t); }
+    Network &network() { return *net_; }
+    DirectoryStorage &directoryStorage() { return dirStorage_; }
+    int numVms() const { return static_cast<int>(vms_.size()); }
+    VirtualMachine &vm(VmId v) { return *vms_.at(v); }
+
+    /** Walk every L2 line on chip (snapshot building). */
+    ReplicationSnapshot replicationSnapshot() const;
+    OccupancySnapshot occupancySnapshot() const;
+
+    /** Run protocol invariant checks over all components. */
+    void checkInvariants() const;
+
+    /**
+     * Strong cross-check, valid only when quiesced: the full-map
+     * directory must agree exactly with the partition caches (every
+     * recorded sharer/owner holds the line, no cache holds a line
+     * the directory does not know about), and every valid L1 line
+     * must be covered by its partition's presence tracking
+     * (inclusion). Panics on violation.
+     */
+    void checkGlobalCoherence() const;
+
+    /** @return true when nothing is in flight anywhere. */
+    bool quiesced() const;
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void deliver(const Msg &m);
+
+    MachineConfig cfg_;
+    std::vector<VirtualMachine *> vms_;
+
+    std::vector<GroupId> groupOf_;                 ///< per tile
+    std::vector<std::vector<CoreId>> membersOf_;   ///< per group
+    std::vector<CoreId> mcTiles_;
+
+    DirectoryStorage dirStorage_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<L1Controller>> l1s_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<L2Bank>> banks_;
+    std::vector<std::unique_ptr<DirectorySlice>> dirs_;
+    std::vector<std::unique_ptr<MemoryController>> mcs_; ///< by index
+    std::vector<int> mcIndexOfTile_; ///< tile -> mc index or -1
+
+    Cycle now_ = 0;
+    std::uint64_t eventSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CORE_SYSTEM_HH

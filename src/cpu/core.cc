@@ -1,0 +1,79 @@
+#include "cpu/core.hh"
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+Core::Core(Fabric &fabric, CoreId tile, L1Controller &l1)
+    : fab_(fabric), tile_(tile), l1_(l1)
+{
+    l1_.setMissCallback([this] { missComplete(); });
+}
+
+void
+Core::bindThread(InstrStream *stream, VmId vm)
+{
+    CONSIM_ASSERT(!blocked_, "rebinding a blocked core");
+    stream_ = stream;
+    vm_ = stream ? vm : invalidVm;
+    haveSlice_ = false;
+    busyUntil_ = 0;
+}
+
+void
+Core::tick()
+{
+    if (stream_ == nullptr || blocked_)
+        return;
+    const Cycle now = fab_.now();
+    if (now < busyUntil_)
+        return;
+
+    if (!haveSlice_) {
+        slice_ = stream_->next();
+        haveSlice_ = true;
+        stats_.instructions += slice_.computeCycles + 1;
+        fab_.recordInstructions(vm_, slice_.computeCycles + 1);
+        if (slice_.computeCycles > 0) {
+            busyUntil_ = now + slice_.computeCycles;
+            return;
+        }
+    }
+
+    if (slice_.noMemRef) {
+        haveSlice_ = false;
+        return;
+    }
+
+    // Compute burst done: issue the memory reference.
+    ++stats_.memRefs;
+    const AccessResult res = l1_.access(slice_.block, slice_.isWrite);
+    if (res.hit) {
+        busyUntil_ = now + res.latency;
+        if (slice_.endsTransaction) {
+            ++stats_.transactions;
+            fab_.recordTransaction(vm_);
+        }
+        haveSlice_ = false;
+    } else {
+        blocked_ = true;
+        blockStart_ = now;
+    }
+}
+
+void
+Core::missComplete()
+{
+    CONSIM_ASSERT(blocked_, "fill callback while not blocked");
+    blocked_ = false;
+    stats_.stallCycles += fab_.now() - blockStart_;
+    busyUntil_ = fab_.now() + 1;
+    if (slice_.endsTransaction) {
+        ++stats_.transactions;
+        fab_.recordTransaction(vm_);
+    }
+    haveSlice_ = false;
+}
+
+} // namespace consim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-order, blocking, single-issue core model (paper Table III: 16
+ * in-order cores mimicking Niagara). Non-memory instructions retire
+ * at 1 IPC; memory references access the private hierarchy through
+ * the L1 controller and stall the core until the fill returns.
+ */
+
+#ifndef CONSIM_CPU_CORE_HH
+#define CONSIM_CPU_CORE_HH
+
+#include "coherence/fabric.hh"
+#include "coherence/l1_controller.hh"
+#include "common/stats.hh"
+#include "cpu/instr_stream.hh"
+
+namespace consim
+{
+
+/** Per-core statistic counters. */
+struct CoreStats
+{
+    stats::Counter instructions;
+    stats::Counter memRefs;
+    stats::Counter transactions;
+    stats::Counter stallCycles; ///< cycles blocked on a miss
+};
+
+/** One hardware context. Idle when no stream is bound. */
+class Core
+{
+  public:
+    Core(Fabric &fabric, CoreId tile, L1Controller &l1);
+
+    /**
+     * Bind a thread to this core (static binding, as in the paper).
+     * @param stream endless instruction supply; nullptr unbinds.
+     * @param vm     the VM the thread belongs to.
+     */
+    void bindThread(InstrStream *stream, VmId vm);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** @return true when no thread is bound. */
+    bool idle() const { return stream_ == nullptr; }
+
+    /** @return true while a miss is outstanding. */
+    bool blocked() const { return blocked_; }
+
+    VmId vm() const { return vm_; }
+    CoreId tile() const { return tile_; }
+    InstrStream *stream() const { return stream_; }
+
+    CoreStats &coreStats() { return stats_; }
+    const CoreStats &coreStats() const { return stats_; }
+
+  private:
+    void missComplete();
+
+    Fabric &fab_;
+    CoreId tile_;
+    L1Controller &l1_;
+    InstrStream *stream_ = nullptr;
+    VmId vm_ = invalidVm;
+
+    bool blocked_ = false;
+    bool haveSlice_ = false;
+    WorkSlice slice_;
+    Cycle busyUntil_ = 0;
+    Cycle blockStart_ = 0;
+    CoreStats stats_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CPU_CORE_HH

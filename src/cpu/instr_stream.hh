@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The instruction-stream interface between workloads and cores. A
+ * stream produces WorkSlices: a burst of non-memory instructions
+ * followed by one memory reference. This granularity is exactly what
+ * an in-order, blocking, 1-IPC core (the paper's Niagara-like cores)
+ * needs for timing, while keeping generation fast.
+ */
+
+#ifndef CONSIM_CPU_INSTR_STREAM_HH
+#define CONSIM_CPU_INSTR_STREAM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** A run of compute instructions ending in one memory reference. */
+struct WorkSlice
+{
+    std::uint32_t computeCycles = 0; ///< non-memory instructions
+    BlockAddr block = 0;             ///< block touched by the ref
+    bool isWrite = false;
+    bool endsTransaction = false;    ///< last ref of a transaction
+    bool noMemRef = false;           ///< pure compute (idle filler)
+};
+
+/** Endless supplier of work for one hardware thread. */
+class InstrStream
+{
+  public:
+    virtual ~InstrStream() = default;
+
+    /** @return the next slice; streams never terminate. */
+    virtual WorkSlice next() = 0;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CPU_INSTR_STREAM_HH

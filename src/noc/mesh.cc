@@ -1,0 +1,99 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+Mesh::Mesh(const MachineConfig &cfg)
+{
+    params_.meshX = cfg.meshX;
+    params_.meshY = cfg.meshY;
+    params_.numVnets = cfg.numVnets;
+    params_.vcsPerVnet = cfg.vcsPerVnet;
+    // One header flit plus the 64B block payload.
+    params_.dataFlits =
+        (blockBytes + cfg.flitBytes - 1) / cfg.flitBytes + 1;
+    params_.ctrlFlits = 1;
+    params_.vcBufferFlits =
+        std::max(cfg.vcBufferFlits, params_.dataFlits);
+    params_.pipelineDelay = 2; // 3-stage pipe: RC, VA/SA, ST
+
+    const int n = cfg.numCores();
+    routers_.reserve(n);
+    nis_.reserve(n);
+    for (CoreId t = 0; t < n; ++t)
+        routers_.push_back(std::make_unique<Router>(t, params_,
+                                                    &stats_));
+    for (CoreId t = 0; t < n; ++t) {
+        const int x = t % cfg.meshX, y = t / cfg.meshX;
+        Router &r = *routers_[t];
+        if (y > 0)
+            r.setNeighbor(PortNorth, routers_[t - cfg.meshX].get());
+        if (y < cfg.meshY - 1)
+            r.setNeighbor(PortSouth, routers_[t + cfg.meshX].get());
+        if (x < cfg.meshX - 1)
+            r.setNeighbor(PortEast, routers_[t + 1].get());
+        if (x > 0)
+            r.setNeighbor(PortWest, routers_[t - 1].get());
+        r.setEjector([this](const Msg &m, int len) {
+            recordEject(m, lastTick_, len);
+            deliver_(m);
+        });
+        nis_.push_back(
+            std::make_unique<NetworkInterface>(t, params_, &r));
+    }
+}
+
+void
+Mesh::inject(Msg m)
+{
+    CONSIM_ASSERT(m.srcTile != m.dstTile,
+                  "mesh injection for a same-tile message");
+    ++stats_.packetsInjected;
+    nis_.at(m.srcTile)->enqueue(std::move(m));
+}
+
+void
+Mesh::tick(Cycle now)
+{
+    lastTick_ = now;
+    // Phase 1: finish transmissions (arrivals land, ejections fire).
+    for (auto &r : routers_)
+        r->tickOutputs(now);
+    // Phase 2: sources inject into local input VCs.
+    for (auto &ni : nis_)
+        ni->tick(now);
+    // Phase 3: switch allocation everywhere.
+    for (auto &r : routers_)
+        r->tickAllocate(now);
+}
+
+bool
+Mesh::idle() const
+{
+    for (const auto &r : routers_) {
+        if (!r->idle())
+            return false;
+    }
+    for (const auto &ni : nis_) {
+        if (!ni->idle())
+            return false;
+    }
+    return true;
+}
+
+int
+Mesh::inFlight() const
+{
+    int n = 0;
+    for (const auto &r : routers_)
+        n += r->bufferedPackets();
+    for (const auto &ni : nis_)
+        n += ni->queued();
+    return n;
+}
+
+} // namespace consim

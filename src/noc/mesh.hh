@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The 2-D packet-switched mesh: a grid of Routers plus per-tile
+ * NetworkInterfaces, implementing the Network interface used by the
+ * System. Geometry and VC parameters come from MachineConfig.
+ */
+
+#ifndef CONSIM_NOC_MESH_HH
+#define CONSIM_NOC_MESH_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "noc/network.hh"
+#include "noc/network_interface.hh"
+#include "noc/router.hh"
+
+namespace consim
+{
+
+/** Flit-level 2-D mesh interconnect. */
+class Mesh : public Network
+{
+  public:
+    explicit Mesh(const MachineConfig &cfg);
+
+    void inject(Msg m) override;
+    void tick(Cycle now) override;
+    bool idle() const override;
+
+    /** @return router at a tile (tests/diagnostics). */
+    Router &router(CoreId tile) { return *routers_.at(tile); }
+
+    /** @return the derived NoC parameters. */
+    const NocParams &params() const { return params_; }
+
+    /** @return total packets buffered in-network (diagnostics). */
+    int inFlight() const;
+
+  private:
+    NocParams params_;
+    Cycle lastTick_ = 0;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_NOC_MESH_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Abstract interconnect interface plus an idealized fixed-latency
+ * implementation used as an ablation baseline. The real interconnect
+ * is the flit-level Mesh (mesh.hh).
+ */
+
+#ifndef CONSIM_NOC_NETWORK_HH
+#define CONSIM_NOC_NETWORK_HH
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "coherence/protocol.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Aggregate interconnect statistics. */
+struct NetworkStats
+{
+    stats::Counter packetsInjected;
+    stats::Counter packetsEjected;
+    stats::Counter flitHops;        ///< flits x links traversed
+    stats::Counter linkBusyCycles;  ///< cycles any link transmitted
+    stats::Average latency;         ///< inject -> eject, all packets
+    stats::Average latencyData;     ///< data packets only
+    stats::Average latencyCtrl;     ///< control packets only
+
+    void
+    reset()
+    {
+        packetsInjected.reset();
+        packetsEjected.reset();
+        flitHops.reset();
+        linkBusyCycles.reset();
+        latency.reset();
+        latencyData.reset();
+        latencyCtrl.reset();
+    }
+};
+
+/** Interconnect interface: inject messages, tick, deliver callback. */
+class Network
+{
+  public:
+    using DeliverFn = std::function<void(const Msg &)>;
+
+    virtual ~Network() = default;
+
+    /** Register the delivery callback (owned by System). */
+    void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /** Inject a cross-tile message at its source tile. */
+    virtual void inject(Msg m) = 0;
+
+    /** Advance one cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** @return true when no packets are in flight (quiesced). */
+    virtual bool idle() const = 0;
+
+    NetworkStats &netStats() { return stats_; }
+    const NetworkStats &netStats() const { return stats_; }
+
+  protected:
+    void
+    recordEject(const Msg &m, Cycle now, int len_flits)
+    {
+        ++stats_.packetsEjected;
+        const double lat = static_cast<double>(now - m.injectCycle);
+        stats_.latency.sample(lat);
+        if (len_flits > 1)
+            stats_.latencyData.sample(lat);
+        else
+            stats_.latencyCtrl.sample(lat);
+    }
+
+    DeliverFn deliver_;
+    NetworkStats stats_;
+};
+
+/**
+ * Ablation network: every message is delivered after a fixed latency,
+ * with unlimited bandwidth. Comparing against the Mesh isolates the
+ * congestion component of the scheduling-policy results.
+ */
+class IdealNetwork : public Network
+{
+  public:
+    explicit IdealNetwork(int latency) : latency_(latency) {}
+
+    void
+    inject(Msg m) override
+    {
+        ++stats_.packetsInjected;
+        inflight_.push_back({m.injectCycle + latency_, std::move(m)});
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        while (!inflight_.empty() && inflight_.front().first <= now) {
+            Msg m = std::move(inflight_.front().second);
+            inflight_.pop_front();
+            recordEject(m, now, carriesData(m.type) ? 5 : 1);
+            deliver_(m);
+        }
+    }
+
+    bool idle() const override { return inflight_.empty(); }
+
+  private:
+    int latency_;
+    // FIFO works because latency is constant.
+    std::deque<std::pair<Cycle, Msg>> inflight_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_NOC_NETWORK_HH

@@ -1,0 +1,62 @@
+#include "noc/network_interface.hh"
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+NetworkInterface::NetworkInterface(CoreId tile, const NocParams &params,
+                                   Router *router)
+    : tile_(tile), params_(params), router_(router),
+      queues_(params.numVnets)
+{
+    CONSIM_ASSERT(router_ != nullptr, "NI without router at ", tile_);
+}
+
+void
+NetworkInterface::enqueue(Msg m)
+{
+    const int vnet = vnetOf(m.type);
+    queues_[vnet].push_back(std::move(m));
+}
+
+void
+NetworkInterface::tick(Cycle now)
+{
+    for (int vnet = 0; vnet < params_.numVnets; ++vnet) {
+        auto &q = queues_[vnet];
+        if (q.empty())
+            continue;
+        const int len = params_.flitsOf(q.front().type);
+        int vc = 0;
+        if (!router_->canAccept(PortLocal, vnet, len, &vc))
+            continue;
+        router_->reserve(PortLocal, vc, len);
+        RouterPacket pkt;
+        pkt.msg = std::move(q.front());
+        q.pop_front();
+        pkt.lenFlits = len;
+        router_->arrive(PortLocal, vc, std::move(pkt), now);
+    }
+}
+
+bool
+NetworkInterface::idle() const
+{
+    for (const auto &q : queues_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+int
+NetworkInterface::queued() const
+{
+    int n = 0;
+    for (const auto &q : queues_)
+        n += static_cast<int>(q.size());
+    return n;
+}
+
+} // namespace consim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Network interface: per-tile injection point into the mesh. Holds
+ * per-vnet injection queues (so a congested request path never blocks
+ * responses at the source) and moves packets into the local router's
+ * input VCs as space permits.
+ */
+
+#ifndef CONSIM_NOC_NETWORK_INTERFACE_HH
+#define CONSIM_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <vector>
+
+#include "coherence/protocol.hh"
+#include "noc/router.hh"
+
+namespace consim
+{
+
+/** Injection-side NI; ejection is handled by the router's ejector. */
+class NetworkInterface
+{
+  public:
+    NetworkInterface(CoreId tile, const NocParams &params, Router *router);
+
+    /** Queue a message for injection (unbounded source queue). */
+    void enqueue(Msg m);
+
+    /** Try to inject up to one packet per vnet into the router. */
+    void tick(Cycle now);
+
+    /** @return true when no messages await injection. */
+    bool idle() const;
+
+    /** @return messages waiting across all vnets (diagnostics). */
+    int queued() const;
+
+  private:
+    CoreId tile_;
+    NocParams params_;
+    Router *router_;
+    std::vector<std::deque<Msg>> queues_; ///< one per vnet
+};
+
+} // namespace consim
+
+#endif // CONSIM_NOC_NETWORK_INTERFACE_HH

@@ -1,0 +1,152 @@
+#include "noc/router.hh"
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+Router::Router(CoreId tile, const NocParams &params, NetworkStats *stats)
+    : tile_(tile), params_(params), stats_(stats),
+      inputs_(NumPorts * params.totalVcs())
+{
+    CONSIM_ASSERT(params_.vcBufferFlits >= params_.dataFlits,
+                  "VC buffer must hold a full data packet");
+    for (auto &vc : inputs_)
+        vc.freeFlits = params_.vcBufferFlits;
+}
+
+void
+Router::setNeighbor(int port, Router *r)
+{
+    CONSIM_ASSERT(port > PortLocal && port < NumPorts, "bad port ", port);
+    neighbor_[port] = r;
+}
+
+bool
+Router::canAccept(int in_port, int vnet, int len, int *vc_out) const
+{
+    for (int i = 0; i < params_.vcsPerVnet; ++i) {
+        const int vc = vcIndex(vnet, i);
+        if (in(in_port, vc).freeFlits >= len) {
+            if (vc_out)
+                *vc_out = vc;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Router::reserve(int in_port, int vc, int len)
+{
+    auto &ivc = in(in_port, vc);
+    CONSIM_ASSERT(ivc.freeFlits >= len, "reserve without space");
+    ivc.freeFlits -= len;
+}
+
+void
+Router::arrive(int in_port, int vc, RouterPacket pkt, Cycle now)
+{
+    // RC stage: compute the output port once, on arrival.
+    pkt.outPort = xyRoute(tile_, pkt.msg.dstTile, params_.meshX);
+    pkt.readyCycle = now + params_.pipelineDelay;
+    in(in_port, vc).q.push_back(std::move(pkt));
+    ++buffered_;
+}
+
+void
+Router::tickOutputs(Cycle now)
+{
+    if (busyOutputs_ == 0)
+        return;
+    for (int port = 0; port < NumPorts; ++port) {
+        auto &out = outputs_[port];
+        if (!out.busy)
+            continue;
+        ++stats_->linkBusyCycles;
+        if (--out.remaining > 0)
+            continue;
+        out.busy = false;
+        --busyOutputs_;
+        if (port == PortLocal) {
+            CONSIM_ASSERT(eject_, "no ejector on router ", tile_);
+            eject_(out.pkt.msg, out.pkt.lenFlits);
+        } else {
+            Router *next = neighbor_[port];
+            CONSIM_ASSERT(next, "transmit into mesh edge at ", tile_);
+            next->arrive(oppositePort(port), out.dstVc,
+                         std::move(out.pkt), now);
+        }
+    }
+}
+
+void
+Router::tickAllocate(Cycle now)
+{
+    if (buffered_ == 0)
+        return;
+    const int total = NumPorts * params_.totalVcs();
+    bool inPortUsed[NumPorts] = {};
+    // Round-robin over input VCs for fairness; one grant per input
+    // port and one per output port per cycle.
+    for (int k = 0; k < total; ++k) {
+        const int idx = (rrInput_ + k) % total;
+        const int port = idx / params_.totalVcs();
+        const int vc = idx % params_.totalVcs();
+        auto &ivc = in(port, vc);
+        if (ivc.q.empty() || inPortUsed[port])
+            continue;
+        RouterPacket &pkt = ivc.q.front();
+        if (pkt.readyCycle > now)
+            continue;
+        auto &out = outputs_[pkt.outPort];
+        if (out.busy)
+            continue;
+
+        int downVc = 0;
+        if (pkt.outPort != PortLocal) {
+            Router *next = neighbor_[pkt.outPort];
+            CONSIM_ASSERT(next, "route into mesh edge at ", tile_,
+                          " port ", pkt.outPort, " dst ",
+                          pkt.msg.dstTile);
+            const int vnet = vnetOf(pkt.msg.type);
+            if (!next->canAccept(oppositePort(pkt.outPort), vnet,
+                                 pkt.lenFlits, &downVc)) {
+                continue; // back-pressure: retry next cycle
+            }
+            next->reserve(oppositePort(pkt.outPort), downVc,
+                          pkt.lenFlits);
+            stats_->flitHops += pkt.lenFlits;
+        }
+
+        // Grant: occupy the output for the packet's serialization
+        // latency, free this VC's buffer space, advance fairness.
+        out.busy = true;
+        ++busyOutputs_;
+        out.remaining = pkt.lenFlits;
+        out.dstVc = downVc;
+        out.pkt = std::move(pkt);
+        ivc.q.pop_front();
+        --buffered_;
+        ivc.freeFlits += out.pkt.lenFlits;
+        inPortUsed[port] = true;
+        rrInput_ = (idx + 1) % total;
+    }
+}
+
+bool
+Router::idle() const
+{
+    return buffered_ == 0 && busyOutputs_ == 0;
+}
+
+int
+Router::bufferedPackets() const
+{
+    int n = 0;
+    for (const auto &ivc : inputs_)
+        n += static_cast<int>(ivc.q.size());
+    return n;
+}
+
+} // namespace consim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A mesh router with virtual-channel flow control and a 3-stage
+ * pipeline, following the paper's Table III interconnect: 2-D
+ * packet-switched mesh, dimension-order routing, speculative VA/SA.
+ *
+ * Modelling notes:
+ *  - Packets move with virtual cut-through granularity: a packet is
+ *    fully buffered in an input VC, then competes for the switch.
+ *    Buffers are sized in flits; a VC is reserved for a whole packet.
+ *  - The 3-stage pipeline (RC, speculative VA+SA, ST) is modelled as
+ *    two cycles of pipeline delay after full arrival, then one cycle
+ *    per flit of switch/link transmission.
+ *  - Credits are modelled with direct visibility into the downstream
+ *    buffer (the simulator is single-threaded); credit turnaround is
+ *    folded into the pipeline delay.
+ *  - Virtual networks (request/forward/response) are sets of VCs; a
+ *    packet may only use VCs of its own vnet, which breaks protocol
+ *    deadlock cycles. XY routing keeps each vnet cycle-free.
+ */
+
+#ifndef CONSIM_NOC_ROUTER_HH
+#define CONSIM_NOC_ROUTER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "coherence/protocol.hh"
+#include "noc/network.hh"
+#include "noc/routing.hh"
+
+namespace consim
+{
+
+/** NoC structural parameters (derived from MachineConfig). */
+struct NocParams
+{
+    int meshX = 4;
+    int meshY = 4;
+    int numVnets = 3;
+    int vcsPerVnet = 2;
+    int vcBufferFlits = 8;   ///< must hold a full data packet
+    int pipelineDelay = 2;   ///< cycles from full arrival to SA
+    int dataFlits = 5;       ///< 64B block + header @ 16B flits
+    int ctrlFlits = 1;
+
+    int totalVcs() const { return numVnets * vcsPerVnet; }
+    int flitsOf(MsgType t) const
+    {
+        return carriesData(t) ? dataFlits : ctrlFlits;
+    }
+};
+
+/** A packet inside the router network. */
+struct RouterPacket
+{
+    Msg msg;
+    int lenFlits = 1;
+    Cycle readyCycle = 0; ///< eligible for switch allocation
+    int outPort = PortLocal;
+};
+
+/**
+ * One mesh router. The Mesh wires routers to their neighbors and
+ * registers an ejector for the local port.
+ */
+class Router
+{
+  public:
+    using EjectFn = std::function<void(const Msg &, int len_flits)>;
+
+    Router(CoreId tile, const NocParams &params, NetworkStats *stats);
+
+    /** Wire port @p port to neighbor @p r (nullptr at mesh edges). */
+    void setNeighbor(int port, Router *r);
+
+    /** Register the local-port delivery callback. */
+    void setEjector(EjectFn fn) { eject_ = std::move(fn); }
+
+    /**
+     * Ask whether input @p in_port can accept a packet of @p len
+     * flits on virtual network @p vnet.
+     * @param vc_out receives the chosen VC index on success.
+     * @return true when a VC with sufficient space exists.
+     */
+    bool canAccept(int in_port, int vnet, int len, int *vc_out) const;
+
+    /** Reserve @p len flits of space in the chosen VC. */
+    void reserve(int in_port, int vc, int len);
+
+    /**
+     * Deliver a packet into an input VC whose space was reserved.
+     * Computes the route (RC stage) and the SA-ready cycle.
+     */
+    void arrive(int in_port, int vc, RouterPacket pkt, Cycle now);
+
+    /** Phase 1: advance output transmissions; land arrivals. */
+    void tickOutputs(Cycle now);
+
+    /** Phase 2: switch allocation (speculative VA+SA). */
+    void tickAllocate(Cycle now);
+
+    /** @return true when no buffered packets or active transfers. */
+    bool idle() const;
+
+    CoreId tile() const { return tile_; }
+
+    /** @return buffered packets (diagnostics). */
+    int bufferedPackets() const;
+
+  private:
+    struct InputVc
+    {
+        std::deque<RouterPacket> q;
+        int freeFlits = 0;
+    };
+
+    struct OutPort
+    {
+        bool busy = false;
+        int remaining = 0;
+        int dstVc = 0;
+        RouterPacket pkt;
+    };
+
+    int vcIndex(int vnet, int vc_in_vnet) const
+    {
+        return vnet * params_.vcsPerVnet + vc_in_vnet;
+    }
+
+    InputVc &in(int port, int vc) { return inputs_[port * params_.totalVcs() + vc]; }
+    const InputVc &in(int port, int vc) const
+    {
+        return inputs_[port * params_.totalVcs() + vc];
+    }
+
+    CoreId tile_;
+    NocParams params_;
+    NetworkStats *stats_;
+    std::vector<InputVc> inputs_;       ///< [port][vc]
+    OutPort outputs_[NumPorts];
+    Router *neighbor_[NumPorts] = {};
+    EjectFn eject_;
+    int rrInput_ = 0;                   ///< SA fairness pointer
+    int buffered_ = 0;                  ///< packets across input VCs
+    int busyOutputs_ = 0;               ///< outputs mid-transmission
+};
+
+} // namespace consim
+
+#endif // CONSIM_NOC_ROUTER_HH

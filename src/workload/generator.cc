@@ -1,0 +1,137 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "coherence/directory.hh" // vmBaseBlock
+#include "common/logging.hh"
+
+namespace consim
+{
+
+SyntheticStream::SyntheticStream(const WorkloadProfile &profile,
+                                 VmId vm, int thread_idx,
+                                 std::uint64_t seed,
+                                 Footprint *footprint)
+    : prof_(profile), vm_(vm), threadIdx_(thread_idx),
+      rng_(seed ^ (0xa5a5u + static_cast<std::uint64_t>(thread_idx) *
+                                 0x9e3779b97f4a7c15ull)),
+      footprint_(footprint)
+{
+    CONSIM_ASSERT(prof_.totalBlocks() < (1ull << vmSpanBits),
+                  "profile footprint exceeds the VM address window");
+    sharedRoBase_ = 0;
+    migratoryBase_ = prof_.sharedRoBlocks;
+    privateBase_ = migratoryBase_ + prof_.migratoryBlocks +
+                   static_cast<std::uint64_t>(thread_idx) *
+                       prof_.privateBlocksPerThread;
+    // Threads of one VM share data, so they share window schedules.
+    hotSharedPos_ = 0;
+    hotPrivatePos_ = 0;
+    segShared_ = prof_.activeSharedSegment
+                     ? std::min(prof_.activeSharedSegment,
+                                prof_.sharedRoBlocks)
+                     : prof_.sharedRoBlocks;
+    segPrivate_ = prof_.activePrivateSegment
+                      ? std::min(prof_.activePrivateSegment,
+                                 prof_.privateBlocksPerThread)
+                      : prof_.privateBlocksPerThread;
+}
+
+BlockAddr
+SyntheticStream::pickSharedRo()
+{
+    std::uint64_t off;
+    if (prof_.hotSharedBlocks > 0 && rng_.chance(prof_.hotFraction)) {
+        // Hot: either the L1-resident head of the window, or a
+        // coverage access anywhere in the sliding window.
+        const std::uint64_t span =
+            rng_.chance(prof_.veryHotFraction)
+                ? std::min(prof_.veryHotBlocks, prof_.hotSharedBlocks)
+                : prof_.hotSharedBlocks;
+        off = (hotSharedPos_ + rng_.below(span)) % segShared_;
+    } else {
+        off = rng_.below(prof_.sharedRoBlocks); // cold tail
+    }
+    return sharedRoBase_ + off;
+}
+
+BlockAddr
+SyntheticStream::pickMigratory()
+{
+    // Migratory data is small and uniformly contended; the paper's
+    // join/merge activity bounces these blocks between caches.
+    return migratoryBase_ + rng_.below(prof_.migratoryBlocks);
+}
+
+BlockAddr
+SyntheticStream::pickPrivate()
+{
+    std::uint64_t off;
+    if (prof_.hotPrivateBlocks > 0 && rng_.chance(prof_.hotFraction)) {
+        const std::uint64_t span =
+            rng_.chance(prof_.veryHotFraction)
+                ? std::min(prof_.veryHotBlocks, prof_.hotPrivateBlocks)
+                : prof_.hotPrivateBlocks;
+        off = (hotPrivatePos_ + rng_.below(span)) % segPrivate_;
+    } else {
+        off = rng_.below(prof_.privateBlocksPerThread);
+    }
+    return privateBase_ + off;
+}
+
+WorkSlice
+SyntheticStream::next()
+{
+    WorkSlice s;
+    s.computeCycles =
+        static_cast<std::uint32_t>(rng_.range(prof_.computeMin,
+                                              prof_.computeMax));
+
+    std::uint64_t vm_offset;
+    const double r = rng_.uniform();
+    if (r < prof_.pSharedRo) {
+        vm_offset = pickSharedRo();
+        s.isWrite = false;
+    } else if (r < prof_.pSharedRo + prof_.pMigratory) {
+        vm_offset = pickMigratory();
+        s.isWrite = rng_.chance(prof_.migratoryWriteFraction);
+    } else {
+        vm_offset = pickPrivate();
+        s.isWrite = rng_.chance(prof_.privateWriteFraction);
+    }
+    s.block = vmBaseBlock(vm_) + vm_offset;
+
+    if (footprint_)
+        footprint_->touch(vm_offset);
+
+    ++refs_;
+    if (prof_.hotSlidePeriod && refs_ % prof_.hotSlidePeriod == 0) {
+        // Working-set turnover: the windows creep through the active
+        // segments, so steady state keeps producing fresh misses (the
+        // first toucher goes to memory, followers ride c2c transfers)
+        // and, one lap later, capacity-sensitive re-references.
+        hotSharedPos_ = (hotSharedPos_ + prof_.slideStepShared) %
+                        std::max<std::uint64_t>(segShared_, 1);
+        hotPrivatePos_ = (hotPrivatePos_ + prof_.slideStepPrivate) %
+                         std::max<std::uint64_t>(segPrivate_, 1);
+    }
+
+    if (++refsInTxn_ >= prof_.refsPerTransaction) {
+        refsInTxn_ = 0;
+        s.endsTransaction = true;
+    }
+    return s;
+}
+
+WorkloadInstance::WorkloadInstance(const WorkloadProfile &profile,
+                                   VmId vm, std::uint64_t seed)
+    : prof_(profile), vm_(vm), footprint_(profile.totalBlocks())
+{
+    streams_.reserve(prof_.numThreads);
+    for (int t = 0; t < prof_.numThreads; ++t) {
+        streams_.push_back(std::make_unique<SyntheticStream>(
+            prof_, vm_, t, seed, &footprint_));
+    }
+}
+
+} // namespace consim

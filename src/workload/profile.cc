@@ -1,0 +1,210 @@
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+std::string
+toString(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::TpcW:
+        return "TPC-W";
+      case WorkloadKind::TpcH:
+        return "TPC-H";
+      case WorkloadKind::SpecJbb:
+        return "SPECjbb";
+      case WorkloadKind::SpecWeb:
+        return "SPECweb";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * TPC-W: web commerce / online bookstore on DB2. Largest footprint
+ * of the four (1,125K blocks = ~72 MB), modest sharing: only 15% of
+ * private-level misses are c2c transfers, 84% of them clean. Its
+ * size makes it the cache bully of the consolidated mixes.
+ */
+WorkloadProfile
+makeTpcW()
+{
+    WorkloadProfile p;
+    p.computeMin = 1;
+    p.computeMax = 3;
+    p.kind = WorkloadKind::TpcW;
+    p.name = "TPC-W";
+    p.sharedRoBlocks = 250'000;
+    p.migratoryBlocks = 300;
+    p.privateBlocksPerThread = 218'500; // total ~1,125K blocks
+    p.pSharedRo = 0.38;
+    p.pMigratory = 0.010;
+    p.hotFraction = 0.935;
+    p.veryHotFraction = 0.55;
+    p.hotSharedBlocks = 600;
+    p.slideStepShared = 150;
+    p.hotPrivateBlocks = 630;
+    p.slideStepPrivate = 450;
+    p.hotSlidePeriod = 4'000;
+    p.activeSharedSegment = 6'000;
+    p.activePrivateSegment = 11'700;
+    p.privateWriteFraction = 0.30;
+    p.migratoryWriteFraction = 0.6;
+    p.refsPerTransaction = 600; // browsing-mix web transactions
+    p.paperC2cAll = 0.15;
+    p.paperC2cClean = 0.84;
+    p.paperC2cDirty = 0.16;
+    p.paperBlocks = 1'125'000;
+    return p;
+}
+
+/**
+ * TPC-H: decision support (query 12) on DB2. Smallest footprint
+ * (172K blocks = ~11 MB, fits on chip) but the most communication:
+ * 69% of misses are c2c and a majority (57%) dirty, reflecting the
+ * intra-query join/merge sharing the paper describes.
+ */
+WorkloadProfile
+makeTpcH()
+{
+    WorkloadProfile p;
+    p.computeMin = 1;
+    p.computeMax = 3;
+    p.kind = WorkloadKind::TpcH;
+    p.name = "TPC-H";
+    p.sharedRoBlocks = 100'000;
+    p.migratoryBlocks = 2'000;
+    p.privateBlocksPerThread = 17'500; // total 172K blocks
+    p.pSharedRo = 0.42;
+    p.pMigratory = 0.095;
+    p.hotFraction = 0.965;
+    p.veryHotFraction = 0.5;
+    p.hotSharedBlocks = 600;
+    p.slideStepShared = 330;
+    p.hotPrivateBlocks = 120;
+    p.slideStepPrivate = 30;
+    p.hotSlidePeriod = 4'000;
+    p.activeSharedSegment = 900;
+    p.activePrivateSegment = 120;
+    p.privateWriteFraction = 0.20;
+    p.migratoryWriteFraction = 0.35;
+    p.refsPerTransaction = 1'000; // long-running query pieces
+    p.paperC2cAll = 0.69;
+    p.paperC2cClean = 0.43;
+    p.paperC2cDirty = 0.57;
+    p.paperBlocks = 172'000;
+    return p;
+}
+
+/**
+ * SPECjbb: Java middleware order processing. Medium footprint (606K
+ * blocks = ~39 MB) with heavy read-mostly sharing in the Java heap:
+ * 52% of misses are c2c, 94% clean. Highly replication-sensitive.
+ */
+WorkloadProfile
+makeSpecJbb()
+{
+    WorkloadProfile p;
+    p.computeMin = 1;
+    p.computeMax = 3;
+    p.kind = WorkloadKind::SpecJbb;
+    p.name = "SPECjbb";
+    p.sharedRoBlocks = 350'000;
+    p.migratoryBlocks = 300;
+    p.privateBlocksPerThread = 64'000; // total ~606K blocks
+    p.pSharedRo = 0.50;
+    p.pMigratory = 0.008;
+    p.hotFraction = 0.9825;
+    p.veryHotFraction = 0.5;
+    p.hotSharedBlocks = 620;
+    p.slideStepShared = 430;
+    p.hotPrivateBlocks = 310;
+    p.slideStepPrivate = 150;
+    p.hotSlidePeriod = 4'000;
+    p.activeSharedSegment = 17'200;
+    p.activePrivateSegment = 5'550;
+    p.privateWriteFraction = 0.30;
+    p.migratoryWriteFraction = 0.6;
+    p.refsPerTransaction = 400; // warehouse order transactions
+    p.paperC2cAll = 0.52;
+    p.paperC2cClean = 0.94;
+    p.paperC2cDirty = 0.06;
+    p.paperBlocks = 606'000;
+    return p;
+}
+
+/**
+ * SPECweb: Zeus web serving. Large footprint (986K blocks = ~63 MB),
+ * read-mostly file/metadata sharing: 37% c2c, 93% clean.
+ */
+WorkloadProfile
+makeSpecWeb()
+{
+    WorkloadProfile p;
+    p.computeMin = 1;
+    p.computeMax = 3;
+    p.kind = WorkloadKind::SpecWeb;
+    p.name = "SPECweb";
+    p.sharedRoBlocks = 550'000;
+    p.migratoryBlocks = 300;
+    p.privateBlocksPerThread = 109'000; // total ~986K blocks
+    p.pSharedRo = 0.35;
+    p.pMigratory = 0.006;
+    p.hotFraction = 0.975;
+    p.veryHotFraction = 0.5;
+    p.hotSharedBlocks = 700;
+    p.slideStepShared = 240;
+    p.hotPrivateBlocks = 340;
+    p.slideStepPrivate = 200;
+    p.hotSlidePeriod = 4'000;
+    p.activeSharedSegment = 9'600;
+    p.activePrivateSegment = 7'000;
+    p.privateWriteFraction = 0.25;
+    p.migratoryWriteFraction = 0.6;
+    p.refsPerTransaction = 250; // HTTP requests
+    p.paperC2cAll = 0.37;
+    p.paperC2cClean = 0.93;
+    p.paperC2cDirty = 0.07;
+    p.paperBlocks = 986'000;
+    return p;
+}
+
+} // namespace
+
+const WorkloadProfile &
+WorkloadProfile::get(WorkloadKind k)
+{
+    static const WorkloadProfile tpcw = makeTpcW();
+    static const WorkloadProfile tpch = makeTpcH();
+    static const WorkloadProfile jbb = makeSpecJbb();
+    static const WorkloadProfile web = makeSpecWeb();
+    switch (k) {
+      case WorkloadKind::TpcW:
+        return tpcw;
+      case WorkloadKind::TpcH:
+        return tpch;
+      case WorkloadKind::SpecJbb:
+        return jbb;
+      case WorkloadKind::SpecWeb:
+        return web;
+    }
+    CONSIM_PANIC("bad workload kind");
+}
+
+const std::vector<WorkloadProfile> &
+WorkloadProfile::all()
+{
+    static const std::vector<WorkloadProfile> profiles = {
+        WorkloadProfile::get(WorkloadKind::TpcW),
+        WorkloadProfile::get(WorkloadKind::SpecJbb),
+        WorkloadProfile::get(WorkloadKind::TpcH),
+        WorkloadProfile::get(WorkloadKind::SpecWeb),
+    };
+    return profiles;
+}
+
+} // namespace consim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Workload profiles: parametric memory-behaviour models of the four
+ * commercial workloads the paper consolidates (TPC-W, TPC-H, SPECjbb,
+ * SPECweb).
+ *
+ * The real workloads (DB2 + AIX checkpoints, Zeus, Java middleware)
+ * are unobtainable, so each profile is a synthetic region model whose
+ * *emergent* statistics are calibrated against the paper's published
+ * per-workload characterization (Table II): fraction of last-private-
+ * level misses served by cache-to-cache transfer, the clean/dirty
+ * split of those transfers, and the working-set size in 64B blocks.
+ *
+ * The model: each VM's address window holds
+ *   - a read-only shared region (hot subset + cold tail), touched by
+ *     all threads: source of clean c2c transfers and replication;
+ *   - a migratory shared region, read/written by all threads: source
+ *     of dirty c2c transfers;
+ *   - per-thread private regions (hot subset + cold tail): source of
+ *     capacity pressure and footprint.
+ * Hot subsets slide slowly so that steady state keeps producing
+ * misses (working-set turnover), mimicking transaction phase churn.
+ */
+
+#ifndef CONSIM_WORKLOAD_PROFILE_HH
+#define CONSIM_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** The four consolidated workloads. */
+enum class WorkloadKind
+{
+    TpcW,
+    TpcH,
+    SpecJbb,
+    SpecWeb,
+};
+
+/** @return the paper's name for a workload. */
+std::string toString(WorkloadKind k);
+
+/** Parametric model of one workload's memory behaviour. */
+struct WorkloadProfile
+{
+    WorkloadKind kind = WorkloadKind::TpcW;
+    std::string name;
+    int numThreads = 4;
+
+    // --- region sizes (64B blocks) ---
+    std::uint64_t sharedRoBlocks = 0;
+    std::uint64_t migratoryBlocks = 0;
+    std::uint64_t privateBlocksPerThread = 0;
+
+    // --- access mix (fractions of memory references) ---
+    double pSharedRo = 0.0;
+    double pMigratory = 0.0; // remainder goes to the private region
+
+    // --- locality ---
+    // Three-level model per region: a "very hot" L1-resident subset,
+    // a sliding hot window (the L2-level active set whose turnover
+    // generates steady-state misses and c2c transfers), and a cold
+    // uniform tail over the whole region (memory misses + footprint).
+    double hotFraction = 0.9;       ///< P(access is hot at all)
+    double veryHotFraction = 0.5;   ///< of hot refs: L1-resident set
+    std::uint64_t veryHotBlocks = 256;
+    std::uint64_t hotSharedBlocks = 0;   ///< shared hot window W
+    std::uint64_t hotPrivateBlocks = 0;  ///< private hot window Wp
+    std::uint64_t slideStepShared = 0;   ///< blocks per window slide
+    std::uint64_t slideStepPrivate = 0;
+    std::uint64_t hotSlidePeriod = 0; ///< refs between window slides
+    /** Hot windows slide modulo these "active segments": blocks re-
+     *  enter the window after one lap, so larger caches that retain
+     *  the segment convert those re-entries into hits (the capacity
+     *  sensitivity of Fig. 2). 0 = whole region. */
+    std::uint64_t activeSharedSegment = 0;
+    std::uint64_t activePrivateSegment = 0;
+
+    // --- write behaviour ---
+    double privateWriteFraction = 0.3;
+    double migratoryWriteFraction = 0.5;
+
+    // --- instruction mix & transactions ---
+    std::uint32_t computeMin = 2; ///< non-mem instrs per mem ref
+    std::uint32_t computeMax = 4;
+    std::uint32_t refsPerTransaction = 1000;
+
+    // --- paper Table II targets (reporting / validation) ---
+    double paperC2cAll = 0.0;   ///< of last-private-level misses
+    double paperC2cClean = 0.0; ///< of those transfers
+    double paperC2cDirty = 0.0;
+    std::uint64_t paperBlocks = 0;
+
+    /** Total distinct blocks the model can touch. */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return sharedRoBlocks + migratoryBlocks +
+               static_cast<std::uint64_t>(numThreads) *
+                   privateBlocksPerThread;
+    }
+
+    /** @return canonical profile for a workload. */
+    static const WorkloadProfile &get(WorkloadKind k);
+
+    /** @return all four profiles in paper order. */
+    static const std::vector<WorkloadProfile> &all();
+};
+
+} // namespace consim
+
+#endif // CONSIM_WORKLOAD_PROFILE_HH

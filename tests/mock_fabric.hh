@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared test double: a hand-cranked Fabric that records every sent
+ * message and runs scheduled events on demand, plus helpers to
+ * inspect the traffic. Used by the coherence unit test suites.
+ */
+
+#ifndef CONSIM_TESTS_MOCK_FABRIC_HH
+#define CONSIM_TESTS_MOCK_FABRIC_HH
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/fabric.hh"
+
+namespace consim
+{
+
+/** A hand-cranked Fabric: records sends, runs scheduled events. */
+class MockFabric : public Fabric
+{
+  public:
+    MockFabric() { cfg_.validate(); }
+
+    Cycle now() const override { return now_; }
+
+    void send(Msg m) override { sent.push_back(std::move(m)); }
+
+    void
+    schedule(Cycle delay, std::function<void()> fn) override
+    {
+        events_.push({now_ + delay, seq_++, std::move(fn)});
+    }
+
+    const MachineConfig &config() const override { return cfg_; }
+
+    GroupId groupOfTile(CoreId tile) const override
+    {
+        return cfg_.groupOfCore(tile);
+    }
+
+    CoreId
+    bankTileFor(GroupId g, BlockAddr block) const override
+    {
+        const auto members = cfg_.coresOfGroup(g);
+        return members[block % members.size()];
+    }
+
+    CoreId homeTileFor(BlockAddr) const override { return 0; }
+    CoreId memTileFor(BlockAddr) const override { return 15; }
+
+    VmId vmOfBlock(BlockAddr block) const override
+    {
+        return static_cast<VmId>(block >> vmSpanBits);
+    }
+
+    void recordL2Access(VmId) override { ++l2Accesses; }
+    void
+    recordL2Miss(VmId, bool c2c, bool dirty) override
+    {
+        ++l2Misses;
+        if (c2c)
+            ++(dirty ? c2cDirty : c2cClean);
+    }
+    void
+    recordL1Miss(VmId, Cycle lat) override
+    {
+        ++l1Misses;
+        lastMissLatency = lat;
+    }
+    void recordTransaction(VmId) override { ++transactions; }
+    void recordInstructions(VmId, std::uint64_t n) override
+    {
+        instructions += n;
+    }
+
+    /** Advance until all scheduled events have run. */
+    void
+    drainEvents(Cycle max_cycles = 10'000)
+    {
+        const Cycle end = now_ + max_cycles;
+        while (!events_.empty() && now_ < end) {
+            now_ = std::max(now_ + 1, events_.top().when);
+            while (!events_.empty() && events_.top().when <= now_) {
+                auto fn = std::move(
+                    const_cast<Event &>(events_.top()).fn);
+                events_.pop();
+                fn();
+            }
+        }
+    }
+
+    /** @return sent messages of one type. */
+    std::vector<Msg>
+    ofType(MsgType t) const
+    {
+        std::vector<Msg> out;
+        for (const auto &m : sent) {
+            if (m.type == t)
+                out.push_back(m);
+        }
+        return out;
+    }
+
+    MachineConfig cfg_;
+    std::vector<Msg> sent;
+
+    // recorded stats hooks
+    int l2Accesses = 0;
+    int l2Misses = 0;
+    int c2cClean = 0;
+    int c2cDirty = 0;
+    int l1Misses = 0;
+    int transactions = 0;
+    std::uint64_t instructions = 0;
+    Cycle lastMissLatency = 0;
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+};
+
+} // namespace consim
+
+#endif // CONSIM_TESTS_MOCK_FABRIC_HH

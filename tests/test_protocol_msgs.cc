@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the protocol message taxonomy: virtual-network
+ * assignment (deadlock-freedom structure), data/control sizing,
+ * intra-group classification, and diagnostics formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coherence/protocol.hh"
+
+namespace consim
+{
+namespace
+{
+
+const std::vector<MsgType> &
+allTypes()
+{
+    static const std::vector<MsgType> types = {
+        MsgType::L1GetS, MsgType::L1GetM, MsgType::L1PutM,
+        MsgType::L1Inv, MsgType::L1WbReq, MsgType::L1Data,
+        MsgType::L1InvAck, MsgType::L1WbData, MsgType::GetS,
+        MsgType::GetM, MsgType::PutM, MsgType::PutS,
+        MsgType::FwdGetS, MsgType::FwdGetM, MsgType::Inv,
+        MsgType::Data, MsgType::Grant, MsgType::InvAck,
+        MsgType::FwdAck, MsgType::PutAck, MsgType::Done,
+        MsgType::MemRead, MsgType::MemWrite};
+    return types;
+}
+
+TEST(Protocol, EveryTypeHasAVnet)
+{
+    for (auto t : allTypes()) {
+        const int v = vnetOf(t);
+        EXPECT_GE(v, 0) << toString(t);
+        EXPECT_LE(v, 2) << toString(t);
+    }
+}
+
+TEST(Protocol, RequestsForwardsResponsesAreSeparated)
+{
+    // The deadlock-freedom argument: requests (vnet0) may generate
+    // forwards (vnet1), forwards may generate responses (vnet2),
+    // responses sink. Check class membership.
+    for (auto t : {MsgType::L1GetS, MsgType::L1GetM, MsgType::L1PutM,
+                   MsgType::GetS, MsgType::GetM, MsgType::PutM,
+                   MsgType::PutS})
+        EXPECT_EQ(vnetOf(t), 0) << toString(t);
+    for (auto t : {MsgType::FwdGetS, MsgType::FwdGetM, MsgType::Inv,
+                   MsgType::L1Inv, MsgType::L1WbReq, MsgType::MemRead,
+                   MsgType::MemWrite})
+        EXPECT_EQ(vnetOf(t), 1) << toString(t);
+    for (auto t : {MsgType::Data, MsgType::Grant, MsgType::InvAck,
+                   MsgType::FwdAck, MsgType::PutAck, MsgType::Done,
+                   MsgType::L1Data, MsgType::L1InvAck,
+                   MsgType::L1WbData})
+        EXPECT_EQ(vnetOf(t), 2) << toString(t);
+}
+
+TEST(Protocol, DataCarryingTypes)
+{
+    const std::set<MsgType> data = {
+        MsgType::L1PutM, MsgType::L1Data, MsgType::L1WbData,
+        MsgType::PutM, MsgType::Data, MsgType::MemWrite};
+    for (auto t : allTypes())
+        EXPECT_EQ(carriesData(t), data.count(t) > 0) << toString(t);
+}
+
+TEST(Protocol, IntraGroupClassification)
+{
+    // Exactly the L1<->bank messages bypass the mesh when the flat
+    // intra-partition path is enabled.
+    const std::set<MsgType> intra = {
+        MsgType::L1GetS, MsgType::L1GetM, MsgType::L1PutM,
+        MsgType::L1Inv, MsgType::L1WbReq, MsgType::L1Data,
+        MsgType::L1InvAck, MsgType::L1WbData};
+    for (auto t : allTypes())
+        EXPECT_EQ(isIntraGroup(t), intra.count(t) > 0) << toString(t);
+}
+
+TEST(Protocol, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (auto t : allTypes()) {
+        const std::string n = toString(t);
+        EXPECT_FALSE(n.empty());
+        EXPECT_NE(n, "?");
+        EXPECT_TRUE(names.insert(n).second) << "duplicate " << n;
+    }
+}
+
+TEST(Protocol, DescribeContainsKeyFields)
+{
+    Msg m;
+    m.type = MsgType::FwdGetS;
+    m.block = 0xabc;
+    m.srcTile = 3;
+    m.dstTile = 9;
+    m.reqCore = 5;
+    const std::string d = describe(m);
+    EXPECT_NE(d.find("FwdGetS"), std::string::npos);
+    EXPECT_NE(d.find("abc"), std::string::npos);
+    EXPECT_NE(d.find("3->9"), std::string::npos);
+}
+
+TEST(Protocol, MsgDefaultsAreInert)
+{
+    Msg m;
+    EXPECT_FALSE(m.isWrite);
+    EXPECT_FALSE(m.dirtyData);
+    EXPECT_FALSE(m.noDataNeeded);
+    EXPECT_FALSE(m.c2cTransfer);
+    EXPECT_FALSE(m.stale);
+    EXPECT_FALSE(m.overlappedFetch);
+    EXPECT_EQ(m.grantState, L2State::Invalid);
+    EXPECT_EQ(m.reqCore, invalidCore);
+    EXPECT_EQ(m.vm, invalidVm);
+}
+
+TEST(Protocol, StateNames)
+{
+    EXPECT_STREQ(toString(L1State::Modified), "M");
+    EXPECT_STREQ(toString(L1State::Shared), "S");
+    EXPECT_STREQ(toString(L1State::Invalid), "I");
+    EXPECT_STREQ(toString(L2State::Exclusive), "E");
+}
+
+} // namespace
+} // namespace consim

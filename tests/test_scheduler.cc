@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the hypervisor scheduling policies: spread/pack
+ * properties, determinism, capacity limits, and the Table IV mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/mix.hh"
+#include "core/scheduler.hh"
+
+namespace consim
+{
+namespace
+{
+
+MachineConfig
+machineWith(SharingDegree d)
+{
+    MachineConfig cfg;
+    cfg.sharing = d;
+    return cfg;
+}
+
+/** groups used by each VM: vm -> set of groups. */
+std::map<VmId, std::set<GroupId>>
+groupsPerVm(const MachineConfig &cfg,
+            const std::vector<ThreadPlacement> &ps)
+{
+    std::map<VmId, std::set<GroupId>> out;
+    for (const auto &p : ps)
+        out[p.vm].insert(cfg.groupOfCore(p.core));
+    return out;
+}
+
+TEST(Scheduler, NoCoreDoubleBooked)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    for (auto pol : {SchedPolicy::RoundRobin, SchedPolicy::Affinity,
+                     SchedPolicy::AffinityRR, SchedPolicy::Random}) {
+        const auto ps = scheduleThreads(cfg, {4, 4, 4, 4}, pol, 1);
+        std::set<CoreId> cores;
+        for (const auto &p : ps)
+            EXPECT_TRUE(cores.insert(p.core).second);
+        EXPECT_EQ(ps.size(), 16u);
+    }
+}
+
+TEST(Scheduler, RoundRobinSpreadsEachVmAcrossGroups)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const auto ps = scheduleThreads(cfg, {4, 4, 4, 4},
+                                    SchedPolicy::RoundRobin, 1);
+    for (const auto &[vm, groups] : groupsPerVm(cfg, ps))
+        EXPECT_EQ(groups.size(), 4u) << "vm " << vm;
+}
+
+TEST(Scheduler, RoundRobinGivesEachGroupOneThreadPerVm)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const auto ps = scheduleThreads(cfg, {4, 4, 4, 4},
+                                    SchedPolicy::RoundRobin, 1);
+    // count (vm, group) pairs
+    std::map<std::pair<VmId, GroupId>, int> count;
+    for (const auto &p : ps)
+        ++count[{p.vm, cfg.groupOfCore(p.core)}];
+    for (const auto &[key, n] : count)
+        EXPECT_EQ(n, 1);
+}
+
+TEST(Scheduler, AffinityPacksEachVmIntoOneQuadrant)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const auto ps = scheduleThreads(cfg, {4, 4, 4, 4},
+                                    SchedPolicy::Affinity, 1);
+    for (const auto &[vm, groups] : groupsPerVm(cfg, ps))
+        EXPECT_EQ(groups.size(), 1u) << "vm " << vm;
+}
+
+TEST(Scheduler, AffinityIsolationUsesMinimalGroups)
+{
+    // One 4-thread workload, shared-8-way: all threads in one group.
+    const auto cfg = machineWith(SharingDegree::Shared8);
+    const auto ps =
+        scheduleThreads(cfg, {4}, SchedPolicy::Affinity, 1);
+    EXPECT_EQ(groupsPerVm(cfg, ps)[0].size(), 1u);
+}
+
+TEST(Scheduler, RoundRobinIsolationSpreads)
+{
+    const auto cfg = machineWith(SharingDegree::Shared8);
+    const auto ps =
+        scheduleThreads(cfg, {4}, SchedPolicy::RoundRobin, 1);
+    // 2 groups exist; 4 threads alternate between them.
+    EXPECT_EQ(groupsPerVm(cfg, ps)[0].size(), 2u);
+}
+
+TEST(Scheduler, AffinityRrPlacesPairs)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const auto ps = scheduleThreads(cfg, {4, 4, 4, 4},
+                                    SchedPolicy::AffinityRR, 1);
+    // Each VM should span exactly 2 groups (two pairs).
+    for (const auto &[vm, groups] : groupsPerVm(cfg, ps))
+        EXPECT_EQ(groups.size(), 2u) << "vm " << vm;
+    // And each group must hold exactly 2 threads of each VM present.
+    std::map<std::pair<VmId, GroupId>, int> count;
+    for (const auto &p : ps)
+        ++count[{p.vm, cfg.groupOfCore(p.core)}];
+    for (const auto &[key, n] : count)
+        EXPECT_EQ(n, 2);
+}
+
+TEST(Scheduler, RandomIsSeedDeterministic)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const auto a = scheduleThreads(cfg, {4, 4, 4, 4},
+                                   SchedPolicy::Random, 7);
+    const auto b = scheduleThreads(cfg, {4, 4, 4, 4},
+                                   SchedPolicy::Random, 7);
+    const auto c = scheduleThreads(cfg, {4, 4, 4, 4},
+                                   SchedPolicy::Random, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].core, b[i].core);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].core != c[i].core;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Scheduler, PrivateCachesDegenerate)
+{
+    // With private caches every thread has its own "group"; all
+    // policies must still produce valid full placements.
+    const auto cfg = machineWith(SharingDegree::Private);
+    for (auto pol : {SchedPolicy::RoundRobin, SchedPolicy::Affinity,
+                     SchedPolicy::AffinityRR, SchedPolicy::Random}) {
+        const auto ps = scheduleThreads(cfg, {4, 4, 4, 4}, pol, 3);
+        EXPECT_EQ(ps.size(), 16u);
+    }
+}
+
+TEST(Scheduler, FullySharedSingleGroup)
+{
+    const auto cfg = machineWith(SharingDegree::Shared16);
+    const auto ps = scheduleThreads(cfg, {4, 4, 4, 4},
+                                    SchedPolicy::RoundRobin, 1);
+    for (const auto &p : ps)
+        EXPECT_EQ(cfg.groupOfCore(p.core), 0);
+}
+
+TEST(SchedulerDeathTest, OverCommitRejected)
+{
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    EXPECT_DEATH(
+        scheduleThreads(cfg, {4, 4, 4, 4, 4}, SchedPolicy::Affinity, 1),
+        "cannot place");
+}
+
+TEST(Mix, TableIvHeterogeneousComposition)
+{
+    const auto &mixes = Mix::heterogeneous();
+    ASSERT_EQ(mixes.size(), 9u);
+    EXPECT_EQ(mixes[0].count(WorkloadKind::TpcW), 3);
+    EXPECT_EQ(mixes[0].count(WorkloadKind::TpcH), 1);
+    EXPECT_EQ(mixes[4].count(WorkloadKind::SpecJbb), 2);
+    EXPECT_EQ(mixes[4].count(WorkloadKind::TpcH), 2);
+    EXPECT_EQ(mixes[8].count(WorkloadKind::SpecJbb), 1);
+    EXPECT_EQ(mixes[8].count(WorkloadKind::TpcW), 3);
+    for (const auto &m : mixes)
+        EXPECT_EQ(m.vms.size(), 4u);
+}
+
+TEST(Mix, TableIvHomogeneousComposition)
+{
+    const auto &mixes = Mix::homogeneous();
+    ASSERT_EQ(mixes.size(), 4u);
+    EXPECT_EQ(mixes[0].count(WorkloadKind::TpcW), 4);
+    EXPECT_EQ(mixes[1].count(WorkloadKind::TpcH), 4);
+    EXPECT_EQ(mixes[2].count(WorkloadKind::SpecJbb), 4);
+    EXPECT_EQ(mixes[3].count(WorkloadKind::SpecWeb), 4);
+}
+
+TEST(Mix, ByName)
+{
+    EXPECT_EQ(Mix::byName("Mix 7").count(WorkloadKind::SpecJbb), 3);
+    EXPECT_EQ(Mix::byName("Mix C").name, "Mix C");
+}
+
+} // namespace
+} // namespace consim

@@ -1,0 +1,30 @@
+
+// Probe: per-config LLC miss breakdown for one workload in isolation.
+#include <cstdio>
+#include "core/experiment.hh"
+using namespace consim;
+int main(int argc, char **argv)
+{
+    WorkloadKind kind = WorkloadKind::TpcW;
+    if (argc > 1) {
+        std::string k = argv[1];
+        if (k == "jbb") kind = WorkloadKind::SpecJbb;
+        if (k == "tpch") kind = WorkloadKind::TpcH;
+        if (k == "web") kind = WorkloadKind::SpecWeb;
+    }
+    for (auto sharing : {SharingDegree::Private, SharingDegree::Shared4,
+                         SharingDegree::Shared16}) {
+        RunConfig cfg = isolationConfig(kind, SchedPolicy::Affinity, sharing);
+        RunResult r = runExperiment(cfg);
+        const auto &v = r.vms[0];
+        std::printf("%-14s acc=%8llu miss=%8llu rate=%.3f c2c=%.2f "
+                    "lat=%.1f cpt=%.0f txn=%llu\n",
+                    toString(sharing).c_str(),
+                    (unsigned long long)v.l2Accesses,
+                    (unsigned long long)v.l2Misses, v.missRate,
+                    v.c2cFraction, v.avgMissLatency,
+                    v.cyclesPerTransaction,
+                    (unsigned long long)v.transactions);
+    }
+    return 0;
+}

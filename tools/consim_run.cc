@@ -1,0 +1,259 @@
+/**
+ * @file
+ * consim_run: general-purpose command-line front end to the
+ * simulator. Runs any workload list under any policy / sharing
+ * degree / machine tweak and reports per-VM metrics, optionally as
+ * CSV (for plotting) or with a full component statistics dump.
+ *
+ * Usage:
+ *   consim_run [options]
+ *     --mix "Mix 5"            Table IV mix (exclusive with --vm)
+ *     --vm tpcw --vm tpch ...  explicit VM list (jbb|tpcw|tpch|web)
+ *     --policy rr|affinity|aff-rr|random       (default affinity)
+ *     --sharing 1|2|4|8|16                     (default 4)
+ *     --warmup N --measure N   cycles          (default library)
+ *     --seed N                                 (default 1)
+ *     --migrate N              swap threads every N cycles
+ *     --no-dir-cache           ablation: no directory caches
+ *     --no-clean-fwd           ablation: memory supplies clean data
+ *     --ideal-noc              ablation: fixed-latency interconnect
+ *     --csv                    machine-readable per-VM output
+ *     --dump-stats             full component statistics dump
+ *
+ * Examples:
+ *   consim_run --mix "Mix 7" --policy rr
+ *   consim_run --vm jbb --vm jbb --sharing 8 --csv
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/mix.hh"
+
+namespace
+{
+
+using namespace consim;
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::cerr << "error: " << msg << "\n";
+    std::cerr <<
+        "usage: consim_run [--mix NAME | --vm KIND...] "
+        "[--policy P] [--sharing N]\n"
+        "       [--warmup N] [--measure N] [--seed N] "
+        "[--migrate N]\n"
+        "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
+        "[--csv] [--dump-stats]\n";
+    std::exit(2);
+}
+
+WorkloadKind
+parseKind(const std::string &s)
+{
+    if (s == "jbb")
+        return WorkloadKind::SpecJbb;
+    if (s == "tpcw")
+        return WorkloadKind::TpcW;
+    if (s == "tpch")
+        return WorkloadKind::TpcH;
+    if (s == "web")
+        return WorkloadKind::SpecWeb;
+    usage("unknown workload kind (jbb|tpcw|tpch|web)");
+}
+
+SchedPolicy
+parsePolicy(const std::string &s)
+{
+    if (s == "rr")
+        return SchedPolicy::RoundRobin;
+    if (s == "affinity")
+        return SchedPolicy::Affinity;
+    if (s == "aff-rr")
+        return SchedPolicy::AffinityRR;
+    if (s == "random")
+        return SchedPolicy::Random;
+    usage("unknown policy (rr|affinity|aff-rr|random)");
+}
+
+SharingDegree
+parseSharing(const std::string &s)
+{
+    switch (std::atoi(s.c_str())) {
+      case 1:
+        return SharingDegree::Private;
+      case 2:
+        return SharingDegree::Shared2;
+      case 4:
+        return SharingDegree::Shared4;
+      case 8:
+        return SharingDegree::Shared8;
+      case 16:
+        return SharingDegree::Shared16;
+      default:
+        usage("sharing degree must be 1|2|4|8|16");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig cfg;
+    bool csv = false;
+    bool dump = false;
+    std::string mix_name;
+
+    auto next_arg = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage("missing argument value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--mix") {
+            mix_name = next_arg(i);
+        } else if (a == "--vm") {
+            cfg.workloads.push_back(parseKind(next_arg(i)));
+        } else if (a == "--policy") {
+            cfg.policy = parsePolicy(next_arg(i));
+        } else if (a == "--sharing") {
+            cfg.machine.sharing = parseSharing(next_arg(i));
+        } else if (a == "--warmup") {
+            cfg.warmupCycles = std::strtoull(
+                next_arg(i).c_str(), nullptr, 10);
+        } else if (a == "--measure") {
+            cfg.measureCycles = std::strtoull(
+                next_arg(i).c_str(), nullptr, 10);
+        } else if (a == "--seed") {
+            cfg.seed =
+                std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (a == "--migrate") {
+            cfg.migrationIntervalCycles = std::strtoull(
+                next_arg(i).c_str(), nullptr, 10);
+        } else if (a == "--no-dir-cache") {
+            cfg.machine.dirCacheEnabled = false;
+        } else if (a == "--no-clean-fwd") {
+            cfg.machine.cleanForwarding = false;
+        } else if (a == "--ideal-noc") {
+            cfg.machine.idealNoc = true;
+        } else if (a == "--csv") {
+            csv = true;
+        } else if (a == "--dump-stats") {
+            dump = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+        } else {
+            usage(("unknown option '" + a + "'").c_str());
+        }
+    }
+
+    if (!mix_name.empty()) {
+        if (!cfg.workloads.empty())
+            usage("--mix and --vm are exclusive");
+        cfg.workloads = Mix::byName(mix_name).vms;
+    }
+    if (cfg.workloads.empty())
+        usage("no workloads given (use --mix or --vm)");
+
+    consim::logging::setVerbose(false);
+
+    // --dump-stats needs the live System, so inline the run here
+    // instead of using runExperiment().
+    std::vector<std::unique_ptr<VirtualMachine>> storage;
+    std::vector<VirtualMachine *> vms;
+    std::vector<int> threads;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        storage.push_back(std::make_unique<VirtualMachine>(
+            prof, static_cast<VmId>(i),
+            cfg.seed * 1000003ull + i * 7919ull));
+        vms.push_back(storage.back().get());
+        threads.push_back(prof.numThreads);
+    }
+    const auto placements =
+        scheduleThreads(cfg.machine, threads, cfg.policy, cfg.seed);
+    System sys(cfg.machine, vms, placements);
+
+    const Cycle warmup =
+        cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
+    const Cycle measure = cfg.measureCycles ? cfg.measureCycles
+                                            : defaultMeasureCycles();
+    Rng mig_rng(cfg.seed ^ 0xd15ea5e);
+    auto run_phase = [&](Cycle total) {
+        if (cfg.migrationIntervalCycles == 0) {
+            sys.run(total);
+            return;
+        }
+        Cycle done = 0;
+        while (done < total) {
+            const Cycle chunk =
+                std::min(cfg.migrationIntervalCycles, total - done);
+            sys.run(chunk);
+            done += chunk;
+            if (done < total)
+                sys.swapRandomThreads(mig_rng);
+        }
+    };
+    run_phase(warmup);
+    sys.resetStats();
+    run_phase(measure);
+
+    if (csv) {
+        std::cout << "vm,kind,threads,transactions,cycles_per_txn,"
+                     "l2_accesses,l2_misses,miss_rate,c2c_clean,"
+                     "c2c_dirty,miss_latency\n";
+    } else {
+        std::cout << "consim_run: " << cfg.workloads.size()
+                  << " VMs, " << toString(cfg.policy) << ", "
+                  << toString(cfg.machine.sharing) << ", measured "
+                  << measure << " cycles\n\n";
+    }
+
+    TextTable table({"vm", "cycles/txn", "LLC miss rate",
+                     "miss lat (cy)", "c2c clean", "c2c dirty"});
+    for (auto *vm : vms) {
+        const auto &s = vm->vmStats();
+        const double cpt =
+            s.transactions.value()
+                ? static_cast<double>(measure) /
+                      static_cast<double>(s.transactions.value())
+                : 0.0;
+        if (csv) {
+            std::cout << vm->id() << ","
+                      << toString(vm->profile().kind) << ","
+                      << vm->profile().numThreads << ","
+                      << s.transactions.value() << "," << cpt << ","
+                      << s.l2Accesses.value() << ","
+                      << s.l2Misses.value() << "," << s.missRate()
+                      << "," << s.c2cClean.value() << ","
+                      << s.c2cDirty.value() << ","
+                      << s.missLatency.mean() << "\n";
+        } else {
+            table.addRow({toString(vm->profile().kind) + " #" +
+                              std::to_string(vm->id()),
+                          TextTable::num(cpt, 0),
+                          TextTable::pct(s.missRate()),
+                          TextTable::num(s.missLatency.mean(), 1),
+                          std::to_string(s.c2cClean.value()),
+                          std::to_string(s.c2cDirty.value())});
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+
+    if (dump) {
+        std::cout << "\n# component statistics\n";
+        sys.dumpStats(std::cout);
+    }
+    return 0;
+}

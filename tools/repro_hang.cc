@@ -1,0 +1,74 @@
+// Repro harness for long-run stalls: runs one configuration and
+// reports per-VM progress in intervals, flagging cores that stay
+// blocked across a whole interval.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/experiment.hh"
+
+using namespace consim;
+
+int
+main(int argc, char **argv)
+{
+    const char *kind_s = argc > 1 ? argv[1] : "tpch";
+    WorkloadKind kind = WorkloadKind::TpcH;
+    if (std::string(kind_s) == "jbb")
+        kind = WorkloadKind::SpecJbb;
+    else if (std::string(kind_s) == "tpcw")
+        kind = WorkloadKind::TpcW;
+    else if (std::string(kind_s) == "web")
+        kind = WorkloadKind::SpecWeb;
+
+    SharingDegree sharing = SharingDegree::Shared16;
+    if (argc > 2)
+        sharing = static_cast<SharingDegree>(std::atoi(argv[2]));
+    SchedPolicy policy = SchedPolicy::Affinity;
+    if (argc > 3 && std::string(argv[3]) == "rr")
+        policy = SchedPolicy::RoundRobin;
+
+    RunConfig cfg = isolationConfig(kind, policy, sharing);
+
+    std::vector<std::unique_ptr<VirtualMachine>> vms;
+    std::vector<VirtualMachine *> ptrs;
+    std::vector<int> tpv;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        vms.push_back(std::make_unique<VirtualMachine>(
+            prof, static_cast<VmId>(i), 1000003ull + i * 7919ull));
+        ptrs.push_back(vms.back().get());
+        tpv.push_back(prof.numThreads);
+    }
+    const auto placements = scheduleThreads(cfg.machine, tpv,
+                                            cfg.policy, 1);
+    System sys(cfg.machine, ptrs, placements);
+
+    std::uint64_t last_instr = 0;
+    for (int interval = 0; interval < 80; ++interval) {
+        sys.run(100'000);
+        std::uint64_t instr = 0;
+        for (auto *vm : ptrs)
+            instr += vm->vmStats().instructions.value();
+        int blocked = 0;
+        for (CoreId t = 0; t < 16; ++t)
+            blocked += sys.core(t).blocked() ? 1 : 0;
+        std::printf("t=%8llu instr=%12llu d=%10llu blocked=%d\n",
+                    (unsigned long long)(interval + 1) * 100000ull,
+                    (unsigned long long)instr,
+                    (unsigned long long)(instr - last_instr), blocked);
+        if (instr == last_instr) {
+            std::printf("STALLED; dumping state\n");
+            for (CoreId t = 0; t < 16; ++t)
+                sys.bank(t).debugDump();
+            for (CoreId t = 0; t < 16; ++t)
+                sys.dir(t).debugDump();
+            std::fprintf(stderr, "net idle=%d\n",
+                         sys.network().idle());
+            return 1;
+        }
+        last_instr = instr;
+    }
+    std::printf("completed without stall\n");
+    return 0;
+}

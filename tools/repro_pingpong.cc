@@ -1,0 +1,71 @@
+
+// Repro for the readers/one-writer ping-pong stress hang.
+#include <cstdio>
+#include <memory>
+#include <vector>
+#include "common/rng.hh"
+#include "core/system.hh"
+using namespace consim;
+
+class RandomStream : public InstrStream {
+  public:
+    RandomStream(std::uint64_t seed, BlockAddr base, std::uint64_t range,
+                 double wf, std::uint64_t total)
+        : rng_(seed), base_(base), range_(range), wf_(wf), left_(total) {}
+    WorkSlice next() override {
+        WorkSlice s;
+        if (left_ == 0) { s.computeCycles = 16; s.noMemRef = true; return s; }
+        --left_;
+        s.computeCycles = static_cast<std::uint32_t>(rng_.below(3));
+        s.block = base_ + rng_.below(range_);
+        s.isWrite = rng_.chance(wf_);
+        return s;
+    }
+    bool done() const { return left_ == 0; }
+  private:
+    Rng rng_; BlockAddr base_; std::uint64_t range_; double wf_;
+    std::uint64_t left_;
+};
+
+int main()
+{
+    WorkloadProfile p;
+    p.name = "stress";
+    p.sharedRoBlocks = 3000; p.migratoryBlocks = 500;
+    p.privateBlocksPerThread = 500;
+    p.pSharedRo = 0.3; p.pMigratory = 0.1;
+    p.hotSharedBlocks = 256; p.hotPrivateBlocks = 64;
+    p.refsPerTransaction = 100;
+    VirtualMachine vm(p, 0, 5);
+    MachineConfig cfg;
+    cfg.sharing = SharingDegree::Shared4;
+    System sys(cfg, {&vm}, {});
+    std::vector<std::unique_ptr<RandomStream>> streams;
+    for (CoreId c = 0; c < 16; ++c) {
+        const double wf = c == 0 ? 1.0 : 0.0;
+        streams.push_back(std::make_unique<RandomStream>(
+            7 + c, vmBaseBlock(0), 16, wf, 800));
+        sys.core(c).bindThread(streams.back().get(), 0);
+    }
+    std::uint64_t last = 0; int stuck = 0;
+    for (int iter = 0; iter < 100000; ++iter) {
+        sys.run(64);
+        bool settled = sys.quiesced();
+        for (const auto &s : streams) settled = settled && s->done();
+        if (settled) { std::printf("settled at %d iters\n", iter); return 0; }
+        const auto instr = vm.vmStats().instructions.value();
+        if (instr == last) { if (++stuck >= 200) break; } else stuck = 0;
+        last = instr;
+    }
+    std::printf("STUCK; dumping\n");
+    for (CoreId t = 0; t < 16; ++t) sys.bank(t).debugDump();
+    for (CoreId t = 0; t < 16; ++t) sys.dir(t).debugDump();
+    std::printf("net idle=%d quiesced=%d\n", sys.network().idle(),
+                sys.quiesced());
+    int undone = 0;
+    for (const auto &s : streams) undone += s->done() ? 0 : 1;
+    std::printf("streams not done: %d\n", undone);
+    for (CoreId c = 0; c < 16; ++c)
+        if (sys.core(c).blocked()) std::printf("core %d blocked\n", c);
+    return 1;
+}
