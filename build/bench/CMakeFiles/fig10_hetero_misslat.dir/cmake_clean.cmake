@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hetero_misslat.dir/fig10_hetero_misslat.cc.o"
+  "CMakeFiles/fig10_hetero_misslat.dir/fig10_hetero_misslat.cc.o.d"
+  "fig10_hetero_misslat"
+  "fig10_hetero_misslat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hetero_misslat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_replication.dir/fig12_replication.cc.o"
+  "CMakeFiles/fig12_replication.dir/fig12_replication.cc.o.d"
+  "fig12_replication"
+  "fig12_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

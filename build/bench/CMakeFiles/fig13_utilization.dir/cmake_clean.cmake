@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_utilization.dir/fig13_utilization.cc.o"
+  "CMakeFiles/fig13_utilization.dir/fig13_utilization.cc.o.d"
+  "fig13_utilization"
+  "fig13_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_isolated_perf.dir/fig2_isolated_perf.cc.o"
+  "CMakeFiles/fig2_isolated_perf.dir/fig2_isolated_perf.cc.o.d"
+  "fig2_isolated_perf"
+  "fig2_isolated_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_isolated_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

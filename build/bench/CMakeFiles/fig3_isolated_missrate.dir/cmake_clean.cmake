@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_isolated_missrate.dir/fig3_isolated_missrate.cc.o"
+  "CMakeFiles/fig3_isolated_missrate.dir/fig3_isolated_missrate.cc.o.d"
+  "fig3_isolated_missrate"
+  "fig3_isolated_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_isolated_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

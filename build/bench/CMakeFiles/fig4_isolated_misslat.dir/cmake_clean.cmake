@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_isolated_misslat.dir/fig4_isolated_misslat.cc.o"
+  "CMakeFiles/fig4_isolated_misslat.dir/fig4_isolated_misslat.cc.o.d"
+  "fig4_isolated_misslat"
+  "fig4_isolated_misslat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_isolated_misslat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

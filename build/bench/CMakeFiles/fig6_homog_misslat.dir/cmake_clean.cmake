@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_homog_misslat.dir/fig6_homog_misslat.cc.o"
+  "CMakeFiles/fig6_homog_misslat.dir/fig6_homog_misslat.cc.o.d"
+  "fig6_homog_misslat"
+  "fig6_homog_misslat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_homog_misslat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

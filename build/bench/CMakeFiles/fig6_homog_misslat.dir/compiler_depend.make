@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_homog_misslat.
+# This may be replaced when dependencies are built.

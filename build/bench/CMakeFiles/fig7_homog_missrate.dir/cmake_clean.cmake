@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_homog_missrate.dir/fig7_homog_missrate.cc.o"
+  "CMakeFiles/fig7_homog_missrate.dir/fig7_homog_missrate.cc.o.d"
+  "fig7_homog_missrate"
+  "fig7_homog_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_homog_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_homog_missrate.
+# This may be replaced when dependencies are built.

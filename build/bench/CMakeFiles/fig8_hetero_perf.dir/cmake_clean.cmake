@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hetero_perf.dir/fig8_hetero_perf.cc.o"
+  "CMakeFiles/fig8_hetero_perf.dir/fig8_hetero_perf.cc.o.d"
+  "fig8_hetero_perf"
+  "fig8_hetero_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hetero_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

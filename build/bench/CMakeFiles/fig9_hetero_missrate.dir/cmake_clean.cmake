@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hetero_missrate.dir/fig9_hetero_missrate.cc.o"
+  "CMakeFiles/fig9_hetero_missrate.dir/fig9_hetero_missrate.cc.o.d"
+  "fig9_hetero_missrate"
+  "fig9_hetero_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hetero_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_explorer.dir/mix_explorer.cpp.o"
+  "CMakeFiles/mix_explorer.dir/mix_explorer.cpp.o.d"
+  "mix_explorer"
+  "mix_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/consim.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/consim.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/coherence/directory.cc" "src/CMakeFiles/consim.dir/coherence/directory.cc.o" "gcc" "src/CMakeFiles/consim.dir/coherence/directory.cc.o.d"
+  "/root/repo/src/coherence/l1_controller.cc" "src/CMakeFiles/consim.dir/coherence/l1_controller.cc.o" "gcc" "src/CMakeFiles/consim.dir/coherence/l1_controller.cc.o.d"
+  "/root/repo/src/coherence/l2_bank.cc" "src/CMakeFiles/consim.dir/coherence/l2_bank.cc.o" "gcc" "src/CMakeFiles/consim.dir/coherence/l2_bank.cc.o.d"
+  "/root/repo/src/coherence/memory_controller.cc" "src/CMakeFiles/consim.dir/coherence/memory_controller.cc.o" "gcc" "src/CMakeFiles/consim.dir/coherence/memory_controller.cc.o.d"
+  "/root/repo/src/coherence/protocol.cc" "src/CMakeFiles/consim.dir/coherence/protocol.cc.o" "gcc" "src/CMakeFiles/consim.dir/coherence/protocol.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/consim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/consim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/consim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/consim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/consim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/consim.dir/common/table.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/consim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/consim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/mix.cc" "src/CMakeFiles/consim.dir/core/mix.cc.o" "gcc" "src/CMakeFiles/consim.dir/core/mix.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/consim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/consim.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/consim.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/consim.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/consim.dir/core/system.cc.o" "gcc" "src/CMakeFiles/consim.dir/core/system.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/consim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/consim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/consim.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/consim.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/CMakeFiles/consim.dir/noc/network_interface.cc.o" "gcc" "src/CMakeFiles/consim.dir/noc/network_interface.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/consim.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/consim.dir/noc/router.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/consim.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/consim.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/consim.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/consim.dir/workload/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

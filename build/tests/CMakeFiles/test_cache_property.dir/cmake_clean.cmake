@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_property.dir/test_cache_property.cc.o"
+  "CMakeFiles/test_cache_property.dir/test_cache_property.cc.o.d"
+  "test_cache_property"
+  "test_cache_property.pdb"
+  "test_cache_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

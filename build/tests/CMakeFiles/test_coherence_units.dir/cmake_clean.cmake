@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_units.dir/test_coherence_units.cc.o"
+  "CMakeFiles/test_coherence_units.dir/test_coherence_units.cc.o.d"
+  "test_coherence_units"
+  "test_coherence_units.pdb"
+  "test_coherence_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

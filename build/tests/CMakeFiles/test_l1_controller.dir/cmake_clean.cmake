@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1_controller.dir/test_l1_controller.cc.o"
+  "CMakeFiles/test_l1_controller.dir/test_l1_controller.cc.o.d"
+  "test_l1_controller"
+  "test_l1_controller.pdb"
+  "test_l1_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

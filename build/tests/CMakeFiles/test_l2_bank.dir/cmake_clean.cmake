@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2_bank.dir/test_l2_bank.cc.o"
+  "CMakeFiles/test_l2_bank.dir/test_l2_bank.cc.o.d"
+  "test_l2_bank"
+  "test_l2_bank.pdb"
+  "test_l2_bank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_property.dir/test_noc_property.cc.o"
+  "CMakeFiles/test_noc_property.dir/test_noc_property.cc.o.d"
+  "test_noc_property"
+  "test_noc_property.pdb"
+  "test_noc_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

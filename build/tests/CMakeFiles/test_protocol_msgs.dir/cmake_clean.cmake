@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_msgs.dir/test_protocol_msgs.cc.o"
+  "CMakeFiles/test_protocol_msgs.dir/test_protocol_msgs.cc.o.d"
+  "test_protocol_msgs"
+  "test_protocol_msgs.pdb"
+  "test_protocol_msgs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_topology.dir/test_system_topology.cc.o"
+  "CMakeFiles/test_system_topology.dir/test_system_topology.cc.o.d"
+  "test_system_topology"
+  "test_system_topology.pdb"
+  "test_system_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_units[1]_include.cmake")
+include("/root/repo/build/tests/test_l1_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_l2_bank[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_property[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_property[1]_include.cmake")
+include("/root/repo/build/tests/test_system_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_msgs[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consim_run.dir/consim_run.cc.o"
+  "CMakeFiles/consim_run.dir/consim_run.cc.o.d"
+  "consim_run"
+  "consim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hang.dir/repro_hang.cc.o"
+  "CMakeFiles/repro_hang.dir/repro_hang.cc.o.d"
+  "repro_hang"
+  "repro_hang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

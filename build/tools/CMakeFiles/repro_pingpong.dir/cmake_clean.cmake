@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pingpong.dir/repro_pingpong.cc.o"
+  "CMakeFiles/repro_pingpong.dir/repro_pingpong.cc.o.d"
+  "repro_pingpong"
+  "repro_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
