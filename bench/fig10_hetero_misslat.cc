@@ -18,6 +18,7 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sweep.hh"
 
 int
 main()
@@ -33,15 +34,27 @@ main()
 
     TextTable table({"mix", "workload", "affinity", "round-robin"});
 
-    for (const auto &mix : Mix::heterogeneous()) {
-        const RunResult aff = runAveraged(
-            mixConfig(mix, SchedPolicy::Affinity,
-                      SharingDegree::Shared4),
-            benchSeeds());
-        const RunResult rr = runAveraged(
-            mixConfig(mix, SchedPolicy::RoundRobin,
-                      SharingDegree::Shared4),
-            benchSeeds());
+    // One parallel sweep over every (mix x policy x seed) point.
+    const auto &mixes = Mix::heterogeneous();
+    std::vector<BaselineRequest> wants;
+    std::vector<RunConfig> configs;
+    for (const auto &mix : mixes) {
+        for (auto k : mix.vms) {
+            wants.push_back({k, SchedPolicy::Affinity,
+                             SharingDegree::Shared4});
+        }
+        configs.push_back(mixConfig(mix, SchedPolicy::Affinity,
+                                    SharingDegree::Shared4));
+        configs.push_back(mixConfig(mix, SchedPolicy::RoundRobin,
+                                    SharingDegree::Shared4));
+    }
+    prewarmIsolationBaselines(wants, benchSeeds());
+    const auto results = runSweepAveraged(configs, benchSeeds());
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &mix = mixes[m];
+        const RunResult &aff = results[2 * m];
+        const RunResult &rr = results[2 * m + 1];
         std::vector<WorkloadKind> kinds;
         for (auto k : mix.vms) {
             if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())

@@ -20,6 +20,7 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sweep.hh"
 
 int
 main()
@@ -38,11 +39,31 @@ main()
     const SharingDegree degrees[] = {
         SharingDegree::Shared2, SharingDegree::Shared4,
         SharingDegree::Shared8};
+    constexpr std::size_t numDegrees = std::size(degrees);
 
     TextTable table({"mix", "workload", "shared-2-way (8$)",
                      "shared-4-way (4$)", "shared-8-way (2$)"});
 
-    for (const auto &mix : Mix::heterogeneous()) {
+    // One simulation per (mix x degree x seed), all in one parallel
+    // sweep; every workload row of a mix reads the same RunResult.
+    const auto &mixes = Mix::heterogeneous();
+    std::vector<BaselineRequest> wants;
+    std::vector<RunConfig> configs;
+    for (const auto &mix : mixes) {
+        for (auto k : mix.vms) {
+            wants.push_back({k, SchedPolicy::Affinity,
+                             SharingDegree::Shared4});
+        }
+        for (auto degree : degrees) {
+            configs.push_back(
+                mixConfig(mix, SchedPolicy::Affinity, degree));
+        }
+    }
+    prewarmIsolationBaselines(wants, benchSeeds());
+    const auto results = runSweepAveraged(configs, benchSeeds());
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &mix = mixes[m];
         std::vector<WorkloadKind> kinds;
         for (auto k : mix.vms) {
             if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
@@ -56,10 +77,8 @@ main()
                 mix.name + " (" + std::to_string(mix.count(kind)) +
                     "x)",
                 toString(kind)};
-            for (auto degree : degrees) {
-                const RunConfig cfg =
-                    mixConfig(mix, SchedPolicy::Affinity, degree);
-                const RunResult r = runAveraged(cfg, benchSeeds());
+            for (std::size_t d = 0; d < numDegrees; ++d) {
+                const RunResult &r = results[m * numDegrees + d];
                 row.push_back(TextTable::num(
                     base.missLatency > 0.0
                         ? r.meanMissLatency(kind) / base.missLatency

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * perf_smoke: the simulator's performance trajectory in one JSON
+ * line. Measures (a) single-simulation throughput in simulated
+ * cycles per wall-second (exercises the calendar-queue event core)
+ * and (b) wall time for an 8-config sweep run serially vs. on the
+ * parallel sweep engine. Future PRs diff these numbers to catch
+ * perf regressions.
+ *
+ * Knobs: CONSIM_PERF_CYCLES (measurement window per sim, default
+ * 300000), CONSIM_JOBS (sweep parallelism, default
+ * hardware_concurrency).
+ *
+ * Output (one line on stdout):
+ *   {"bench":"perf_smoke","sim_cycles":...,"sim_wall_s":...,
+ *    "cycles_per_sec":...,"sweep_configs":8,"sweep_serial_s":...,
+ *    "sweep_parallel_s":...,"sweep_speedup":...,"jobs":N}
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "core/mix.hh"
+#include "exec/sweep.hh"
+
+namespace
+{
+
+using namespace consim;
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+Cycle
+perfCycles()
+{
+    if (const char *v = std::getenv("CONSIM_PERF_CYCLES")) {
+        const auto parsed = std::strtoull(v, nullptr, 10);
+        if (parsed > 0)
+            return parsed;
+    }
+    return 300'000;
+}
+
+} // namespace
+
+int
+main()
+{
+    logging::setVerbose(false);
+    const Cycle cycles = perfCycles();
+
+    // --- single-sim throughput (event core hot path) ---
+    // A consolidated 4-VM mix keeps all 16 cores busy so the event
+    // queue sees realistic pressure.
+    RunConfig single = mixConfig(Mix::byName("Mix 1"),
+                                 SchedPolicy::Affinity,
+                                 SharingDegree::Shared4);
+    single.warmupCycles = cycles / 2;
+    single.measureCycles = cycles;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)runExperiment(single);
+    const double sim_wall =
+        seconds(std::chrono::steady_clock::now() - t0);
+    const Cycle simulated = single.warmupCycles + single.measureCycles;
+    const double cps =
+        sim_wall > 0.0 ? static_cast<double>(simulated) / sim_wall
+                       : 0.0;
+
+    // --- sweep scaling: 8 configs, serial vs parallel ---
+    std::vector<RunConfig> sweep;
+    for (auto policy :
+         {SchedPolicy::Affinity, SchedPolicy::RoundRobin}) {
+        for (auto kind :
+             {WorkloadKind::TpcW, WorkloadKind::TpcH,
+              WorkloadKind::SpecJbb, WorkloadKind::SpecWeb}) {
+            RunConfig cfg = isolationConfig(kind, policy);
+            cfg.warmupCycles = cycles / 2;
+            cfg.measureCycles = cycles;
+            sweep.push_back(cfg);
+        }
+    }
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto serial_results = runSweep(sweep, serial);
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto parallel_results = runSweep(sweep);
+    const auto t3 = std::chrono::steady_clock::now();
+
+    // Paranoia: the parallel engine must reproduce the serial runs.
+    CONSIM_ASSERT(serial_results.size() == parallel_results.size(),
+                  "sweep result count mismatch");
+    for (std::size_t i = 0; i < serial_results.size(); ++i) {
+        CONSIM_ASSERT(serial_results[i].netPackets ==
+                          parallel_results[i].netPackets,
+                      "parallel sweep diverged from serial at config ",
+                      i);
+    }
+
+    const double serial_s = seconds(t2 - t1);
+    const double parallel_s = seconds(t3 - t2);
+    const double speedup =
+        parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    std::printf(
+        "{\"bench\":\"perf_smoke\",\"sim_cycles\":%llu,"
+        "\"sim_wall_s\":%.3f,\"cycles_per_sec\":%.0f,"
+        "\"sweep_configs\":%zu,\"sweep_serial_s\":%.3f,"
+        "\"sweep_parallel_s\":%.3f,\"sweep_speedup\":%.2f,"
+        "\"jobs\":%d}\n",
+        static_cast<unsigned long long>(simulated), sim_wall, cps,
+        sweep.size(), serial_s, parallel_s, speedup, sweepJobs());
+    return 0;
+}

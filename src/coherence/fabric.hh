@@ -8,10 +8,9 @@
 #ifndef CONSIM_COHERENCE_FABRIC_HH
 #define CONSIM_COHERENCE_FABRIC_HH
 
-#include <functional>
-
 #include "coherence/protocol.hh"
 #include "common/config.hh"
+#include "common/event_fn.hh"
 #include "common/types.hh"
 
 namespace consim
@@ -33,7 +32,7 @@ class Fabric
     virtual void send(Msg m) = 0;
 
     /** Run a callback after @p delay cycles (delay >= 1). */
-    virtual void schedule(Cycle delay, std::function<void()> fn) = 0;
+    virtual void schedule(Cycle delay, EventFn fn) = 0;
 
     /** @return the machine configuration. */
     virtual const MachineConfig &config() const = 0;

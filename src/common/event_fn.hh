@@ -1,0 +1,134 @@
+/**
+ * @file
+ * EventFn: a move-only callable with small-buffer-optimized storage
+ * for the simulator's event callbacks.
+ *
+ * The event core schedules millions of short-lived closures per
+ * simulated second (protocol callbacks capturing `this` plus a Msg).
+ * std::function heap-allocates those captures; EventFn stores any
+ * callable up to `inlineCapacity` bytes inline in the event record,
+ * so the System::schedule hot path never touches the allocator.
+ * Larger callables still work (they fall back to the heap), keeping
+ * the type a drop-in replacement.
+ */
+
+#ifndef CONSIM_COMMON_EVENT_FN_HH
+#define CONSIM_COMMON_EVENT_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace consim
+{
+
+/** Move-only `void()` callable with inline storage for captures. */
+class EventFn
+{
+  public:
+    /** Bytes of inline capture storage (fits `this` + a Msg). */
+    static constexpr std::size_t inlineCapacity = 64;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineCapacity &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_))
+                Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            using Ptr = Fn *;
+            ::new (static_cast<void *>(buf_))
+                Ptr(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&o) noexcept : ops_(o.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(o.buf_, buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    EventFn &
+    operator=(EventFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_) {
+                ops_->relocate(o.buf_, buf_);
+                o.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void operator()() { ops_->invoke(buf_); }
+
+    /** @return true when a callable is stored. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    /** Manual vtable: one static instance per stored type. */
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *src, void *dst);
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *self) { (*static_cast<Fn *>(self))(); },
+        [](void *src, void *dst) {
+            auto *f = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *self) { (**static_cast<Fn **>(self))(); },
+        [](void *src, void *dst) {
+            ::new (dst) Fn *(*static_cast<Fn **>(src));
+        },
+        [](void *self) { delete *static_cast<Fn **>(self); },
+    };
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_EVENT_FN_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * CalendarQueue: the simulator's event core.
+ *
+ * Nearly every scheduled delay in the machine is a small constant
+ * (1-cycle local hop, 3-cycle intra-group message, 6-cycle L2 access,
+ * 2-cycle directory hit, 150-cycle DRAM access), so a generic binary
+ * heap pays log(n) comparisons and cache misses for events that could
+ * be bucketed directly by due cycle. The CalendarQueue keeps a ring
+ * of per-cycle buckets covering the next `ringCycles` cycles; an
+ * event with delay < ringCycles drops into bucket
+ * `(now + delay) % ringCycles` in O(1). Rare longer delays (a backed
+ * up memory controller, an oversized config) fall back to a binary
+ * min-heap and are merged in seq order when their cycle arrives, so
+ * ordering semantics are identical to the old priority queue: events
+ * run in (when, seq) order, seq giving FIFO among same-cycle events.
+ *
+ * The ring invariant requires runDue(now) to be called for every
+ * cycle in ascending order (the System ticks every cycle, so this is
+ * free); schedule() must never be handed a zero delay.
+ */
+
+#ifndef CONSIM_CORE_EVENT_QUEUE_HH
+#define CONSIM_CORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/event_fn.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Bucket-ring event queue specialized for short constant delays. */
+class CalendarQueue
+{
+  public:
+    /** Ring span in cycles; must be a power of two and exceed the
+     *  largest common delay (memLatency + margin). */
+    static constexpr Cycle ringCycles = 256;
+
+    /** Schedule @p fn to run @p delay cycles after @p now. */
+    void
+    schedule(Cycle now, Cycle delay, EventFn fn)
+    {
+        CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
+        const Cycle when = now + delay;
+        if (delay < ringCycles) {
+            ring_[when & mask_].push_back(
+                RingEvent{seq_++, std::move(fn)});
+        } else {
+            overflow_.push(HeapEvent{when, seq_++, std::move(fn)});
+        }
+        ++size_;
+    }
+
+    /**
+     * Run every event due at cycle @p now, in seq (FIFO) order.
+     * Must be called once per cycle, cycles ascending; events for a
+     * cycle that was skipped would otherwise fire `ringCycles` late.
+     */
+    void
+    runDue(Cycle now)
+    {
+        auto &bucket = ring_[now & mask_];
+        std::size_t i = 0;
+        // Merge the bucket (already seq-ascending: pushes are
+        // chronological and seq is global) with due overflow events.
+        while (true) {
+            const bool heapDue =
+                !overflow_.empty() && overflow_.top().when <= now;
+            if (heapDue) {
+                CONSIM_ASSERT(overflow_.top().when == now,
+                              "event missed its cycle");
+            }
+            if (i < bucket.size() &&
+                (!heapDue ||
+                 bucket[i].seq < overflow_.top().seq)) {
+                EventFn fn = std::move(bucket[i].fn);
+                ++i;
+                --size_;
+                fn();
+            } else if (heapDue) {
+                EventFn fn = std::move(
+                    const_cast<HeapEvent &>(overflow_.top()).fn);
+                overflow_.pop();
+                --size_;
+                fn();
+            } else {
+                break;
+            }
+        }
+        bucket.clear();
+    }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return size_; }
+
+    /** @return true when no events are pending. */
+    bool empty() const { return size_ == 0; }
+
+  private:
+    static constexpr Cycle mask_ = ringCycles - 1;
+    static_assert((ringCycles & mask_) == 0,
+                  "ringCycles must be a power of two");
+
+    /** Ring entry: `when` is implied by the bucket index. */
+    struct RingEvent
+    {
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct HeapEvent
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+        bool operator>(const HeapEvent &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::vector<RingEvent> ring_[ringCycles];
+    std::priority_queue<HeapEvent, std::vector<HeapEvent>,
+                        std::greater<HeapEvent>>
+        overflow_;
+    std::uint64_t seq_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CORE_EVENT_QUEUE_HH

@@ -7,6 +7,7 @@
 #include "common/rng.hh"
 
 #include "common/logging.hh"
+#include "exec/sweep.hh"
 
 namespace consim
 {
@@ -164,41 +165,35 @@ runExperiment(const RunConfig &cfg)
 }
 
 RunResult
-runAveraged(RunConfig cfg, const std::vector<std::uint64_t> &seeds)
+averageRunResults(std::vector<RunResult> runs)
 {
-    CONSIM_ASSERT(!seeds.empty(), "need at least one seed");
-    RunResult acc;
-    bool first = true;
-    for (const auto seed : seeds) {
-        cfg.seed = seed;
-        RunResult r = runExperiment(cfg);
-        if (first) {
-            acc = std::move(r);
-            first = false;
-            continue;
-        }
-        CONSIM_ASSERT(r.vms.size() == acc.vms.size(),
+    CONSIM_ASSERT(!runs.empty(), "need at least one run");
+    RunResult acc = std::move(runs.front());
+    double packets = static_cast<double>(acc.netPackets);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        const RunResult &b = runs[r];
+        CONSIM_ASSERT(b.vms.size() == acc.vms.size(),
                       "seed runs disagree on VM count");
-        for (std::size_t i = 0; i < r.vms.size(); ++i) {
+        for (std::size_t i = 0; i < b.vms.size(); ++i) {
             auto &a = acc.vms[i];
-            const auto &b = r.vms[i];
-            a.transactions += b.transactions;
-            a.instructions += b.instructions;
-            a.l1Misses += b.l1Misses;
-            a.l2Accesses += b.l2Accesses;
-            a.l2Misses += b.l2Misses;
-            a.c2cClean += b.c2cClean;
-            a.c2cDirty += b.c2cDirty;
-            a.cyclesPerTransaction += b.cyclesPerTransaction;
-            a.missRate += b.missRate;
-            a.avgMissLatency += b.avgMissLatency;
-            a.c2cFraction += b.c2cFraction;
-            a.c2cDirtyShare += b.c2cDirtyShare;
+            const auto &v = b.vms[i];
+            a.transactions += v.transactions;
+            a.instructions += v.instructions;
+            a.l1Misses += v.l1Misses;
+            a.l2Accesses += v.l2Accesses;
+            a.l2Misses += v.l2Misses;
+            a.c2cClean += v.c2cClean;
+            a.c2cDirty += v.c2cDirty;
+            a.cyclesPerTransaction += v.cyclesPerTransaction;
+            a.missRate += v.missRate;
+            a.avgMissLatency += v.avgMissLatency;
+            a.c2cFraction += v.c2cFraction;
+            a.c2cDirtyShare += v.c2cDirtyShare;
         }
-        acc.netAvgLatency += r.netAvgLatency;
-        acc.netPackets += r.netPackets;
+        acc.netAvgLatency += b.netAvgLatency;
+        packets += static_cast<double>(b.netPackets);
     }
-    const double n = static_cast<double>(seeds.size());
+    const double n = static_cast<double>(runs.size());
     for (auto &v : acc.vms) {
         v.cyclesPerTransaction /= n;
         v.missRate /= n;
@@ -207,7 +202,16 @@ runAveraged(RunConfig cfg, const std::vector<std::uint64_t> &seeds)
         v.c2cDirtyShare /= n;
     }
     acc.netAvgLatency /= n;
+    acc.netPackets = static_cast<std::uint64_t>(packets / n + 0.5);
+    // acc.replication / acc.occupancy keep the first run's snapshot
+    // (see RunResult docs).
     return acc;
+}
+
+RunResult
+runAveraged(RunConfig cfg, const std::vector<std::uint64_t> &seeds)
+{
+    return runSweepAveraged({cfg}, seeds).front();
 }
 
 RunConfig

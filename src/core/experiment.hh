@@ -62,7 +62,24 @@ struct VmResult
     double c2cDirtyShare = 0.0;  ///< of c2c transfers
 };
 
-/** Metrics for one full run. */
+/**
+ * Metrics for one full run.
+ *
+ * Multi-seed aggregation semantics (runAveraged / runSweepAveraged /
+ * averageRunResults):
+ *  - Raw per-VM event counters (transactions, instructions, l1Misses,
+ *    l2Accesses, l2Misses, c2cClean, c2cDirty) are SUMMED across
+ *    seeds — they stay exact totals over all measured windows.
+ *  - Derived per-VM rates/latencies (cyclesPerTransaction, missRate,
+ *    avgMissLatency, c2cFraction, c2cDirtyShare) are AVERAGED
+ *    (arithmetic mean over seeds).
+ *  - netAvgLatency and netPackets are AVERAGED (netPackets rounds to
+ *    the nearest integer).
+ *  - replication / occupancy snapshots are end-of-run state walks and
+ *    are NOT averaged: they are taken verbatim from the first seed's
+ *    run (averaging line-count histograms across divergent cache
+ *    states has no physical meaning).
+ */
 struct RunResult
 {
     std::vector<VmResult> vms;
@@ -82,8 +99,17 @@ struct RunResult
 RunResult runExperiment(const RunConfig &cfg);
 
 /**
- * Run one point under several seeds and average every numeric field
- * (snapshots come from the first seed).
+ * Reduce per-seed runs of one config into a single RunResult (see
+ * RunResult for the per-field sum/average/first-seed semantics).
+ * @p runs must all come from the same config and be non-empty.
+ */
+RunResult averageRunResults(std::vector<RunResult> runs);
+
+/**
+ * Run one point under several seeds and reduce with
+ * averageRunResults. Seeds run in parallel on the sweep engine
+ * (CONSIM_JOBS threads); results are identical to running them
+ * serially.
  */
 RunResult runAveraged(RunConfig cfg,
                       const std::vector<std::uint64_t> &seeds);

@@ -4,8 +4,43 @@
 #include <map>
 #include <tuple>
 
+#include "exec/sweep.hh"
+
 namespace consim
 {
+
+namespace
+{
+
+using BaselineKey = std::tuple<int, int, int, std::size_t>;
+
+BaselineKey
+baselineKey(WorkloadKind kind, SchedPolicy policy,
+            SharingDegree sharing, std::size_t num_seeds)
+{
+    return {static_cast<int>(kind), static_cast<int>(policy),
+            static_cast<int>(sharing), num_seeds};
+}
+
+/** Memoized baselines; main-thread access only. */
+std::map<BaselineKey, Baseline> &
+baselineCache()
+{
+    static std::map<BaselineKey, Baseline> cache;
+    return cache;
+}
+
+Baseline
+baselineOf(WorkloadKind kind, const RunResult &r)
+{
+    Baseline b;
+    b.cyclesPerTxn = r.meanCyclesPerTxn(kind);
+    b.missRate = r.meanMissRate(kind);
+    b.missLatency = r.meanMissLatency(kind);
+    return b;
+}
+
+} // namespace
 
 const std::vector<std::uint64_t> &
 benchSeeds()
@@ -32,21 +67,51 @@ isolationBaseline(WorkloadKind kind, SchedPolicy policy,
                   SharingDegree sharing,
                   const std::vector<std::uint64_t> &seeds)
 {
-    using Key = std::tuple<int, int, int, std::size_t>;
-    static std::map<Key, Baseline> cache;
-    const Key key{static_cast<int>(kind), static_cast<int>(policy),
-                  static_cast<int>(sharing), seeds.size()};
+    auto &cache = baselineCache();
+    const auto key = baselineKey(kind, policy, sharing, seeds.size());
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
 
     const RunConfig cfg = isolationConfig(kind, policy, sharing);
     const RunResult r = runAveraged(cfg, seeds);
-    Baseline b;
-    b.cyclesPerTxn = r.meanCyclesPerTxn(kind);
-    b.missRate = r.meanMissRate(kind);
-    b.missLatency = r.meanMissLatency(kind);
-    return cache.emplace(key, b).first->second;
+    return cache.emplace(key, baselineOf(kind, r)).first->second;
+}
+
+void
+prewarmIsolationBaselines(const std::vector<BaselineRequest> &wants,
+                          const std::vector<std::uint64_t> &seeds)
+{
+    auto &cache = baselineCache();
+    std::vector<BaselineRequest> missing;
+    std::vector<RunConfig> configs;
+    for (const auto &w : wants) {
+        const auto key =
+            baselineKey(w.kind, w.policy, w.sharing, seeds.size());
+        if (cache.count(key))
+            continue;
+        // Skip duplicates within one request batch.
+        bool seen = false;
+        for (const auto &m : missing) {
+            if (m.kind == w.kind && m.policy == w.policy &&
+                m.sharing == w.sharing) {
+                seen = true;
+                break;
+            }
+        }
+        if (seen)
+            continue;
+        missing.push_back(w);
+        configs.push_back(
+            isolationConfig(w.kind, w.policy, w.sharing));
+    }
+    const auto results = runSweepAveraged(configs, seeds);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        const auto &w = missing[i];
+        cache.emplace(
+            baselineKey(w.kind, w.policy, w.sharing, seeds.size()),
+            baselineOf(w.kind, results[i]));
+    }
 }
 
 void

@@ -34,6 +34,24 @@ const Baseline &isolationBaseline(
     WorkloadKind kind, SchedPolicy policy, SharingDegree sharing,
     const std::vector<std::uint64_t> &seeds);
 
+/** One isolation baseline a bench will need. */
+struct BaselineRequest
+{
+    WorkloadKind kind;
+    SchedPolicy policy;
+    SharingDegree sharing;
+};
+
+/**
+ * Compute all not-yet-cached baselines in @p wants with one parallel
+ * sweep and populate the isolationBaseline memo, so later
+ * isolationBaseline calls are cache hits. Call from the main thread
+ * only (the memo is not locked).
+ */
+void prewarmIsolationBaselines(
+    const std::vector<BaselineRequest> &wants,
+    const std::vector<std::uint64_t> &seeds);
+
 /** @return the standard seed set used by the bench harness. */
 const std::vector<std::uint64_t> &benchSeeds();
 

@@ -29,8 +29,13 @@ System::System(const MachineConfig &cfg,
     for (CoreId t = 0; t < n; ++t)
         groupOf_[t] = cfg_.groupOfCore(t);
     membersOf_.resize(cfg_.numGroups());
-    for (GroupId g = 0; g < cfg_.numGroups(); ++g)
-        membersOf_[g] = cfg_.coresOfGroup(g);
+    for (GroupId g = 0; g < cfg_.numGroups(); ++g) {
+        auto &lut = membersOf_[g];
+        lut.tiles = cfg_.coresOfGroup(g);
+        lut.size = lut.tiles.size();
+        lut.pow2 = isPow2(lut.size);
+        lut.mask = lut.pow2 ? lut.size - 1 : 0;
+    }
 
     // Memory controllers at the mesh corners (then wrap for more).
     const std::vector<CoreId> corner_order = {
@@ -96,17 +101,17 @@ System::send(Msg m)
 }
 
 void
-System::schedule(Cycle delay, std::function<void()> fn)
+System::schedule(Cycle delay, EventFn fn)
 {
-    CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
-    events_.push(Event{now_ + delay, eventSeq_++, std::move(fn)});
+    events_.schedule(now_, delay, std::move(fn));
 }
 
 CoreId
 System::bankTileFor(GroupId g, BlockAddr block) const
 {
-    const auto &members = membersOf_[g];
-    return members[block % members.size()];
+    const auto &lut = membersOf_[g];
+    return lut.pow2 ? lut.tiles[block & lut.mask]
+                    : lut.tiles[block % lut.size];
 }
 
 CoreId
@@ -200,13 +205,7 @@ System::deliver(const Msg &m)
 void
 System::tick()
 {
-    while (!events_.empty() && events_.top().when <= now_) {
-        CONSIM_ASSERT(events_.top().when == now_,
-                      "event missed its cycle");
-        auto fn = std::move(const_cast<Event &>(events_.top()).fn);
-        events_.pop();
-        fn();
-    }
+    events_.runDue(now_);
     for (auto &c : cores_)
         c->tick();
     net_->tick(now_);

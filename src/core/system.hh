@@ -9,13 +9,13 @@
 #ifndef CONSIM_CORE_SYSTEM_HH
 #define CONSIM_CORE_SYSTEM_HH
 
-#include <functional>
 #include <memory>
 #include <ostream>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hh"
+
+#include "core/event_queue.hh"
 
 #include "coherence/directory.hh"
 #include "coherence/fabric.hh"
@@ -92,7 +92,7 @@ class System : public Fabric
     // --- Fabric interface ---
     Cycle now() const override { return now_; }
     void send(Msg m) override;
-    void schedule(Cycle delay, std::function<void()> fn) override;
+    void schedule(Cycle delay, EventFn fn) override;
     const MachineConfig &config() const override { return cfg_; }
     GroupId groupOfTile(CoreId tile) const override
     {
@@ -172,15 +172,14 @@ class System : public Fabric
     bool quiesced() const;
 
   private:
-    struct Event
+    /** Per-group bank lookup table with the modulo strength-reduced
+     *  for power-of-two member counts (all standard sharing degrees). */
+    struct GroupLut
     {
-        Cycle when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-        bool operator>(const Event &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        std::vector<CoreId> tiles;
+        std::uint64_t size = 0;
+        std::uint64_t mask = 0; ///< size - 1 when pow2, else 0
+        bool pow2 = false;
     };
 
     void deliver(const Msg &m);
@@ -189,7 +188,7 @@ class System : public Fabric
     std::vector<VirtualMachine *> vms_;
 
     std::vector<GroupId> groupOf_;                 ///< per tile
-    std::vector<std::vector<CoreId>> membersOf_;   ///< per group
+    std::vector<GroupLut> membersOf_;              ///< per group
     std::vector<CoreId> mcTiles_;
 
     DirectoryStorage dirStorage_;
@@ -202,9 +201,7 @@ class System : public Fabric
     std::vector<int> mcIndexOfTile_; ///< tile -> mc index or -1
 
     Cycle now_ = 0;
-    std::uint64_t eventSeq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
+    CalendarQueue events_;
 };
 
 } // namespace consim

@@ -1,0 +1,75 @@
+#include "exec/sweep.hh"
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+
+namespace consim
+{
+
+int
+sweepJobs(const SweepOptions &opts)
+{
+    return opts.jobs > 0 ? opts.jobs : ThreadPool::defaultThreads();
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<RunConfig> &configs,
+         const SweepOptions &opts)
+{
+    std::vector<RunResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    const int jobs = sweepJobs(opts);
+    if (jobs == 1 || configs.size() == 1) {
+        // No pool: keep single-threaded sweeps trivially debuggable.
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = runExperiment(configs[i]);
+        return results;
+    }
+
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        pool.submit(
+            [&results, &configs, i] {
+                results[i] = runExperiment(configs[i]);
+            });
+    }
+    pool.wait();
+    return results;
+}
+
+std::vector<RunResult>
+runSweepAveraged(const std::vector<RunConfig> &configs,
+                 const std::vector<std::uint64_t> &seeds,
+                 const SweepOptions &opts)
+{
+    CONSIM_ASSERT(!seeds.empty(), "need at least one seed");
+
+    std::vector<RunConfig> flat;
+    flat.reserve(configs.size() * seeds.size());
+    for (const auto &cfg : configs) {
+        for (const auto seed : seeds) {
+            flat.push_back(cfg);
+            flat.back().seed = seed;
+        }
+    }
+
+    std::vector<RunResult> runs = runSweep(flat, opts);
+
+    std::vector<RunResult> out;
+    out.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        std::vector<RunResult> group(
+            std::make_move_iterator(runs.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        i * seeds.size())),
+            std::make_move_iterator(runs.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        (i + 1) * seeds.size())));
+        out.push_back(averageRunResults(std::move(group)));
+    }
+    return out;
+}
+
+} // namespace consim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sweep engine: run many independent simulation points in parallel.
+ *
+ * Every paper figure is a sweep over independent
+ * (mix x sharing-degree x policy x seed) points; each point is a
+ * self-contained single-threaded System, so host-level parallelism
+ * is embarrassingly available. runSweep farms the configs out to a
+ * work-queue thread pool (CONSIM_JOBS threads, default
+ * hardware_concurrency) and returns results positionally.
+ *
+ * Determinism contract: a simulation's result depends only on its
+ * RunConfig (including seed) — never on which host thread ran it,
+ * the sweep's batch composition, or execution order. runSweep output
+ * is therefore bit-identical to calling runExperiment serially on
+ * the same configs (tests/test_determinism.cc enforces this).
+ */
+
+#ifndef CONSIM_EXEC_SWEEP_HH
+#define CONSIM_EXEC_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace consim
+{
+
+/** Sweep-engine knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = CONSIM_JOBS / hardware_concurrency. */
+    int jobs = 0;
+};
+
+/** @return the resolved worker count for @p opts. */
+int sweepJobs(const SweepOptions &opts = {});
+
+/**
+ * Run every config (in parallel) and return results positionally:
+ * result[i] corresponds to configs[i].
+ */
+std::vector<RunResult> runSweep(const std::vector<RunConfig> &configs,
+                                const SweepOptions &opts = {});
+
+/**
+ * Expand each config over @p seeds, run the flat (config x seed)
+ * sweep in parallel, and reduce each config's seed runs with
+ * averageRunResults. result[i] corresponds to configs[i]; each
+ * config's own `seed` field is ignored in favour of @p seeds.
+ */
+std::vector<RunResult>
+runSweepAveraged(const std::vector<RunConfig> &configs,
+                 const std::vector<std::uint64_t> &seeds,
+                 const SweepOptions &opts = {});
+
+} // namespace consim
+
+#endif // CONSIM_EXEC_SWEEP_HH

@@ -30,7 +30,7 @@ class MockFabric : public Fabric
     void send(Msg m) override { sent.push_back(std::move(m)); }
 
     void
-    schedule(Cycle delay, std::function<void()> fn) override
+    schedule(Cycle delay, EventFn fn) override
     {
         events_.push({now_ + delay, seq_++, std::move(fn)});
     }
@@ -123,7 +123,7 @@ class MockFabric : public Fabric
     {
         Cycle when;
         std::uint64_t seq;
-        std::function<void()> fn;
+        EventFn fn;
         bool operator>(const Event &o) const
         {
             return when != o.when ? when > o.when : seq > o.seq;

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the calendar-queue event core: (when, seq) ordering,
+ * FIFO tie-break among same-cycle events, the overflow-heap path for
+ * delays beyond the bucket ring, and the zero-delay guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/event_queue.hh"
+
+namespace consim
+{
+namespace
+{
+
+/** Drive the queue one cycle at a time, recording event firings. */
+struct Harness
+{
+    CalendarQueue q;
+    Cycle now = 0;
+    std::vector<int> fired;
+
+    void
+    at(Cycle delay, int id)
+    {
+        q.schedule(now, delay, [this, id] { fired.push_back(id); });
+    }
+
+    /** Tick through cycle `now`..`upto` inclusive. */
+    void
+    runTo(Cycle upto)
+    {
+        for (; now <= upto; ++now)
+            q.runDue(now);
+    }
+};
+
+TEST(CalendarQueue, RunsEventsAtTheirCycleInDelayOrder)
+{
+    Harness h;
+    h.at(6, 2);
+    h.at(1, 0);
+    h.at(3, 1);
+    h.at(150, 3);
+    EXPECT_EQ(h.q.size(), 4u);
+    h.runTo(200);
+    EXPECT_EQ(h.fired, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_TRUE(h.q.empty());
+}
+
+TEST(CalendarQueue, SameCycleEventsRunFifoBySchedulingOrder)
+{
+    Harness h;
+    for (int i = 0; i < 16; ++i)
+        h.at(5, i);
+    h.runTo(5);
+    ASSERT_EQ(h.fired.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(h.fired[i], i);
+}
+
+TEST(CalendarQueue, LongDelaysTakeTheOverflowHeap)
+{
+    Harness h;
+    // All at or beyond the ring horizon.
+    h.at(CalendarQueue::ringCycles, 0);
+    h.at(CalendarQueue::ringCycles + 1, 1);
+    h.at(3 * CalendarQueue::ringCycles, 2);
+    h.runTo(3 * CalendarQueue::ringCycles + 1);
+    EXPECT_EQ(h.fired, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(h.q.empty());
+}
+
+TEST(CalendarQueue, OverflowAndRingEventsMergeInSeqOrderPerCycle)
+{
+    Harness h;
+    const Cycle meet = CalendarQueue::ringCycles + 64;
+    // seq 0: long delay -> overflow heap, due at `meet`.
+    h.at(meet, 0);
+    // Advance, then schedule short delays due the same cycle; they
+    // land in the ring with higher seq, so they must run after.
+    h.runTo(meet - 11);
+    ASSERT_EQ(h.now, meet - 10);
+    h.at(10, 1);
+    h.at(10, 2);
+    h.runTo(meet);
+    EXPECT_EQ(h.fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CalendarQueue, OverflowHeapOrdersByWhenThenSeq)
+{
+    Harness h;
+    h.at(2000, 3);
+    h.at(1000, 1);
+    h.at(1000, 2); // same when as id 1, later seq
+    h.at(500, 0);
+    h.runTo(2000);
+    EXPECT_EQ(h.fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CalendarQueue, EventsMayScheduleMoreEvents)
+{
+    Harness h;
+    h.q.schedule(0, 1, [&h] {
+        h.fired.push_back(0);
+        // Reentrant schedules from inside runDue, one short (ring)
+        // and one long (overflow).
+        h.q.schedule(h.now, 2, [&h] { h.fired.push_back(1); });
+        h.q.schedule(h.now, CalendarQueue::ringCycles + 5,
+                     [&h] { h.fired.push_back(2); });
+    });
+    h.runTo(CalendarQueue::ringCycles + 10);
+    EXPECT_EQ(h.fired, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(h.q.empty());
+}
+
+TEST(CalendarQueue, SizeTracksPendingEvents)
+{
+    Harness h;
+    EXPECT_TRUE(h.q.empty());
+    h.at(1, 0);
+    h.at(2, 1);
+    h.at(5000, 2);
+    EXPECT_EQ(h.q.size(), 3u);
+    h.runTo(2);
+    EXPECT_EQ(h.q.size(), 1u);
+    h.runTo(5000);
+    EXPECT_TRUE(h.q.empty());
+}
+
+TEST(CalendarQueueDeathTest, ZeroDelayIsForbidden)
+{
+    CalendarQueue q;
+    EXPECT_DEATH(q.schedule(10, 0, [] {}), "zero-delay");
+}
+
+} // namespace
+} // namespace consim

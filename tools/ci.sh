@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify (full build + test suite) plus a
+# ThreadSanitizer pass over the sweep engine's concurrency surface
+# (thread pool + parallel sweep determinism + event queue).
+#
+# Usage: tools/ci.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+skip_tsan=0
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+    skip_tsan=1
+fi
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$skip_tsan" == 1 ]]; then
+    echo "=== tsan: skipped ==="
+    exit 0
+fi
+
+echo "=== tsan: thread pool + parallel sweep determinism ==="
+cmake -B build-tsan -S . -DCONSIM_SAN=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" \
+    --target test_determinism test_event_queue
+(cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+    -R 'Determinism|CalendarQueue')
+
+echo "=== ci.sh: all green ==="

@@ -13,6 +13,8 @@
  *     --sharing 1|2|4|8|16                     (default 4)
  *     --warmup N --measure N   cycles          (default library)
  *     --seed N                                 (default 1)
+ *     --seeds N                average N seeds (seed..seed+N-1), run
+ *                              in parallel on CONSIM_JOBS threads
  *     --migrate N              swap threads every N cycles
  *     --no-dir-cache           ablation: no directory caches
  *     --no-clean-fwd           ablation: memory supplies clean data
@@ -34,6 +36,7 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/mix.hh"
+#include "exec/sweep.hh"
 
 namespace
 {
@@ -48,7 +51,7 @@ usage(const char *msg = nullptr)
     std::cerr <<
         "usage: consim_run [--mix NAME | --vm KIND...] "
         "[--policy P] [--sharing N]\n"
-        "       [--warmup N] [--measure N] [--seed N] "
+        "       [--warmup N] [--measure N] [--seed N] [--seeds N] "
         "[--migrate N]\n"
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
         "[--csv] [--dump-stats]\n";
@@ -110,6 +113,7 @@ main(int argc, char **argv)
     RunConfig cfg;
     bool csv = false;
     bool dump = false;
+    int num_seeds = 1;
     std::string mix_name;
 
     auto next_arg = [&](int &i) -> std::string {
@@ -137,6 +141,10 @@ main(int argc, char **argv)
         } else if (a == "--seed") {
             cfg.seed =
                 std::strtoull(next_arg(i).c_str(), nullptr, 10);
+        } else if (a == "--seeds") {
+            num_seeds = std::atoi(next_arg(i).c_str());
+            if (num_seeds < 1)
+                usage("--seeds wants a positive count");
         } else if (a == "--migrate") {
             cfg.migrationIntervalCycles = std::strtoull(
                 next_arg(i).c_str(), nullptr, 10);
@@ -167,8 +175,66 @@ main(int argc, char **argv)
 
     consim::logging::setVerbose(false);
 
+    if (dump && num_seeds > 1)
+        usage("--dump-stats needs a live machine (use --seeds 1)");
+
+    const Cycle measure = cfg.measureCycles ? cfg.measureCycles
+                                            : defaultMeasureCycles();
+
+    if (!dump) {
+        // Standard path: run every seed on the parallel sweep engine
+        // and report the averaged RunResult.
+        std::vector<std::uint64_t> seeds;
+        for (int s = 0; s < num_seeds; ++s)
+            seeds.push_back(cfg.seed + static_cast<std::uint64_t>(s));
+        const RunResult r = runSweepAveraged({cfg}, seeds).front();
+
+        if (csv) {
+            std::cout
+                << "vm,kind,threads,transactions,cycles_per_txn,"
+                   "l2_accesses,l2_misses,miss_rate,c2c_clean,"
+                   "c2c_dirty,miss_latency\n";
+        } else {
+            std::cout << "consim_run: " << cfg.workloads.size()
+                      << " VMs, " << toString(cfg.policy) << ", "
+                      << toString(cfg.machine.sharing)
+                      << ", measured " << measure << " cycles";
+            if (num_seeds > 1)
+                std::cout << " x " << num_seeds << " seeds";
+            std::cout << "\n\n";
+        }
+
+        TextTable table({"vm", "cycles/txn", "LLC miss rate",
+                         "miss lat (cy)", "c2c clean", "c2c dirty"});
+        for (std::size_t i = 0; i < r.vms.size(); ++i) {
+            const VmResult &v = r.vms[i];
+            if (csv) {
+                std::cout
+                    << i << "," << toString(v.kind) << ","
+                    << WorkloadProfile::get(v.kind).numThreads << ","
+                    << v.transactions << ","
+                    << v.cyclesPerTransaction << "," << v.l2Accesses
+                    << "," << v.l2Misses << "," << v.missRate << ","
+                    << v.c2cClean << "," << v.c2cDirty << ","
+                    << v.avgMissLatency << "\n";
+            } else {
+                table.addRow({toString(v.kind) + " #" +
+                                  std::to_string(i),
+                              TextTable::num(v.cyclesPerTransaction,
+                                             0),
+                              TextTable::pct(v.missRate),
+                              TextTable::num(v.avgMissLatency, 1),
+                              std::to_string(v.c2cClean),
+                              std::to_string(v.c2cDirty)});
+            }
+        }
+        if (!csv)
+            table.print(std::cout);
+        return 0;
+    }
+
     // --dump-stats needs the live System, so inline the run here
-    // instead of using runExperiment().
+    // instead of using the sweep engine.
     std::vector<std::unique_ptr<VirtualMachine>> storage;
     std::vector<VirtualMachine *> vms;
     std::vector<int> threads;
@@ -186,8 +252,6 @@ main(int argc, char **argv)
 
     const Cycle warmup =
         cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
-    const Cycle measure = cfg.measureCycles ? cfg.measureCycles
-                                            : defaultMeasureCycles();
     Rng mig_rng(cfg.seed ^ 0xd15ea5e);
     auto run_phase = [&](Cycle total) {
         if (cfg.migrationIntervalCycles == 0) {
