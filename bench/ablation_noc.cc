@@ -18,7 +18,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -28,6 +28,8 @@ main()
                 "latency discussion",
                 "the RR-vs-affinity network-latency gap exists only "
                 "on the real mesh");
+    JsonReport jrep("ablation_noc", "Mesh vs ideal interconnect",
+                    JsonReport::pathFromArgs(argc, argv));
 
     TextTable table({"workload/mix", "network", "policy",
                      "net latency (cy)", "miss lat (cy)",
@@ -64,6 +66,12 @@ main()
                      TextTable::num(r.netAvgLatency, 1),
                      TextTable::num(r.meanMissLatency(c.focus), 1),
                      TextTable::num(r.meanCyclesPerTxn(c.focus), 0)});
+                if (jrep.enabled()) {
+                    auto jpt = runResultJson(cfg, r);
+                    jpt.set("label", c.label);
+                    jpt.set("network", ideal ? "ideal" : "mesh");
+                    jrep.point(std::move(jpt));
+                }
             }
         }
         table.addSeparator();
@@ -71,5 +79,6 @@ main()
     table.print(std::cout);
     std::cout << "\n(ideal = fixed-latency, infinite-bandwidth "
                  "network; mesh = 4x4 VC wormhole mesh)\n";
+    jrep.write();
     return 0;
 }

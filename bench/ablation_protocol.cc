@@ -29,7 +29,8 @@ namespace
 using namespace consim;
 
 void
-runGrid(const char *title, RunConfig base, WorkloadKind focus)
+runGrid(const char *title, RunConfig base, WorkloadKind focus,
+        JsonReport &jrep)
 {
     TextTable table({"clean fwd", "dir cache", "miss lat (cy)",
                      "cycles/txn", "c2c fraction"});
@@ -52,6 +53,12 @@ runGrid(const char *title, RunConfig base, WorkloadKind focus)
                           TextTable::num(r.meanMissLatency(focus), 1),
                           TextTable::num(r.meanCyclesPerTxn(focus), 0),
                           TextTable::pct(n ? c2c / n : 0.0, 0)});
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("label", title);
+                jpt.set("focus", toString(focus));
+                jrep.point(std::move(jpt));
+            }
         }
     }
     std::cout << title << "\n";
@@ -62,7 +69,7 @@ runGrid(const char *title, RunConfig base, WorkloadKind focus)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -72,16 +79,19 @@ main()
                 "clean forwarding should cut miss latency for "
                 "c2c-heavy workloads; directory caches should cut "
                 "latency everywhere");
+    JsonReport jrep("ablation_protocol", "Protocol design choices",
+                    JsonReport::pathFromArgs(argc, argv));
 
     runGrid("TPC-H isolated, private L2s (c2c-heavy):",
             isolationConfig(WorkloadKind::TpcH, SchedPolicy::RoundRobin,
                             SharingDegree::Private),
-            WorkloadKind::TpcH);
+            WorkloadKind::TpcH, jrep);
 
     runGrid("Mix 5 (2x SPECjbb + 2x TPC-H), affinity, shared-4-way "
             "(SPECjbb metrics):",
             mixConfig(Mix::byName("Mix 5"), SchedPolicy::Affinity,
                       SharingDegree::Shared4),
-            WorkloadKind::SpecJbb);
+            WorkloadKind::SpecJbb, jrep);
+    jrep.write();
     return 0;
 }

@@ -30,7 +30,7 @@ namespace
 using namespace consim;
 
 void
-dynamicSchedulingSweep()
+dynamicSchedulingSweep(JsonReport &jrep)
 {
     std::cout << "1) Dynamic thread migration (Mix C, affinity "
                  "start, shared-4-way):\n";
@@ -51,6 +51,11 @@ dynamicSchedulingSweep()
                                   SharingDegree::Shared4);
         cfg.migrationIntervalCycles = pt.interval;
         const RunResult r = runAveraged(cfg, benchSeeds());
+        if (jrep.enabled()) {
+            auto jpt = runResultJson(cfg, r);
+            jpt.set("label", pt.label);
+            jrep.point(std::move(jpt));
+        }
         table.addRow(
             {pt.label,
              TextTable::num(r.meanCyclesPerTxn(WorkloadKind::SpecJbb),
@@ -67,7 +72,7 @@ dynamicSchedulingSweep()
 void
 runCustom(const char *title,
           const std::vector<WorkloadProfile> &profiles,
-          SchedPolicy policy)
+          SchedPolicy policy, JsonReport &jrep)
 {
     std::vector<std::unique_ptr<VirtualMachine>> storage;
     std::vector<VirtualMachine *> vms;
@@ -107,6 +112,14 @@ runCustom(const char *title,
     }
     table.print(std::cout);
     std::cout << "\n";
+    if (jrep.enabled()) {
+        // Custom-built Systems have no RunConfig; export the whole
+        // registry tree instead.
+        auto jpt = json::Value::object();
+        jpt.set("label", title);
+        jpt.set("stats", sys.statsRoot().toJson());
+        jrep.point(std::move(jpt));
+    }
 }
 
 WorkloadProfile
@@ -120,7 +133,7 @@ withThreads(WorkloadKind kind, int threads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -131,20 +144,23 @@ main()
                 "higher consolidation degree",
                 "migration churn should cost cache affinity; bigger "
                 "instances amplify intra-workload sharing");
+    JsonReport jrep("ext_future_work", "Paper SSVII future work",
+                    JsonReport::pathFromArgs(argc, argv));
 
-    dynamicSchedulingSweep();
+    dynamicSchedulingSweep(jrep);
 
     runCustom("2) Asymmetric mix: 8-thread SPECjbb + 2x 4-thread "
               "TPC-H (affinity):",
               {withThreads(WorkloadKind::SpecJbb, 8),
                withThreads(WorkloadKind::TpcH, 4),
                withThreads(WorkloadKind::TpcH, 4)},
-              SchedPolicy::Affinity);
+              SchedPolicy::Affinity, jrep);
 
     runCustom("3) Higher degree: 2x 8-thread SPECjbb (affinity) -- "
               "compare with Mix C's 4x4:",
               {withThreads(WorkloadKind::SpecJbb, 8),
                withThreads(WorkloadKind::SpecJbb, 8)},
-              SchedPolicy::Affinity);
+              SchedPolicy::Affinity, jrep);
+    jrep.write();
     return 0;
 }

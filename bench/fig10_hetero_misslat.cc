@@ -21,7 +21,7 @@
 #include "exec/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -31,6 +31,8 @@ main()
                 "Figure 10 (miss latency relative to isolation, "
                 "affinity, shared-4-way)",
                 "SPECjbb least latency-sensitive; TPC-W most");
+    JsonReport jrep("fig10", "Heterogeneous Mix Miss Latencies",
+                    JsonReport::pathFromArgs(argc, argv));
 
     TextTable table({"mix", "workload", "affinity", "round-robin"});
 
@@ -60,11 +62,21 @@ main()
             if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
                 kinds.push_back(k);
         }
+        auto aff_norm = json::Value::object();
+        auto rr_norm = json::Value::object();
         for (auto kind : kinds) {
             const auto &base = isolationBaseline(
                 kind, SchedPolicy::Affinity, SharingDegree::Shared4,
                 benchSeeds());
             const double denom = base.missLatency;
+            aff_norm.set(toString(kind),
+                         denom > 0.0
+                             ? aff.meanMissLatency(kind) / denom
+                             : 0.0);
+            rr_norm.set(toString(kind),
+                        denom > 0.0
+                            ? rr.meanMissLatency(kind) / denom
+                            : 0.0);
             table.addRow(
                 {mix.name + " (" +
                      std::to_string(mix.count(kind)) + "x)",
@@ -78,8 +90,19 @@ main()
                                  : 0.0,
                      2)});
         }
+        if (jrep.enabled()) {
+            auto jaff = runResultJson(configs[2 * m], aff);
+            jaff.set("mix", mix.name);
+            jaff.set("normalized_miss_latency", std::move(aff_norm));
+            jrep.point(std::move(jaff));
+            auto jrr = runResultJson(configs[2 * m + 1], rr);
+            jrr.set("mix", mix.name);
+            jrr.set("normalized_miss_latency", std::move(rr_norm));
+            jrep.point(std::move(jrr));
+        }
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation, affinity, shared-4-way)\n";
+    jrep.write();
     return 0;
 }

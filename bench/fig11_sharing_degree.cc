@@ -23,7 +23,7 @@
 #include "exec/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -35,6 +35,8 @@ main()
                 "affinity, shared-4-way)",
                 "TPC-H best at shared-4-way; SPECjbb helped by "
                 "shared-8-way; TPC-H hurt with only 2 caches");
+    JsonReport jrep("fig11", "Miss Latency vs Degree of Sharing",
+                    JsonReport::pathFromArgs(argc, argv));
 
     const SharingDegree degrees[] = {
         SharingDegree::Shared2, SharingDegree::Shared4,
@@ -69,6 +71,9 @@ main()
             if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
                 kinds.push_back(k);
         }
+        std::vector<json::Value> norms;
+        for (std::size_t d = 0; d < numDegrees; ++d)
+            norms.push_back(json::Value::object());
         for (auto kind : kinds) {
             const auto &base = isolationBaseline(
                 kind, SchedPolicy::Affinity, SharingDegree::Shared4,
@@ -79,16 +84,29 @@ main()
                 toString(kind)};
             for (std::size_t d = 0; d < numDegrees; ++d) {
                 const RunResult &r = results[m * numDegrees + d];
-                row.push_back(TextTable::num(
+                const double norm =
                     base.missLatency > 0.0
                         ? r.meanMissLatency(kind) / base.missLatency
-                        : 0.0,
-                    2));
+                        : 0.0;
+                norms[d].set(toString(kind), norm);
+                row.push_back(TextTable::num(norm, 2));
             }
             table.addRow(std::move(row));
+        }
+        if (jrep.enabled()) {
+            for (std::size_t d = 0; d < numDegrees; ++d) {
+                auto jpt =
+                    runResultJson(configs[m * numDegrees + d],
+                                  results[m * numDegrees + d]);
+                jpt.set("mix", mix.name);
+                jpt.set("normalized_miss_latency",
+                        std::move(norms[d]));
+                jrep.point(std::move(jpt));
+            }
         }
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation, affinity, shared-4-way)\n";
+    jrep.write();
     return 0;
 }

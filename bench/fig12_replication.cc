@@ -24,7 +24,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -35,6 +35,8 @@ main()
                 "another partition)",
                 "RR > aff-rr/random; SPECjbb & SPECweb most "
                 "replication; private = max bound");
+    JsonReport jrep("fig12", "Replicated LLC Lines",
+                    JsonReport::pathFromArgs(argc, argv));
 
     struct Point
     {
@@ -64,6 +66,14 @@ main()
             const RunResult r = runExperiment(cfg);
             row.push_back(
                 TextTable::pct(r.replication.replicatedFraction()));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("mix", mix.name);
+                jpt.set("label", pt.label);
+                jpt.set("replicated_fraction",
+                        r.replication.replicatedFraction());
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
@@ -71,5 +81,6 @@ main()
     std::cout << "\n(snapshot at the end of the measurement window; "
                  "paper: RR leaves only 73%/64% of SPECjbb/SPECweb "
                  "lines un-replicated)\n";
+    jrep.write();
     return 0;
 }

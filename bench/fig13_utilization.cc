@@ -18,7 +18,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -28,6 +28,8 @@ main()
                 "(heterogeneous, rr, shared-4-way)",
                 "Figure 13 (per-partition capacity share by VM)",
                 "TPC-H takes < its fair 25%; TPC-W squeezes SPECjbb");
+    JsonReport jrep("fig13", "Cache Utilization per Workload",
+                    JsonReport::pathFromArgs(argc, argv));
 
     for (const auto &mix : Mix::heterogeneous()) {
         RunConfig cfg =
@@ -65,8 +67,14 @@ main()
                   << mix.count(mix.vms.back()) << ")\n";
         table.print(std::cout);
         std::cout << "\n";
+        if (jrep.enabled()) {
+            auto jpt = runResultJson(cfg, r);
+            jpt.set("mix", mix.name);
+            jrep.point(std::move(jpt));
+        }
     }
     std::cout << "(fair share is 25% per VM; shares below 100% "
                  "column sums are free/other lines)\n";
+    jrep.write();
     return 0;
 }

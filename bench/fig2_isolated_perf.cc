@@ -20,7 +20,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -30,6 +30,8 @@ main()
                 "Figure 2 (normalized cycle count, higher = slower)",
                 "slowdown grows as per-workload cache shrinks; "
                 "affinity limits reachable capacity (worst for TPC-W)");
+    JsonReport jrep("fig2", "Isolated Workload Performance",
+                    JsonReport::pathFromArgs(argc, argv));
 
     struct Point
     {
@@ -65,11 +67,19 @@ main()
             const double norm =
                 r.meanCyclesPerTxn(prof.kind) / base.cyclesPerTxn;
             row.push_back(TextTable::num(norm, 2));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("label", pt.label);
+                jpt.set("workload", prof.name);
+                jpt.set("normalized_cycles_per_txn", norm);
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation with 16MB fully-shared L2; "
                  "higher is slower)\n";
+    jrep.write();
     return 0;
 }

@@ -17,7 +17,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -26,6 +26,8 @@ main()
                 "Figure 3 (LLC miss rate relative to fully-shared)",
                 "miss rate rises as capacity/thread falls; RR worst "
                 "at shared-4-way (replication of read-shared data)");
+    JsonReport jrep("fig3", "Isolated Workload Miss Rates",
+                    JsonReport::pathFromArgs(argc, argv));
 
     struct Point
     {
@@ -63,10 +65,18 @@ main()
                     ? r.meanMissRate(prof.kind) / base.missRate
                     : 0.0;
             row.push_back(TextTable::num(norm, 2));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("label", pt.label);
+                jpt.set("workload", prof.name);
+                jpt.set("normalized_miss_rate", norm);
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = LLC miss rate with 16MB fully-shared L2)\n";
+    jrep.write();
     return 0;
 }

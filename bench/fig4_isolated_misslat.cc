@@ -18,7 +18,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -27,6 +27,8 @@ main()
                 "Figure 4 (average miss latency, cycles)",
                 "c2c-heavy workloads (TPC-H) show the lowest "
                 "latencies; capacity-bound workloads pay memory");
+    JsonReport jrep("fig4", "Isolated Workload Miss Latencies",
+                    JsonReport::pathFromArgs(argc, argv));
 
     struct Point
     {
@@ -56,11 +58,20 @@ main()
             const RunResult r = runAveraged(cfg, benchSeeds());
             row.push_back(
                 TextTable::num(r.meanMissLatency(prof.kind), 1));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("label", pt.label);
+                jpt.set("workload", prof.name);
+                jpt.set("miss_latency_cycles",
+                        r.meanMissLatency(prof.kind));
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n(average cycles from L1 miss to fill; includes "
                  "L2, c2c transfers, and memory)\n";
+    jrep.write();
     return 0;
 }

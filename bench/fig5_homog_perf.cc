@@ -19,7 +19,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -29,6 +29,8 @@ main()
                 "Figure 5 (cycles/txn relative to isolation)",
                 "affinity best; SPECjbb/SPECweb degrade most under "
                 "round robin");
+    JsonReport jrep("fig5", "Homogeneous Mix Performance by Policy",
+                    JsonReport::pathFromArgs(argc, argv));
 
     const SchedPolicy policies[] = {
         SchedPolicy::RoundRobin, SchedPolicy::Affinity,
@@ -50,13 +52,22 @@ main()
             const RunConfig cfg =
                 mixConfig(mix, policy, SharingDegree::Shared4);
             const RunResult r = runAveraged(cfg, benchSeeds());
-            row.push_back(TextTable::num(
-                r.meanCyclesPerTxn(kind) / base.cyclesPerTxn, 2));
+            const double norm =
+                r.meanCyclesPerTxn(kind) / base.cyclesPerTxn;
+            row.push_back(TextTable::num(norm, 2));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("mix", mix.name);
+                jpt.set("policy", toString(policy));
+                jpt.set("normalized_cycles_per_txn", norm);
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = one instance alone with 16MB fully-"
                  "shared L2; higher is slower)\n";
+    jrep.write();
     return 0;
 }

@@ -19,7 +19,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -30,6 +30,8 @@ main()
                 "affinity)",
                 "TPC-W's latency rises most from isolation to mix; "
                 "affinity lowest");
+    JsonReport jrep("fig6", "Homogeneous Mix Miss Latency by Policy",
+                    JsonReport::pathFromArgs(argc, argv));
 
     const SchedPolicy policies[] = {
         SchedPolicy::RoundRobin, SchedPolicy::Affinity,
@@ -51,15 +53,23 @@ main()
             const RunConfig cfg =
                 mixConfig(mix, policy, SharingDegree::Shared4);
             const RunResult r = runAveraged(cfg, benchSeeds());
-            row.push_back(TextTable::num(
+            const double norm =
                 base.missLatency > 0.0
                     ? r.meanMissLatency(kind) / base.missLatency
-                    : 0.0,
-                2));
+                    : 0.0;
+            row.push_back(TextTable::num(norm, 2));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("mix", mix.name);
+                jpt.set("policy", toString(policy));
+                jpt.set("normalized_miss_latency", norm);
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation, affinity, shared-4-way)\n";
+    jrep.write();
     return 0;
 }

@@ -18,7 +18,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -28,6 +28,8 @@ main()
                 "Figure 7 (LLC miss rate relative to isolation)",
                 "all workloads miss more under consolidation; "
                 "affinity suffers least");
+    JsonReport jrep("fig7", "Homogeneous Mix Miss Rates by Policy",
+                    JsonReport::pathFromArgs(argc, argv));
 
     const SchedPolicy policies[] = {
         SchedPolicy::RoundRobin, SchedPolicy::Affinity,
@@ -49,15 +51,23 @@ main()
             const RunConfig cfg =
                 mixConfig(mix, policy, SharingDegree::Shared4);
             const RunResult r = runAveraged(cfg, benchSeeds());
-            row.push_back(TextTable::num(
+            const double norm =
                 base.missRate > 0.0
                     ? r.meanMissRate(kind) / base.missRate
-                    : 0.0,
-                2));
+                    : 0.0;
+            row.push_back(TextTable::num(norm, 2));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("mix", mix.name);
+                jpt.set("policy", toString(policy));
+                jpt.set("normalized_miss_rate", norm);
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation with 16MB fully-shared L2)\n";
+    jrep.write();
     return 0;
 }

@@ -21,7 +21,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -32,27 +32,36 @@ main()
                 "fully-shared)",
                 "TPC-H barely affected; SPECjbb degrades most, "
                 "especially with TPC-W (Mixes 7-9)");
+    JsonReport jrep("fig8", "Heterogeneous Mix Performance",
+                    JsonReport::pathFromArgs(argc, argv));
 
     TextTable table({"mix", "workload", "affinity", "round-robin"});
 
     for (const auto &mix : Mix::heterogeneous()) {
-        const RunResult aff = runAveraged(
+        const RunConfig aff_cfg =
             mixConfig(mix, SchedPolicy::Affinity,
-                      SharingDegree::Shared4),
-            benchSeeds());
-        const RunResult rr = runAveraged(
+                      SharingDegree::Shared4);
+        const RunConfig rr_cfg =
             mixConfig(mix, SchedPolicy::RoundRobin,
-                      SharingDegree::Shared4),
-            benchSeeds());
+                      SharingDegree::Shared4);
+        const RunResult aff = runAveraged(aff_cfg, benchSeeds());
+        const RunResult rr = runAveraged(rr_cfg, benchSeeds());
         std::vector<WorkloadKind> kinds;
         for (auto k : mix.vms) {
             if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
                 kinds.push_back(k);
         }
+        auto aff_norm = json::Value::object();
+        auto rr_norm = json::Value::object();
         for (auto kind : kinds) {
             const auto &base = isolationBaseline(
                 kind, SchedPolicy::Affinity, SharingDegree::Shared16,
                 benchSeeds());
+            aff_norm.set(toString(kind),
+                         aff.meanCyclesPerTxn(kind) /
+                             base.cyclesPerTxn);
+            rr_norm.set(toString(kind),
+                        rr.meanCyclesPerTxn(kind) / base.cyclesPerTxn);
             table.addRow(
                 {mix.name + " (" +
                      std::to_string(mix.count(kind)) + "x)",
@@ -63,6 +72,17 @@ main()
                  TextTable::num(
                      rr.meanCyclesPerTxn(kind) / base.cyclesPerTxn,
                      2)});
+        }
+        if (jrep.enabled()) {
+            auto jaff = runResultJson(aff_cfg, aff);
+            jaff.set("mix", mix.name);
+            jaff.set("normalized_cycles_per_txn",
+                     std::move(aff_norm));
+            jrep.point(std::move(jaff));
+            auto jrr = runResultJson(rr_cfg, rr);
+            jrr.set("mix", mix.name);
+            jrr.set("normalized_cycles_per_txn", std::move(rr_norm));
+            jrep.point(std::move(jrr));
         }
         table.addSeparator();
     }
@@ -79,9 +99,16 @@ main()
             const RunConfig cfg = isolationConfig(
                 prof.kind, policy, SharingDegree::Shared4);
             const RunResult r = runAveraged(cfg, benchSeeds());
-            row.push_back(TextTable::num(
-                r.meanCyclesPerTxn(prof.kind) / base.cyclesPerTxn,
-                2));
+            const double norm =
+                r.meanCyclesPerTxn(prof.kind) / base.cyclesPerTxn;
+            row.push_back(TextTable::num(norm, 2));
+            if (jrep.enabled()) {
+                auto jpt = runResultJson(cfg, r);
+                jpt.set("mix", "isolated 4-way");
+                jpt.set("workload", prof.name);
+                jpt.set("normalized_cycles_per_txn", norm);
+                jrep.point(std::move(jpt));
+            }
         }
         table.addRow(std::move(row));
     }
@@ -89,5 +116,6 @@ main()
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation with 16MB fully-shared L2; "
                  "higher is slower)\n";
+    jrep.write();
     return 0;
 }

@@ -19,7 +19,7 @@
 #include "exec/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -29,6 +29,8 @@ main()
                 "Figure 9 (LLC miss rate relative to isolation)",
                 "SPECjbb's miss rate jumps with TPC-W (Mixes 7-9); "
                 "TPC-H/affinity stays near 1.0");
+    JsonReport jrep("fig9", "Heterogeneous Mix Miss Rates",
+                    JsonReport::pathFromArgs(argc, argv));
 
     TextTable table({"mix", "workload", "affinity", "round-robin"});
 
@@ -59,11 +61,19 @@ main()
             if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
                 kinds.push_back(k);
         }
+        auto aff_norm = json::Value::object();
+        auto rr_norm = json::Value::object();
         for (auto kind : kinds) {
             const auto &base = isolationBaseline(
                 kind, SchedPolicy::Affinity, SharingDegree::Shared16,
                 benchSeeds());
             const double denom = base.missRate;
+            aff_norm.set(toString(kind),
+                         denom > 0.0 ? aff.meanMissRate(kind) / denom
+                                     : 0.0);
+            rr_norm.set(toString(kind),
+                        denom > 0.0 ? rr.meanMissRate(kind) / denom
+                                    : 0.0);
             table.addRow(
                 {mix.name + " (" +
                      std::to_string(mix.count(kind)) + "x)",
@@ -77,8 +87,19 @@ main()
                                  : 0.0,
                      2)});
         }
+        if (jrep.enabled()) {
+            auto jaff = runResultJson(configs[2 * m], aff);
+            jaff.set("mix", mix.name);
+            jaff.set("normalized_miss_rate", std::move(aff_norm));
+            jrep.point(std::move(jaff));
+            auto jrr = runResultJson(configs[2 * m + 1], rr);
+            jrr.set("mix", mix.name);
+            jrr.set("normalized_miss_rate", std::move(rr_norm));
+            jrep.point(std::move(jrr));
+        }
     }
     table.print(std::cout);
     std::cout << "\n(1.00 = isolation with 16MB fully-shared L2)\n";
+    jrep.write();
     return 0;
 }

@@ -21,7 +21,7 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace consim;
     logging::setVerbose(false);
@@ -31,6 +31,8 @@ main()
                 "TPC-H most c2c (69%, mostly dirty); SPECjbb 52% "
                 "mostly clean; SPECweb 37%; TPC-W 15%; footprints "
                 "TPC-W > SPECweb > SPECjbb > TPC-H");
+    JsonReport jrep("table2", "Workload Statistics",
+                    JsonReport::pathFromArgs(argc, argv));
 
     TextTable table({"workload", "c2c(all)", "paper", "clean", "paper",
                      "dirty", "paper", "blocks(model)", "blocks(paper)",
@@ -52,6 +54,13 @@ main()
                       std::to_string(prof.totalBlocks() / 1000) + " K",
                       std::to_string(prof.paperBlocks / 1000) + " K",
                       std::to_string(v.distinctBlocks / 1000) + " K"});
+        if (jrep.enabled()) {
+            auto jpt = runResultJson(cfg, r);
+            jpt.set("workload", prof.name);
+            jpt.set("model_blocks", prof.totalBlocks());
+            jpt.set("paper_blocks", prof.paperBlocks);
+            jrep.point(std::move(jpt));
+        }
     }
     table.print(std::cout);
 
@@ -80,5 +89,6 @@ main()
         }
         diag.print(std::cout);
     }
+    jrep.write();
     return 0;
 }

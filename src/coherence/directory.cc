@@ -36,6 +36,7 @@ DirectorySlice::DirectorySlice(Fabric &fabric, CoreId tile,
     : fab_(fabric), tile_(tile), store_(store),
       dirCache_(dirCacheGeometry(fabric.config()))
 {
+    stats_.registerIn(statsGroup_);
 }
 
 void

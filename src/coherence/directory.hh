@@ -105,6 +105,20 @@ struct DirSliceStats
     stats::Counter dirCacheHits;
     stats::Counter dirCacheMisses;
     stats::Counter queuedRequests; ///< arrived while block busy
+
+    /** Register every member into @p g (hierarchical registry). */
+    void
+    registerIn(stats::Group &g)
+    {
+        g.add("requests", &requests);
+        g.add("forwards", &forwards);
+        g.add("invalidations", &invalidations);
+        g.add("mem_reads", &memReads);
+        g.add("mem_writes", &memWrites);
+        g.add("dir_cache_hits", &dirCacheHits);
+        g.add("dir_cache_misses", &dirCacheMisses);
+        g.add("queued_requests", &queuedRequests);
+    }
 };
 
 /** The home-node directory logic for one tile. */
@@ -121,6 +135,9 @@ class DirectorySlice
 
     DirSliceStats &sliceStats() { return stats_; }
     const DirSliceStats &sliceStats() const { return stats_; }
+
+    /** Registry node ("dir") holding this slice's stats. */
+    stats::Group &statsGroup() { return statsGroup_; }
 
     /** Write active/waiting transaction state to stderr. */
     void debugDump() const;
@@ -170,6 +187,7 @@ class DirectorySlice
     std::unordered_map<BlockAddr, Txn> active_;
     std::unordered_map<BlockAddr, std::deque<Msg>> waiting_;
     DirSliceStats stats_;
+    stats::Group statsGroup_{"dir"};
 };
 
 } // namespace consim

@@ -24,6 +24,7 @@ L1Controller::L1Controller(Fabric &fabric, CoreId tile)
       l0_(geo(fabric.config().l0Bytes, fabric.config().l0Assoc)),
       l1_(geo(fabric.config().l1Bytes, fabric.config().l1Assoc))
 {
+    stats_.registerIn(statsGroup_);
 }
 
 AccessResult

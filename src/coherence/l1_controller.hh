@@ -34,6 +34,19 @@ struct L1Stats
     stats::Counter invalsReceived;
     stats::Counter wbReqsServed;
     stats::Histogram missLatency{10, 100}; ///< 10-cycle buckets
+
+    /** Register every member into @p g (hierarchical registry). */
+    void
+    registerIn(stats::Group &g)
+    {
+        g.add("l0_hits", &l0Hits);
+        g.add("l1_hits", &l1Hits);
+        g.add("misses", &misses);
+        g.add("writebacks", &writebacks);
+        g.add("invals_received", &invalsReceived);
+        g.add("wb_reqs_served", &wbReqsServed);
+        g.add("miss_latency", &missLatency);
+    }
 };
 
 /** Result of a core-side cache access. */
@@ -72,6 +85,9 @@ class L1Controller
     L1Stats &l1Stats() { return stats_; }
     const L1Stats &l1Stats() const { return stats_; }
 
+    /** Registry node ("l1") holding this controller's stats. */
+    stats::Group &statsGroup() { return statsGroup_; }
+
     /** Inclusion and state invariants (tests); panics on violation. */
     void checkInvariants() const;
 
@@ -106,6 +122,7 @@ class L1Controller
     Pending pending_;
     std::function<void()> missDone_;
     L1Stats stats_;
+    stats::Group statsGroup_{"l1"};
 };
 
 } // namespace consim

@@ -36,6 +36,7 @@ L2Bank::L2Bank(Fabric &fabric, CoreId tile)
     auto it = std::find(members_.begin(), members_.end(), tile_);
     CONSIM_ASSERT(it != members_.end(), "tile not in its own group");
     myBankIdx_ = static_cast<int>(it - members_.begin());
+    stats_.registerIn(statsGroup_);
 }
 
 BlockAddr

@@ -52,6 +52,22 @@ struct L2BankStats
     stats::Counter invsReceived;
     stats::Counter fillRetries;   ///< fills stalled on full sets
     stats::Counter staleWrites;   ///< dropped stale L1 writebacks
+
+    /** Register every member into @p g (hierarchical registry). */
+    void
+    registerIn(stats::Group &g)
+    {
+        g.add("hits", &hits);
+        g.add("misses", &misses);
+        g.add("upgrades", &upgrades);
+        g.add("evict_dirty", &evictDirty);
+        g.add("evict_clean", &evictClean);
+        g.add("back_invals", &backInvals);
+        g.add("fwds_served", &fwdsServed);
+        g.add("invs_received", &invsReceived);
+        g.add("fill_retries", &fillRetries);
+        g.add("stale_writes", &staleWrites);
+    }
 };
 
 /** One bank of an L2 partition plus its share of protocol logic. */
@@ -83,6 +99,9 @@ class L2Bank
 
     L2BankStats &bankStats() { return stats_; }
     const L2BankStats &bankStats() const { return stats_; }
+
+    /** Registry node ("l2bank") holding this bank's stats. */
+    stats::Group &statsGroup() { return statsGroup_; }
     GroupId group() const { return group_; }
 
     /** Protocol invariant checks (tests); panics on violation. */
@@ -182,6 +201,7 @@ class L2Bank
     /** victim block -> fill block for WaitVictimL1 extractions. */
     std::unordered_map<BlockAddr, BlockAddr> victimExtract_;
     L2BankStats stats_;
+    stats::Group statsGroup_{"l2bank"};
 };
 
 } // namespace consim

@@ -10,14 +10,9 @@ namespace consim
 MemoryController::MemoryController(Fabric &fabric, CoreId tile)
     : fab_(fabric), tile_(tile)
 {
-}
-
-void
-MemoryController::registerStats(stats::Group &g)
-{
-    g.add("reads", &reads);
-    g.add("writes", &writes);
-    g.add("queue_delay", &queueDelay);
+    statsGroup_.add("reads", &reads);
+    statsGroup_.add("writes", &writes);
+    statsGroup_.add("queue_delay", &queueDelay);
 }
 
 void

@@ -39,14 +39,15 @@ class MemoryController
     stats::Counter writes;
     stats::Average queueDelay;  ///< cycles a request waited to issue
 
-    /** Attach stats to a group for dumping. */
-    void registerStats(stats::Group &g);
+    /** Registry node ("mc") holding this controller's stats. */
+    stats::Group &statsGroup() { return statsGroup_; }
 
   private:
     Fabric &fab_;
     CoreId tile_;
     Cycle nextFree_ = 0;   ///< earliest cycle the channel can issue
     int outstanding_ = 0;
+    stats::Group statsGroup_{"mc"};
 };
 
 } // namespace consim

@@ -1,0 +1,503 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace consim
+{
+
+namespace json
+{
+
+// ---------------------------------------------------------------------
+// Value construction
+// ---------------------------------------------------------------------
+
+Value &
+Value::push(Value v)
+{
+    CONSIM_ASSERT(kind_ == Kind::Array || kind_ == Kind::Null,
+                  "push on a non-array JSON value");
+    kind_ = Kind::Array;
+    arr_.push_back(std::move(v));
+    return arr_.back();
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+Value &
+Value::set(std::string_view key, Value v)
+{
+    CONSIM_ASSERT(kind_ == Kind::Object || kind_ == Kind::Null,
+                  "set on a non-object JSON value");
+    kind_ = Kind::Object;
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return existing;
+        }
+    }
+    obj_.emplace_back(std::string(key), std::move(v));
+    return obj_.back().second;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Value *
+Value::find(std::string_view key)
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+namespace
+{
+
+void
+writeDouble(std::ostream &os, double d)
+{
+    // JSON has no NaN/Inf literals; emit null like most writers do.
+    if (!std::isfinite(d)) {
+        os << "null";
+        return;
+    }
+    // Shortest round-trip representation, locale independent.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    os.write(buf, res.ptr - buf);
+}
+
+void
+newlineIndent(std::ostream &os, int indent, int depth)
+{
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Value::writeImpl(std::ostream &os, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Uint:
+        os << uint_;
+        break;
+      case Kind::Int:
+        os << int_;
+        break;
+      case Kind::Double:
+        writeDouble(os, double_);
+        break;
+      case Kind::String:
+        writeEscaped(os, str_);
+        break;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (indent)
+                newlineIndent(os, indent, depth + 1);
+            arr_[i].writeImpl(os, indent, depth + 1);
+        }
+        if (indent)
+            newlineIndent(os, indent, depth);
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (indent)
+                newlineIndent(os, indent, depth + 1);
+            writeEscaped(os, obj_[i].first);
+            os << ':';
+            if (indent)
+                os << ' ';
+            obj_[i].second.writeImpl(os, indent, depth + 1);
+        }
+        if (indent)
+            newlineIndent(os, indent, depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+Value::write(std::ostream &os, int indent) const
+{
+    writeImpl(os, indent, 0);
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        err = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // BMP-only decoder (enough for the stats names
+                    // and workload labels this library emits).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        bool integral = true;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        const std::string_view tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-")
+            return fail("bad number");
+        if (integral) {
+            if (tok[0] == '-') {
+                std::int64_t v = 0;
+                const auto r = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (r.ec == std::errc()) {
+                    out = Value(v);
+                    return true;
+                }
+            } else {
+                std::uint64_t v = 0;
+                const auto r = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (r.ec == std::errc()) {
+                    out = Value(v);
+                    return true;
+                }
+            }
+            // Fall through to double on overflow.
+        }
+        double d = 0.0;
+        const auto r =
+            std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (r.ec != std::errc() || r.ptr != tok.data() + tok.size())
+            return fail("bad number");
+        out = Value(d);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > 256)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Value::object();
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Value v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.set(key, std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Value::array();
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Value v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.push(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+        }
+        if (literal("true")) {
+            out = Value(true);
+            return true;
+        }
+        if (literal("false")) {
+            out = Value(false);
+            return true;
+        }
+        if (literal("null")) {
+            out = Value();
+            return true;
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, std::string *err)
+{
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out, 0)) {
+        if (err)
+            *err = p.err;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "trailing characters at offset " +
+                   std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace json
+
+} // namespace consim

@@ -1,10 +1,16 @@
 /**
  * @file
  * Lightweight statistics package: named scalar counters, running
- * averages, and fixed-bucket histograms, grouped per component and
- * dumpable as text. Modelled loosely on the gem5 stats package but
- * much smaller: the consolidation framework extracts most results
- * through typed accessors rather than by parsing dumps.
+ * averages, and fixed-bucket histograms, registered into a
+ * hierarchical Group tree. Modelled loosely on the gem5 stats
+ * package but much smaller.
+ *
+ * Groups nest: every component embeds a Group, the System roots them
+ * all under "sys", and a stat's full name is the dot-joined path of
+ * its ancestors (e.g. "sys.tile03.l1.misses"). The whole tree
+ * supports bulk reset, typed visitation, text dumps, JSON export
+ * (common/json.hh), and typed path lookup — RunResult extraction
+ * reads the registry rather than reaching into component structs.
  */
 
 #ifndef CONSIM_COMMON_STATS_HH
@@ -14,7 +20,11 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
 
 namespace consim
 {
@@ -79,7 +89,7 @@ class Histogram
 {
   public:
     /**
-     * @param bucket_width width of each bucket
+     * @param bucket_width width of each bucket (must be > 0)
      * @param num_buckets  number of regular buckets; samples at or
      *                     beyond bucket_width*num_buckets land in the
      *                     overflow bucket.
@@ -87,6 +97,8 @@ class Histogram
     Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
         : width_(bucket_width), buckets_(num_buckets + 1, 0)
     {
+        CONSIM_ASSERT(bucket_width > 0,
+                      "histogram bucket width must be positive");
     }
 
     void
@@ -115,8 +127,9 @@ class Histogram
     std::uint64_t bucketWidth() const { return width_; }
 
     /**
-     * @return value below which the given fraction of samples fall
-     * (resolved to bucket upper edges); 0 when empty.
+     * @return value below which the given fraction of samples fall,
+     * resolved to bucket upper edges (the overflow bucket reports
+     * the tracked max()); 0 when empty.
      */
     std::uint64_t percentile(double p) const;
 
@@ -138,36 +151,109 @@ class Histogram
 };
 
 /**
- * A registry of named statistics owned by one component, supporting
- * text dumps and bulk reset. Components embed a Group and register
- * their stats in their constructor; registration stores pointers, so
- * a Group must not outlive its members (embed them side by side).
+ * A node of the hierarchical statistics registry. Components embed a
+ * Group, register their stats in their constructor, and the owner of
+ * the component tree links the Groups into one tree (System roots
+ * everything at "sys"). Registration stores pointers, so a Group
+ * must not outlive its members (embed them side by side), and parent
+ * Groups must not be destroyed before their children are done being
+ * queried (a destroyed Group detaches itself from both sides).
  */
 class Group
 {
   public:
-    explicit Group(std::string name) : name_(std::move(name)) {}
+    /**
+     * @param name   node name; full names dot-join ancestors
+     * @param parent optional parent to attach to immediately
+     */
+    explicit Group(std::string name, Group *parent = nullptr);
+    ~Group();
 
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Register a stat; duplicate names in one Group are a bug. */
     void add(const std::string &stat_name, Counter *c);
     void add(const std::string &stat_name, Average *a);
     void add(const std::string &stat_name, Histogram *h);
 
-    /** Reset every registered statistic. */
-    void resetAll();
-
-    /** Write "group.stat value" lines. */
-    void dump(std::ostream &os) const;
+    /**
+     * Attach @p child under this Group. A child already attached
+     * elsewhere is re-parented (components can be wired into a fresh
+     * System's tree); name collisions with stats or other children
+     * are a bug.
+     */
+    void addChild(Group *child);
 
     const std::string &name() const { return name_; }
+    Group *parent() const { return parent_; }
+    const std::vector<Group *> &children() const { return children_; }
+
+    /** @return dot-joined path from the root, e.g. "sys.tile03.l1". */
+    std::string fullName() const;
+
+    /** Reset every stat in this subtree. */
+    void resetAll();
+
+    /** Typed visitation over a subtree (preorder). */
+    struct Visitor
+    {
+        virtual ~Visitor() = default;
+        /** The path is the full dotted name from the accept() root. */
+        virtual void counter(const std::string &, const Counter &) {}
+        virtual void average(const std::string &, const Average &) {}
+        virtual void histogram(const std::string &, const Histogram &)
+        {}
+    };
+
+    /** Visit every stat in this subtree with its full dotted name. */
+    void accept(Visitor &v) const;
+
+    /** Write "full.dotted.name value" lines for the whole subtree. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * JSON export: nested objects mirroring the Group tree; counters
+     * become integers, averages {mean,count} objects, histograms
+     * {mean,max,count,p50,p95} summaries.
+     */
+    json::Value toJson() const;
+
+    // --- typed path lookup (paths relative to this Group, i.e.
+    //     excluding its own name: root.findCounter("tile03.l1.misses")) ---
+    const Group *findGroup(std::string_view path) const;
+    const Counter *findCounter(std::string_view path) const;
+    const Average *findAverage(std::string_view path) const;
+    const Histogram *findHistogram(std::string_view path) const;
 
   private:
+    enum class StatKind
+    {
+        Counter,
+        Average,
+        Histogram,
+    };
+
+    struct StatRef
+    {
+        StatKind kind;
+        void *ptr;
+    };
+
+    void addStat(const std::string &stat_name, StatKind kind, void *p);
+    const StatRef *findStat(std::string_view path, StatKind kind) const;
+    void accept(Visitor &v, const std::string &prefix) const;
+
     std::string name_;
-    std::map<std::string, Counter *> counters_;
-    std::map<std::string, Average *> averages_;
-    std::map<std::string, Histogram *> histograms_;
+    Group *parent_ = nullptr;
+    std::vector<Group *> children_;
+    std::map<std::string, StatRef, std::less<>> stats_;
 };
 
 } // namespace stats
+
+/** Zero-padded component name, e.g. indexedName("tile", 3) = "tile03". */
+std::string indexedName(const char *prefix, int index, int width = 2);
 
 } // namespace consim
 

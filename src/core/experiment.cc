@@ -131,34 +131,61 @@ runExperiment(const RunConfig &cfg)
         run_with_migrations(measure);
     }
 
+    // Extraction reads the hierarchical stats registry ("sys.vmNN.*",
+    // "sys.net.*") rather than reaching into component structs, so
+    // RunResult and every other registry consumer (dumpStats, JSON
+    // export) see exactly the same numbers by construction.
+    const stats::Group &root = sys.statsRoot();
     RunResult out;
     out.measuredCycles = measure;
     for (auto *vm : vms) {
-        const VmStats &s = vm->vmStats();
+        const stats::Group *g =
+            root.findGroup(indexedName("vm", vm->id()));
+        CONSIM_ASSERT(g, "registry: no group for vm ", vm->id());
+        const auto counter = [g](const char *name) {
+            const stats::Counter *c = g->findCounter(name);
+            CONSIM_ASSERT(c, "registry: vm counter '", name,
+                          "' missing");
+            return c->value();
+        };
         VmResult r;
         r.kind = vm->profile().kind;
-        r.transactions = s.transactions.value();
-        r.instructions = s.instructions.value();
-        r.l1Misses = s.l1Misses.value();
-        r.l2Accesses = s.l2Accesses.value();
-        r.l2Misses = s.l2Misses.value();
-        r.c2cClean = s.c2cClean.value();
-        r.c2cDirty = s.c2cDirty.value();
+        r.transactions = counter("transactions");
+        r.instructions = counter("instructions");
+        r.l1Misses = counter("l1_misses");
+        r.l2Accesses = counter("l2_accesses");
+        r.l2Misses = counter("l2_misses");
+        r.c2cClean = counter("c2c_clean");
+        r.c2cDirty = counter("c2c_dirty");
         r.distinctBlocks = vm->distinctBlocks();
         r.cyclesPerTransaction =
             r.transactions
                 ? static_cast<double>(measure) /
                       static_cast<double>(r.transactions)
                 : static_cast<double>(measure);
-        r.missRate = s.missRate();
-        r.avgMissLatency = s.missLatency.mean();
-        r.c2cFraction = s.c2cFraction();
-        r.c2cDirtyShare = s.c2cDirtyShare();
+        r.missRate = r.l2Accesses
+                         ? static_cast<double>(r.l2Misses) /
+                               static_cast<double>(r.l2Accesses)
+                         : 0.0;
+        const stats::Average *lat = g->findAverage("miss_latency");
+        CONSIM_ASSERT(lat, "registry: vm miss_latency missing");
+        r.avgMissLatency = lat->mean();
+        const std::uint64_t c2c = r.c2cClean + r.c2cDirty;
+        r.c2cFraction = r.l2Misses
+                            ? static_cast<double>(c2c) /
+                                  static_cast<double>(r.l2Misses)
+                            : 0.0;
+        r.c2cDirtyShare = c2c ? static_cast<double>(r.c2cDirty) /
+                                    static_cast<double>(c2c)
+                              : 0.0;
         out.vms.push_back(r);
     }
-    const auto &net = sys.network().netStats();
-    out.netAvgLatency = net.latency.mean();
-    out.netPackets = net.packetsEjected.value();
+    const stats::Average *net_lat = root.findAverage("net.latency");
+    const stats::Counter *net_pkts =
+        root.findCounter("net.packets_ejected");
+    CONSIM_ASSERT(net_lat && net_pkts, "registry: net stats missing");
+    out.netAvgLatency = net_lat->mean();
+    out.netPackets = net_pkts->value();
     out.replication = sys.replicationSnapshot();
     out.occupancy = sys.occupancySnapshot();
     return out;

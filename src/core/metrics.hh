@@ -27,6 +27,20 @@ struct VmStats
     stats::Counter c2cDirty;    ///< misses served by a dirty transfer
     stats::Average missLatency; ///< L1-miss latency (cycles)
 
+    /** Register every member into @p g (hierarchical registry). */
+    void
+    registerIn(stats::Group &g)
+    {
+        g.add("instructions", &instructions);
+        g.add("transactions", &transactions);
+        g.add("l1_misses", &l1Misses);
+        g.add("l2_accesses", &l2Accesses);
+        g.add("l2_misses", &l2Misses);
+        g.add("c2c_clean", &c2cClean);
+        g.add("c2c_dirty", &c2cDirty);
+        g.add("miss_latency", &missLatency);
+    }
+
     /** VM-level LLC miss rate (misses per LLC access). */
     double
     missRate() const

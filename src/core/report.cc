@@ -1,10 +1,14 @@
 #include "core/report.hh"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <tuple>
 
+#include "common/logging.hh"
 #include "exec/sweep.hh"
+#include "workload/profile.hh"
 
 namespace consim
 {
@@ -112,6 +116,177 @@ prewarmIsolationBaselines(const std::vector<BaselineRequest> &wants,
             baselineKey(w.kind, w.policy, w.sharing, seeds.size()),
             baselineOf(w.kind, results[i]));
     }
+}
+
+json::Value
+toJson(const MachineConfig &m)
+{
+    auto v = json::Value::object();
+    v.set("mesh_x", m.meshX);
+    v.set("mesh_y", m.meshY);
+    v.set("l0_bytes", m.l0Bytes);
+    v.set("l1_bytes", m.l1Bytes);
+    v.set("l2_total_bytes", m.l2TotalBytes);
+    v.set("l2_assoc", m.l2Assoc);
+    v.set("l2_latency", m.l2Latency);
+    v.set("sharing", toString(m.sharing));
+    v.set("mem_latency", m.memLatency);
+    v.set("num_mem_ctrls", m.numMemCtrls);
+    v.set("dir_cache_enabled", m.dirCacheEnabled);
+    v.set("clean_forwarding", m.cleanForwarding);
+    v.set("ideal_noc", m.idealNoc);
+    v.set("flat_intra_group", m.flatIntraGroup);
+    return v;
+}
+
+json::Value
+toJson(const RunConfig &cfg)
+{
+    auto v = json::Value::object();
+    v.set("machine", toJson(cfg.machine));
+    auto workloads = json::Value::array();
+    for (const auto kind : cfg.workloads)
+        workloads.push(toString(kind));
+    v.set("workloads", std::move(workloads));
+    v.set("policy", toString(cfg.policy));
+    v.set("seed", cfg.seed);
+    v.set("warmup_cycles", cfg.warmupCycles);
+    v.set("measure_cycles", cfg.measureCycles);
+    v.set("migration_interval_cycles", cfg.migrationIntervalCycles);
+    return v;
+}
+
+json::Value
+toJson(const VmResult &r)
+{
+    auto v = json::Value::object();
+    v.set("kind", toString(r.kind));
+    v.set("transactions", r.transactions);
+    v.set("instructions", r.instructions);
+    v.set("l1_misses", r.l1Misses);
+    v.set("l2_accesses", r.l2Accesses);
+    v.set("l2_misses", r.l2Misses);
+    v.set("c2c_clean", r.c2cClean);
+    v.set("c2c_dirty", r.c2cDirty);
+    v.set("distinct_blocks", r.distinctBlocks);
+    v.set("cycles_per_transaction", r.cyclesPerTransaction);
+    v.set("miss_rate", r.missRate);
+    v.set("avg_miss_latency", r.avgMissLatency);
+    v.set("c2c_fraction", r.c2cFraction);
+    v.set("c2c_dirty_share", r.c2cDirtyShare);
+    return v;
+}
+
+json::Value
+toJson(const RunResult &r)
+{
+    auto v = json::Value::object();
+    v.set("measured_cycles", r.measuredCycles);
+    auto vms = json::Value::array();
+    for (const auto &vm : r.vms)
+        vms.push(toJson(vm));
+    v.set("vms", std::move(vms));
+    v.set("net_avg_latency", r.netAvgLatency);
+    v.set("net_packets", r.netPackets);
+
+    auto rep = json::Value::object();
+    rep.set("valid_lines", r.replication.validLines);
+    rep.set("replicated_lines", r.replication.replicatedLines);
+    rep.set("distinct_blocks", r.replication.distinctBlocks);
+    rep.set("replicated_fraction", r.replication.replicatedFraction());
+    auto valid_per_vm = json::Value::array();
+    for (const auto n : r.replication.validPerVm)
+        valid_per_vm.push(n);
+    rep.set("valid_per_vm", std::move(valid_per_vm));
+    auto repl_per_vm = json::Value::array();
+    for (const auto n : r.replication.replicatedPerVm)
+        repl_per_vm.push(n);
+    rep.set("replicated_per_vm", std::move(repl_per_vm));
+    v.set("replication", std::move(rep));
+
+    auto occ = json::Value::object();
+    auto capacity = json::Value::array();
+    for (const auto n : r.occupancy.capacity)
+        capacity.push(n);
+    occ.set("capacity", std::move(capacity));
+    auto lines = json::Value::array();
+    for (const auto &group : r.occupancy.lines) {
+        auto row = json::Value::array();
+        for (const auto n : group)
+            row.push(n);
+        lines.push(std::move(row));
+    }
+    occ.set("lines", std::move(lines));
+    v.set("occupancy", std::move(occ));
+    return v;
+}
+
+json::Value
+runResultJson(const RunConfig &cfg, const RunResult &r)
+{
+    auto v = json::Value::object();
+    v.set("schema", "consim.run.v1");
+    v.set("config", toJson(cfg));
+    v.set("result", toJson(r));
+    return v;
+}
+
+void
+dumpStats(std::ostream &os, const stats::Group &root)
+{
+    root.dump(os);
+}
+
+std::string
+JsonReport::pathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    }
+    if (const char *env = std::getenv("CONSIM_JSON"))
+        return env;
+    return "";
+}
+
+JsonReport::JsonReport(std::string id, std::string title,
+                       std::string path)
+    : path_(std::move(path)), doc_(json::Value::object())
+{
+    doc_.set("schema", "consim.bench.v1");
+    doc_.set("id", std::move(id));
+    doc_.set("title", std::move(title));
+    doc_.set("points", json::Value::array());
+}
+
+void
+JsonReport::set(const std::string &key, json::Value v)
+{
+    if (!enabled())
+        return;
+    doc_.set(key, std::move(v));
+}
+
+void
+JsonReport::point(json::Value v)
+{
+    if (!enabled())
+        return;
+    doc_.find("points")->push(std::move(v));
+}
+
+void
+JsonReport::write() const
+{
+    if (!enabled())
+        return;
+    std::ofstream out(path_);
+    if (!out)
+        CONSIM_FATAL("cannot open JSON output path ", path_);
+    doc_.write(out, 2);
+    out << "\n";
+    if (!out)
+        CONSIM_FATAL("failed writing JSON output to ", path_);
 }
 
 void

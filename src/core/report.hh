@@ -1,8 +1,10 @@
 /**
  * @file
  * Reporting helpers for the benchmark harness: cached isolation
- * baselines (every figure normalizes to a workload's isolated run)
- * and uniform normalized-table printing.
+ * baselines (every figure normalizes to a workload's isolated run),
+ * uniform normalized-table printing, and the shared JSON result
+ * format (schema-versioned, config echo + registry-derived metrics)
+ * that every bench and consim_run emit behind --json / CONSIM_JSON.
  */
 
 #ifndef CONSIM_CORE_REPORT_HH
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "core/experiment.hh"
 
 namespace consim
@@ -59,6 +62,68 @@ const std::vector<std::uint64_t> &benchSeeds();
 void printHeader(std::ostream &os, const std::string &title,
                  const std::string &paper_ref,
                  const std::string &expectation);
+
+// --- structured (JSON) results ------------------------------------
+//
+// One shared format for every front end. Schemas:
+//   consim.run.v1   {schema, config, result}        (one point)
+//   consim.sweep.v1 {schema, points: [run.v1...]}   (a sweep)
+//   consim.bench.v1 {schema, id, title, points}     (a figure bench)
+// All numbers are written with shortest-round-trip formatting, so
+// bit-identical results produce byte-identical documents.
+
+/** Config echo: the machine knobs that define a simulation point. */
+json::Value toJson(const MachineConfig &m);
+
+/** Full point definition: machine + workloads + policy + windows. */
+json::Value toJson(const RunConfig &cfg);
+
+/** Per-VM metrics (registry-derived; see VmResult). */
+json::Value toJson(const VmResult &v);
+
+/** Whole-run metrics, including replication/occupancy snapshots. */
+json::Value toJson(const RunResult &r);
+
+/** Schema-versioned envelope for one run: config echo + result. */
+json::Value runResultJson(const RunConfig &cfg, const RunResult &r);
+
+/** Dump a stats subtree as "full.dotted.name value" text lines. */
+void dumpStats(std::ostream &os, const stats::Group &root);
+
+/**
+ * Accumulates a bench's data points and writes one consim.bench.v1
+ * document on destruction-free explicit write(). Disabled (all calls
+ * no-ops) when the resolved path is empty, so benches can call it
+ * unconditionally.
+ */
+class JsonReport
+{
+  public:
+    /**
+     * Resolve the output path: `--json <path>` from argv wins,
+     * otherwise the CONSIM_JSON environment variable, otherwise ""
+     * (disabled).
+     */
+    static std::string pathFromArgs(int argc, char **argv);
+
+    /** @param id machine-readable bench id, e.g. "fig2" */
+    JsonReport(std::string id, std::string title, std::string path);
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Set an extra top-level field on the document. */
+    void set(const std::string &key, json::Value v);
+
+    /** Append one data point (typically runResultJson + labels). */
+    void point(json::Value v);
+
+    /** Write the document to the path; fatal on I/O failure. */
+    void write() const;
+
+  private:
+    std::string path_;
+    json::Value doc_;
+};
 
 } // namespace consim
 

@@ -75,6 +75,25 @@ System::System(const MachineConfig &cfg,
         cores_.at(p.core)->bindThread(&vm.instance().thread(p.thread),
                                       p.vm);
     }
+
+    // Link every component's registry node into one tree rooted at
+    // "sys": full stat names read sys.tile03.l1.misses, sys.net.*,
+    // sys.vm00.*. VM groups are re-parented (a VM may be adopted by
+    // a fresh System in tests), so adoption order defines the tree.
+    for (CoreId t = 0; t < n; ++t) {
+        tileGroups_.push_back(std::make_unique<stats::Group>(
+            indexedName("tile", t), &statsRoot_));
+        stats::Group &tg = *tileGroups_.back();
+        tg.addChild(&cores_[t]->statsGroup());
+        tg.addChild(&l1s_[t]->statsGroup());
+        tg.addChild(&banks_[t]->statsGroup());
+        tg.addChild(&dirs_[t]->statsGroup());
+    }
+    for (std::size_t i = 0; i < mcs_.size(); ++i)
+        tileGroups_[mcTiles_[i]]->addChild(&mcs_[i]->statsGroup());
+    statsRoot_.addChild(&net_->statsGroup());
+    for (auto *vm : vms_)
+        statsRoot_.addChild(&vm->statsGroup());
 }
 
 // ---------------------------------------------------------------------
@@ -259,22 +278,7 @@ System::quiesced() const
 void
 System::resetStats()
 {
-    for (auto *vm : vms_)
-        vm->vmStats().reset();
-    net_->netStats().reset();
-    for (auto &l1 : l1s_)
-        l1->l1Stats() = L1Stats{};
-    for (auto &b : banks_)
-        b->bankStats() = L2BankStats{};
-    for (auto &d : dirs_)
-        d->sliceStats() = DirSliceStats{};
-    for (auto &mc : mcs_) {
-        mc->reads.reset();
-        mc->writes.reset();
-        mc->queueDelay.reset();
-    }
-    for (auto &c : cores_)
-        c->coreStats() = CoreStats{};
+    statsRoot_.resetAll();
 }
 
 bool
@@ -306,64 +310,7 @@ System::swapRandomThreads(Rng &rng)
 void
 System::dumpStats(std::ostream &os) const
 {
-    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
-        const auto &cs = cores_[t]->coreStats();
-        const std::string c = "core" + std::to_string(t);
-        os << c << ".instructions " << cs.instructions.value() << "\n";
-        os << c << ".mem_refs " << cs.memRefs.value() << "\n";
-        os << c << ".stall_cycles " << cs.stallCycles.value() << "\n";
-
-        const auto &l1 = l1s_[t]->l1Stats();
-        const std::string l = "l1_" + std::to_string(t);
-        os << l << ".l0_hits " << l1.l0Hits.value() << "\n";
-        os << l << ".l1_hits " << l1.l1Hits.value() << "\n";
-        os << l << ".misses " << l1.misses.value() << "\n";
-        os << l << ".writebacks " << l1.writebacks.value() << "\n";
-
-        const auto &b = banks_[t]->bankStats();
-        const std::string bk = "l2bank" + std::to_string(t);
-        os << bk << ".hits " << b.hits.value() << "\n";
-        os << bk << ".misses " << b.misses.value() << "\n";
-        os << bk << ".upgrades " << b.upgrades.value() << "\n";
-        os << bk << ".evict_dirty " << b.evictDirty.value() << "\n";
-        os << bk << ".evict_clean " << b.evictClean.value() << "\n";
-        os << bk << ".fwds_served " << b.fwdsServed.value() << "\n";
-
-        const auto &d = dirs_[t]->sliceStats();
-        const std::string dr = "dir" + std::to_string(t);
-        os << dr << ".requests " << d.requests.value() << "\n";
-        os << dr << ".forwards " << d.forwards.value() << "\n";
-        os << dr << ".invalidations " << d.invalidations.value()
-           << "\n";
-        os << dr << ".mem_reads " << d.memReads.value() << "\n";
-        os << dr << ".dir_cache_hits " << d.dirCacheHits.value()
-           << "\n";
-        os << dr << ".dir_cache_misses " << d.dirCacheMisses.value()
-           << "\n";
-    }
-    for (std::size_t i = 0; i < mcs_.size(); ++i) {
-        const std::string m = "mc" + std::to_string(i);
-        os << m << ".reads " << mcs_[i]->reads.value() << "\n";
-        os << m << ".writes " << mcs_[i]->writes.value() << "\n";
-        os << m << ".queue_delay " << mcs_[i]->queueDelay.mean()
-           << "\n";
-    }
-    const auto &ns = net_->netStats();
-    os << "net.packets " << ns.packetsEjected.value() << "\n";
-    os << "net.flit_hops " << ns.flitHops.value() << "\n";
-    os << "net.latency " << ns.latency.mean() << "\n";
-    for (std::size_t v = 0; v < vms_.size(); ++v) {
-        const auto &s = vms_[v]->vmStats();
-        const std::string vm = "vm" + std::to_string(v);
-        os << vm << ".instructions " << s.instructions.value() << "\n";
-        os << vm << ".transactions " << s.transactions.value() << "\n";
-        os << vm << ".l1_misses " << s.l1Misses.value() << "\n";
-        os << vm << ".l2_accesses " << s.l2Accesses.value() << "\n";
-        os << vm << ".l2_misses " << s.l2Misses.value() << "\n";
-        os << vm << ".c2c_clean " << s.c2cClean.value() << "\n";
-        os << vm << ".c2c_dirty " << s.c2cDirty.value() << "\n";
-        os << vm << ".miss_latency " << s.missLatency.mean() << "\n";
-    }
+    statsRoot_.dump(os);
 }
 
 // ---------------------------------------------------------------------

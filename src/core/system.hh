@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 
 #include "core/event_queue.hh"
 
@@ -129,6 +130,15 @@ class System : public Fabric
     void resetStats();
 
     /**
+     * Root of the hierarchical statistics registry: the whole
+     * machine as one tree ("sys.tileNN.{core,l1,l2bank,dir,mc}",
+     * "sys.net", "sys.vmNN"). RunResult extraction, dumpStats, and
+     * JSON export all read this tree.
+     */
+    stats::Group &statsRoot() { return statsRoot_; }
+    const stats::Group &statsRoot() const { return statsRoot_; }
+
+    /**
      * Dynamic-scheduling extension (paper SSVII): migrate by swapping
      * the threads of two random cores (one may be idle). Mimics a
      * hypervisor reassigning virtual CPUs over time; the migrated
@@ -138,7 +148,7 @@ class System : public Fabric
      */
     bool swapRandomThreads(Rng &rng);
 
-    /** Dump every component's statistics as "name.stat value". */
+    /** Dump the whole stats tree as "sys.path.stat value" lines. */
     void dumpStats(std::ostream &os) const;
 
     // --- component access (tests, benches, snapshots) ---
@@ -202,6 +212,10 @@ class System : public Fabric
 
     Cycle now_ = 0;
     CalendarQueue events_;
+
+    stats::Group statsRoot_{"sys"};
+    /** Per-tile registry nodes ("tileNN") under statsRoot_. */
+    std::vector<std::unique_ptr<stats::Group>> tileGroups_;
 };
 
 } // namespace consim

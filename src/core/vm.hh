@@ -30,8 +30,10 @@ class VirtualMachine
      */
     VirtualMachine(const WorkloadProfile &profile, VmId vm,
                    std::uint64_t seed)
-        : instance_(profile, vm, seed), id_(vm)
+        : instance_(profile, vm, seed), id_(vm),
+          statsGroup_(indexedName("vm", vm))
     {
+        stats_.registerIn(statsGroup_);
     }
 
     VmId id() const { return id_; }
@@ -40,6 +42,10 @@ class VirtualMachine
 
     VmStats &vmStats() { return stats_; }
     const VmStats &vmStats() const { return stats_; }
+
+    /** Registry node ("vmNN") holding this VM's stats; reparented
+     *  under "sys" when a System adopts the VM. */
+    stats::Group &statsGroup() { return statsGroup_; }
 
     /** Distinct blocks touched so far (Table II column). */
     std::uint64_t distinctBlocks() const
@@ -51,6 +57,7 @@ class VirtualMachine
     WorkloadInstance instance_;
     VmId id_;
     VmStats stats_;
+    stats::Group statsGroup_;
 };
 
 } // namespace consim

@@ -9,6 +9,7 @@ Core::Core(Fabric &fabric, CoreId tile, L1Controller &l1)
     : fab_(fabric), tile_(tile), l1_(l1)
 {
     l1_.setMissCallback([this] { missComplete(); });
+    stats_.registerIn(statsGroup_);
 }
 
 void

@@ -24,6 +24,16 @@ struct CoreStats
     stats::Counter memRefs;
     stats::Counter transactions;
     stats::Counter stallCycles; ///< cycles blocked on a miss
+
+    /** Register every member into @p g (hierarchical registry). */
+    void
+    registerIn(stats::Group &g)
+    {
+        g.add("instructions", &instructions);
+        g.add("mem_refs", &memRefs);
+        g.add("transactions", &transactions);
+        g.add("stall_cycles", &stallCycles);
+    }
 };
 
 /** One hardware context. Idle when no stream is bound. */
@@ -55,6 +65,9 @@ class Core
     CoreStats &coreStats() { return stats_; }
     const CoreStats &coreStats() const { return stats_; }
 
+    /** Registry node ("core") holding this core's stats. */
+    stats::Group &statsGroup() { return statsGroup_; }
+
   private:
     void missComplete();
 
@@ -70,6 +83,7 @@ class Core
     Cycle busyUntil_ = 0;
     Cycle blockStart_ = 0;
     CoreStats stats_;
+    stats::Group statsGroup_{"core"};
 };
 
 } // namespace consim

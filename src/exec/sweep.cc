@@ -1,6 +1,7 @@
 #include "exec/sweep.hh"
 
 #include "common/logging.hh"
+#include "core/report.hh"
 #include "exec/thread_pool.hh"
 
 namespace consim
@@ -70,6 +71,21 @@ runSweepAveraged(const std::vector<RunConfig> &configs,
         out.push_back(averageRunResults(std::move(group)));
     }
     return out;
+}
+
+json::Value
+sweepResultsJson(const std::vector<RunConfig> &configs,
+                 const std::vector<RunResult> &results)
+{
+    CONSIM_ASSERT(configs.size() == results.size(),
+                  "sweep JSON: configs/results size mismatch");
+    auto doc = json::Value::object();
+    doc.set("schema", "consim.sweep.v1");
+    auto points = json::Value::array();
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        points.push(runResultJson(configs[i], results[i]));
+    doc.set("points", std::move(points));
+    return doc;
 }
 
 } // namespace consim

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hh"
 #include "core/experiment.hh"
 
 namespace consim
@@ -54,6 +55,16 @@ std::vector<RunResult>
 runSweepAveraged(const std::vector<RunConfig> &configs,
                  const std::vector<std::uint64_t> &seeds,
                  const SweepOptions &opts = {});
+
+/**
+ * Serialize a sweep's output as one "consim.sweep.v1" document:
+ * points[i] is the consim.run.v1 envelope of configs[i]/results[i].
+ * Because the JSON writer is deterministic, parallel and serial
+ * sweeps of the same configs produce byte-identical documents
+ * (tests/test_determinism.cc enforces this).
+ */
+json::Value sweepResultsJson(const std::vector<RunConfig> &configs,
+                             const std::vector<RunResult> &results);
 
 } // namespace consim
 

@@ -41,6 +41,19 @@ struct NetworkStats
         latencyData.reset();
         latencyCtrl.reset();
     }
+
+    /** Register every member into @p g (hierarchical registry). */
+    void
+    registerIn(stats::Group &g)
+    {
+        g.add("packets_injected", &packetsInjected);
+        g.add("packets_ejected", &packetsEjected);
+        g.add("flit_hops", &flitHops);
+        g.add("link_busy_cycles", &linkBusyCycles);
+        g.add("latency", &latency);
+        g.add("latency_data", &latencyData);
+        g.add("latency_ctrl", &latencyCtrl);
+    }
 };
 
 /** Interconnect interface: inject messages, tick, deliver callback. */
@@ -66,7 +79,12 @@ class Network
     NetworkStats &netStats() { return stats_; }
     const NetworkStats &netStats() const { return stats_; }
 
+    /** Registry node ("net") holding the interconnect stats. */
+    stats::Group &statsGroup() { return statsGroup_; }
+
   protected:
+    Network() { stats_.registerIn(statsGroup_); }
+
     void
     recordEject(const Msg &m, Cycle now, int len_flits)
     {
@@ -81,6 +99,7 @@ class Network
 
     DeliverFn deliver_;
     NetworkStats stats_;
+    stats::Group statsGroup_{"net"};
 };
 
 /**

@@ -132,6 +132,41 @@ TEST(Determinism, SweepAveragedMatchesSerialAveraging)
     EXPECT_TRUE(identical(serial, parallel));
 }
 
+TEST(Determinism, ParallelAndSerialSweepJsonIsByteIdentical)
+{
+    // The JSON writer formats numbers with shortest-round-trip
+    // std::to_chars and objects keep insertion order, so bit-identical
+    // sweep results must serialize to byte-identical documents.
+    std::vector<RunConfig> configs = {
+        quickConfig(SchedPolicy::Affinity, SharingDegree::Shared4, 5),
+        quickConfig(SchedPolicy::RoundRobin, SharingDegree::Shared2,
+                    6),
+        quickConfig(SchedPolicy::Random, SharingDegree::Shared16, 7),
+    };
+
+    SweepOptions parallel_opts;
+    parallel_opts.jobs = 3;
+    const std::string parallel_doc =
+        sweepResultsJson(configs, runSweep(configs, parallel_opts))
+            .dump(2);
+
+    SweepOptions serial_opts;
+    serial_opts.jobs = 1;
+    const std::string serial_doc =
+        sweepResultsJson(configs, runSweep(configs, serial_opts))
+            .dump(2);
+
+    EXPECT_EQ(parallel_doc, serial_doc);
+
+    // And the document is valid JSON with the expected schema tag.
+    json::Value parsed;
+    std::string err;
+    ASSERT_TRUE(json::parse(parallel_doc, parsed, &err)) << err;
+    ASSERT_NE(parsed.find("schema"), nullptr);
+    EXPECT_EQ(parsed.find("schema")->str(), "consim.sweep.v1");
+    EXPECT_EQ(parsed.find("points")->size(), configs.size());
+}
+
 TEST(Determinism, AveragedNetPacketsIsAMeanNotASum)
 {
     const std::vector<std::uint64_t> seeds = {1, 2};

@@ -194,9 +194,10 @@ TEST_F(SystemTopology, DumpStatsEmitsAllSections)
     sys_->dumpStats(os);
     const std::string s = os.str();
     for (const char *key :
-         {"core0.instructions", "l1_0.misses", "l2bank0.hits",
-          "dir0.requests", "mc0.reads", "net.packets",
-          "vm0.l2_accesses"}) {
+         {"sys.tile00.core.instructions", "sys.tile00.l1.misses",
+          "sys.tile00.l2bank.hits", "sys.tile00.dir.requests",
+          ".mc.reads", "sys.net.packets_injected",
+          "sys.vm00.l2_accesses"}) {
         EXPECT_NE(s.find(key), std::string::npos) << key;
     }
 }

@@ -1,22 +1,38 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (full build + test suite) plus a
-# ThreadSanitizer pass over the sweep engine's concurrency surface
-# (thread pool + parallel sweep determinism + event queue).
+# CI gate: tier-1 verify (full build + test suite), an ASan+UBSan
+# pass over the whole tier-1 suite (memory safety of the registry,
+# JSON layer, and simulator core), plus a ThreadSanitizer pass over
+# the sweep engine's concurrency surface (thread pool + parallel
+# sweep determinism + event queue).
 #
-# Usage: tools/ci.sh [--skip-tsan]
+# Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
-if [[ "${1:-}" == "--skip-tsan" ]]; then
-    skip_tsan=1
-fi
+skip_asan=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-tsan) skip_tsan=1 ;;
+        --skip-asan) skip_asan=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "=== tier-1: build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$skip_asan" == 1 ]]; then
+    echo "=== asan+ubsan: skipped ==="
+else
+    echo "=== asan+ubsan: full tier-1 test suite ==="
+    cmake -B build-asan -S . -DCONSIM_SAN=address,undefined >/dev/null
+    cmake --build build-asan -j "$(nproc)"
+    (cd build-asan && ctest --output-on-failure -j "$(nproc)")
+fi
 
 if [[ "$skip_tsan" == 1 ]]; then
     echo "=== tsan: skipped ==="

@@ -21,21 +21,28 @@
  *     --ideal-noc              ablation: fixed-latency interconnect
  *     --csv                    machine-readable per-VM output
  *     --dump-stats             full component statistics dump
+ *     --json PATH              write the consim.run.v1 JSON envelope
+ *                              (also via the CONSIM_JSON env var)
  *
  * Examples:
  *   consim_run --mix "Mix 7" --policy rr
  *   consim_run --vm jbb --vm jbb --sharing 8 --csv
+ *   consim_run --mix "Mix 5" --json mix5.json
  */
 
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/mix.hh"
+#include "core/report.hh"
 #include "exec/sweep.hh"
 
 namespace
@@ -54,8 +61,22 @@ usage(const char *msg = nullptr)
         "       [--warmup N] [--measure N] [--seed N] [--seeds N] "
         "[--migrate N]\n"
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
-        "[--csv] [--dump-stats]\n";
+        "[--csv] [--dump-stats]\n"
+        "       [--json PATH]\n";
     std::exit(2);
+}
+
+void
+writeJsonDoc(const std::string &path, const json::Value &doc)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot open JSON output path " << path
+                  << "\n";
+        std::exit(1);
+    }
+    doc.write(out, 2);
+    out << "\n";
 }
 
 WorkloadKind
@@ -115,6 +136,9 @@ main(int argc, char **argv)
     bool dump = false;
     int num_seeds = 1;
     std::string mix_name;
+    std::string json_path;
+    if (const char *env = std::getenv("CONSIM_JSON"))
+        json_path = env;
 
     auto next_arg = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -158,6 +182,8 @@ main(int argc, char **argv)
             csv = true;
         } else if (a == "--dump-stats") {
             dump = true;
+        } else if (a == "--json") {
+            json_path = next_arg(i);
         } else if (a == "--help" || a == "-h") {
             usage();
         } else {
@@ -188,6 +214,9 @@ main(int argc, char **argv)
         for (int s = 0; s < num_seeds; ++s)
             seeds.push_back(cfg.seed + static_cast<std::uint64_t>(s));
         const RunResult r = runSweepAveraged({cfg}, seeds).front();
+
+        if (!json_path.empty())
+            writeJsonDoc(json_path, runResultJson(cfg, r));
 
         if (csv) {
             std::cout
@@ -318,6 +347,16 @@ main(int argc, char **argv)
     if (dump) {
         std::cout << "\n# component statistics\n";
         sys.dumpStats(std::cout);
+    }
+
+    if (!json_path.empty()) {
+        // No averaged RunResult on this path; export the config echo
+        // and the full registry tree instead.
+        auto doc = json::Value::object();
+        doc.set("schema", "consim.run.v1");
+        doc.set("config", toJson(cfg));
+        doc.set("stats", sys.statsRoot().toJson());
+        writeJsonDoc(json_path, doc);
     }
     return 0;
 }
