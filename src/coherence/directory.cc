@@ -1,9 +1,12 @@
 #include "coherence/directory.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <vector>
 
 #include "common/bitops.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "noc/routing.hh"
 
@@ -76,6 +79,7 @@ DirectorySlice::startTxn(Msg m)
     }
     Txn &t = active_[block];
     t.req = std::move(m);
+    t.started = fab_.now();
 
     Cycle lat = fab_.config().dirLatency;
     if (fab_.config().dirCacheEnabled) {
@@ -431,6 +435,66 @@ DirectorySlice::sendToBank(MsgType type, GroupId g, const Msg &req)
     m.dstTile = fab_.bankTileFor(g, req.block);
     m.dstUnit = Unit::L2Bank;
     fab_.send(m);
+}
+
+void
+DirectorySlice::auditStuckTxns(Cycle now, Cycle limit) const
+{
+    for (const auto &[block, t] : active_) {
+        if (now - t.started > limit) {
+            CONSIM_CHECK_FAIL("dir ", tile_, ": transaction on block "
+                              "0x", std::hex, block, std::dec,
+                              " stuck for ", now - t.started,
+                              " cycles (req ", describe(t.req),
+                              ", acks_pending=", t.acksPending,
+                              ", grant_sent=", t.grantSent,
+                              ", done=", t.doneReceived, ")");
+        }
+    }
+}
+
+json::Value
+DirectorySlice::diagJson() const
+{
+    std::vector<BlockAddr> keys;
+    keys.reserve(active_.size());
+    for (const auto &[block, t] : active_)
+        keys.push_back(block);
+    std::sort(keys.begin(), keys.end());
+
+    auto v = json::Value::object();
+    v.set("tile", tile_);
+    auto act = json::Value::array();
+    for (const BlockAddr block : keys) {
+        const Txn &t = active_.at(block);
+        auto e = json::Value::object();
+        e.set("block", block);
+        e.set("req", describe(t.req));
+        e.set("started", t.started);
+        e.set("acks_pending", t.acksPending);
+        e.set("fwd_ack_pending", t.fwdAckPending);
+        e.set("grant_sent", t.grantSent);
+        e.set("done_received", t.doneReceived);
+        act.push(std::move(e));
+    }
+    v.set("active", std::move(act));
+
+    keys.clear();
+    for (const auto &[block, q] : waiting_) {
+        if (!q.empty())
+            keys.push_back(block);
+    }
+    std::sort(keys.begin(), keys.end());
+    auto waitv = json::Value::array();
+    for (const BlockAddr block : keys) {
+        auto e = json::Value::object();
+        e.set("block", block);
+        e.set("depth",
+              static_cast<std::uint64_t>(waiting_.at(block).size()));
+        waitv.push(std::move(e));
+    }
+    v.set("waiting", std::move(waitv));
+    return v;
 }
 
 void

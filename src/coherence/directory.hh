@@ -20,6 +20,7 @@
 #include "cache/cache_array.hh"
 #include "coherence/fabric.hh"
 #include "coherence/protocol.hh"
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace consim
@@ -142,6 +143,24 @@ class DirectorySlice
     /** Write active/waiting transaction state to stderr. */
     void debugDump() const;
 
+    /**
+     * Hardening audit: throw SimError for any transaction older than
+     * @p limit cycles (a blocked home that will never unblock).
+     */
+    void auditStuckTxns(Cycle now, Cycle limit) const;
+
+    /** @return true when @p block has any in-flight state here. */
+    bool
+    hasActivity(BlockAddr block) const
+    {
+        const auto wit = waiting_.find(block);
+        return active_.count(block) != 0 ||
+               (wit != waiting_.end() && !wit->second.empty());
+    }
+
+    /** Active/waiting transaction snapshot for `consim.diag.v1`. */
+    json::Value diagJson() const;
+
   private:
     struct DirCacheLine : CacheLineBase
     {
@@ -150,6 +169,7 @@ class DirectorySlice
     struct Txn
     {
         Msg req;
+        Cycle started = 0; ///< creation cycle (stuck audit)
         int acksPending = 0;
         bool fwdAckPending = false;
         bool grantSent = false;

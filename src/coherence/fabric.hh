@@ -52,6 +52,13 @@ class Fabric
     /** @return VM that owns @p block (address-partitioned). */
     virtual VmId vmOfBlock(BlockAddr block) const = 0;
 
+    /**
+     * Fault injection: extra DRAM latency in force this cycle. The
+     * memory controllers add this on top of the configured access
+     * latency; nonzero only while a `memburst` fault is active.
+     */
+    virtual Cycle memFaultExtraLatency() const { return 0; }
+
     // --- per-VM statistic hooks (driven by the controllers) ---
 
     /** An access reached the VM's last-level cache. */

@@ -1,5 +1,6 @@
 #include "coherence/l1_controller.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace consim
@@ -181,6 +182,19 @@ L1Controller::sendToBank(MsgType t, BlockAddr block)
     m.reqGroup = group_;
     m.vm = fab_.vmOfBlock(block);
     fab_.send(m);
+}
+
+void
+L1Controller::auditStuckMiss(Cycle now, Cycle limit) const
+{
+    if (pending_.active && now - pending_.start > limit) {
+        CONSIM_CHECK_FAIL("L1 ", tile_, ": miss on block 0x",
+                          std::hex, pending_.block, std::dec,
+                          " outstanding for ", now - pending_.start,
+                          " cycles (", pending_.isWrite ? "write"
+                                                        : "read",
+                          ")");
+    }
 }
 
 void

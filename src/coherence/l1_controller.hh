@@ -82,6 +82,23 @@ class L1Controller
     /** @return true when no miss is outstanding. */
     bool idle() const { return !pending_.active; }
 
+    // --- hardening / diagnostics ---
+
+    /** @return block of the outstanding miss (valid when !idle()). */
+    BlockAddr pendingBlock() const { return pending_.block; }
+
+    /** @return cycle the outstanding miss began (valid when !idle()). */
+    Cycle pendingStart() const { return pending_.start; }
+
+    /** @return true when the outstanding miss is a write. */
+    bool pendingIsWrite() const { return pending_.isWrite; }
+
+    /**
+     * Hardening audit: throw SimError when the single outstanding
+     * miss has been pending longer than @p limit cycles.
+     */
+    void auditStuckMiss(Cycle now, Cycle limit) const;
+
     L1Stats &l1Stats() { return stats_; }
     const L1Stats &l1Stats() const { return stats_; }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace consim
@@ -132,6 +134,7 @@ L2Bank::onL1Request(const Msg &m)
     BankTxn t;
     t.phase = Phase::Lookup;
     t.req = m;
+    t.started = fab_.now();
     active_[block] = std::move(t);
     fab_.schedule(fab_.config().l2Latency,
                   [this, block] { dispatchLocal(block); });
@@ -285,6 +288,7 @@ L2Bank::startOp(Msg m)
         BankTxn t;
         t.phase = Phase::Lookup;
         t.req = std::move(m);
+        t.started = fab_.now();
         active_[block] = std::move(t);
         fab_.schedule(fab_.config().l2Latency,
                       [this, block] { dispatchLocal(block); });
@@ -478,6 +482,7 @@ L2Bank::processFwdOnLine(const Msg &m)
         BankTxn t;
         t.phase = Phase::WaitFwdL1Data;
         t.req = m;
+        t.started = fab_.now();
         t.extractTarget = members_[line->ownerCore];
         active_[block] = std::move(t);
         sendL1(MsgType::L1WbReq, members_[line->ownerCore], block,
@@ -722,7 +727,7 @@ L2Bank::evictLineNow(L2CacheLine *line)
         ++stats_.evictDirty;
     else
         ++stats_.evictClean;
-    wb_[block] = WbEntry{dirty, line->vm};
+    wb_[block] = WbEntry{dirty, line->vm, fab_.now()};
 
     Msg put = makeMsg(dirty ? MsgType::PutM : MsgType::PutS, block,
                       fab_.homeTileFor(block), Unit::Dir);
@@ -814,6 +819,90 @@ L2Bank::checkInvariants() const
                           "unreachable"); // S may be dirty only
                                           // transiently; tolerated
     });
+}
+
+void
+L2Bank::auditStuckTxns(Cycle now, Cycle limit) const
+{
+    for (const auto &[block, t] : active_) {
+        if (now - t.started > limit) {
+            CONSIM_CHECK_FAIL("bank ", tile_, ": transaction on block "
+                              "0x", std::hex, block, std::dec,
+                              " stuck for ", now - t.started,
+                              " cycles (phase ",
+                              static_cast<int>(t.phase), ", req ",
+                              describe(t.req), ")");
+        }
+    }
+    for (const auto &[block, wb] : wb_) {
+        if (now - wb.started > limit) {
+            CONSIM_CHECK_FAIL("bank ", tile_, ": writeback of block "
+                              "0x", std::hex, block, std::dec,
+                              " awaiting PutAck for ",
+                              now - wb.started, " cycles");
+        }
+    }
+}
+
+namespace
+{
+
+/** Sorted keys of a block-indexed map (deterministic diag output). */
+template <typename Map>
+std::vector<BlockAddr>
+sortedBlocks(const Map &m)
+{
+    std::vector<BlockAddr> keys;
+    keys.reserve(m.size());
+    for (const auto &[block, v] : m)
+        keys.push_back(block);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
+
+json::Value
+L2Bank::diagJson() const
+{
+    auto v = json::Value::object();
+    v.set("tile", tile_);
+    auto act = json::Value::array();
+    for (const BlockAddr block : sortedBlocks(active_)) {
+        const BankTxn &t = active_.at(block);
+        auto e = json::Value::object();
+        e.set("block", block);
+        e.set("phase", static_cast<int>(t.phase));
+        e.set("started", t.started);
+        e.set("req", describe(t.req));
+        if (t.extractTarget != invalidCore)
+            e.set("extract_target", t.extractTarget);
+        act.push(std::move(e));
+    }
+    v.set("active", std::move(act));
+    auto waitv = json::Value::array();
+    for (const BlockAddr block : sortedBlocks(waiting_)) {
+        const auto &q = waiting_.at(block);
+        if (q.empty())
+            continue;
+        auto e = json::Value::object();
+        e.set("block", block);
+        e.set("depth", static_cast<std::uint64_t>(q.size()));
+        e.set("front", describe(q.front()));
+        waitv.push(std::move(e));
+    }
+    v.set("waiting", std::move(waitv));
+    auto wbv = json::Value::array();
+    for (const BlockAddr block : sortedBlocks(wb_)) {
+        const WbEntry &wb = wb_.at(block);
+        auto e = json::Value::object();
+        e.set("block", block);
+        e.set("dirty", wb.dirty);
+        e.set("started", wb.started);
+        wbv.push(std::move(e));
+    }
+    v.set("writebacks", std::move(wbv));
+    return v;
 }
 
 void

@@ -34,6 +34,7 @@
 #include "cache/cache_array.hh"
 #include "coherence/fabric.hh"
 #include "coherence/protocol.hh"
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace consim
@@ -110,6 +111,26 @@ class L2Bank
     /** Write active/waiting/writeback state to stderr (debugging). */
     void debugDump() const;
 
+    /**
+     * Hardening audit: throw SimError for any transaction or
+     * writeback entry older than @p limit cycles — a leaked MSHR
+     * equivalent (an operation that will never complete keeps its
+     * entry forever).
+     */
+    void auditStuckTxns(Cycle now, Cycle limit) const;
+
+    /** @return true when @p block has any in-flight state here. */
+    bool
+    hasActivity(BlockAddr block) const
+    {
+        const auto wit = waiting_.find(block);
+        return active_.count(block) != 0 || wb_.count(block) != 0 ||
+               (wit != waiting_.end() && !wit->second.empty());
+    }
+
+    /** Active/waiting/writeback snapshot for `consim.diag.v1`. */
+    json::Value diagJson() const;
+
   private:
     enum class Phase
     {
@@ -124,6 +145,7 @@ class L2Bank
     {
         Phase phase = Phase::Lookup;
         Msg req;                 ///< the local request or forward
+        Cycle started = 0;       ///< creation cycle (stuck audit)
         bool dataArrived = false;
         bool grantArrived = false;
         Msg dataMsg;
@@ -137,6 +159,7 @@ class L2Bank
     {
         bool dirty = false;
         VmId vm = invalidVm;
+        Cycle started = 0;       ///< creation cycle (stuck audit)
     };
 
     // --- address helpers ---

@@ -37,7 +37,11 @@ MemoryController::handle(const Msg &msg)
     const int access_latency = msg.overlappedFetch
                                    ? fab_.config().memOverlapLatency
                                    : fab_.config().memLatency;
-    const Cycle done = (start - now) + static_cast<Cycle>(access_latency);
+    // Fault injection: an active memburst fault stretches DRAM
+    // accesses issued during its window.
+    const Cycle done = (start - now) +
+                       static_cast<Cycle>(access_latency) +
+                       fab_.memFaultExtraLatency();
     Msg reply = msg;
     reply.type = MsgType::Data;
     reply.srcTile = tile_;

@@ -1,0 +1,107 @@
+#include "common/check.hh"
+
+#include <cstdlib>
+
+namespace consim
+{
+
+const char *
+toString(SimErrorKind k)
+{
+    switch (k) {
+      case SimErrorKind::Invariant:
+        return "invariant";
+      case SimErrorKind::Watchdog:
+        return "watchdog";
+      case SimErrorKind::Deadline:
+        return "deadline";
+    }
+    return "?";
+}
+
+namespace check
+{
+
+namespace
+{
+
+int
+levelFromEnv()
+{
+    if (const char *v = std::getenv("CONSIM_CHECK")) {
+        Level l;
+        if (parseLevel(v, l))
+            return static_cast<int>(l);
+        CONSIM_WARN("CONSIM_CHECK='", v,
+                    "' is not off|basic|full; checks stay off");
+    }
+    return static_cast<int>(Level::Off);
+}
+
+} // namespace
+
+std::atomic<int> &
+levelStorage()
+{
+    static std::atomic<int> storage{levelFromEnv()};
+    return storage;
+}
+
+void
+setLevel(Level l)
+{
+    levelStorage().store(static_cast<int>(l),
+                         std::memory_order_relaxed);
+}
+
+bool
+parseLevel(const std::string &s, Level &out)
+{
+    if (s == "off" || s == "0") {
+        out = Level::Off;
+        return true;
+    }
+    if (s == "basic" || s == "1") {
+        out = Level::Basic;
+        return true;
+    }
+    if (s == "full" || s == "2") {
+        out = Level::Full;
+        return true;
+    }
+    return false;
+}
+
+const char *
+toString(Level l)
+{
+    switch (l) {
+      case Level::Off:
+        return "off";
+      case Level::Basic:
+        return "basic";
+      case Level::Full:
+        return "full";
+    }
+    return "?";
+}
+
+} // namespace check
+
+namespace logging
+{
+
+void
+invariantFailImpl(const char *file, int line, const std::string &msg)
+{
+    if (check::enabled(check::Level::Basic)) {
+        throw SimError(SimErrorKind::Invariant,
+                       format("assertion failed: ", msg, " at ", file,
+                              ":", line));
+    }
+    panicImpl(file, line, format("assertion failed: ", msg));
+}
+
+} // namespace logging
+
+} // namespace consim

@@ -24,6 +24,15 @@ namespace logging
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 
+/**
+ * Invariant-violation sink for CONSIM_ASSERT: throws a recoverable
+ * SimError when the runtime check level is basic or above (so sweep
+ * workers can contain the failure), panics otherwise. Implemented in
+ * common/check.cc.
+ */
+[[noreturn]] void invariantFailImpl(const char *file, int line,
+                                    const std::string &msg);
+
 /** Exit(1) with a "fatal" message; indicates a user/config error. */
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
@@ -68,12 +77,19 @@ format(Args &&...args)
 #define CONSIM_INFORM(...)                                                   \
     ::consim::logging::informImpl(::consim::logging::format(__VA_ARGS__))
 
-/** Invariant check that survives NDEBUG; use for protocol invariants. */
+/**
+ * Invariant check that survives NDEBUG; use for protocol invariants.
+ * Aborts under CONSIM_CHECK=off (default); throws SimError in checked
+ * mode so a sweep worker survives one poisoned simulation point.
+ */
 #define CONSIM_ASSERT(cond, ...)                                             \
     do {                                                                     \
         if (!(cond)) {                                                       \
-            CONSIM_PANIC("assertion failed: ", #cond, " ",                   \
-                         ::consim::logging::format(__VA_ARGS__));            \
+            ::consim::logging::invariantFailImpl(                            \
+                __FILE__, __LINE__,                                          \
+                ::consim::logging::format(                                   \
+                    #cond, " ",                                              \
+                    ::consim::logging::format(__VA_ARGS__)));                \
         }                                                                    \
     } while (0)
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Strict string-to-number parsing for CLI front ends and config
+ * grammars. Unlike atoi/strtoull-with-no-checks, these reject
+ * trailing garbage, empty strings, and out-of-range values instead of
+ * silently yielding 0 — a prerequisite for refusing to cast junk into
+ * enums at the tool boundary.
+ */
+
+#ifndef CONSIM_COMMON_PARSE_HH
+#define CONSIM_COMMON_PARSE_HH
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+
+namespace consim
+{
+
+/** Parse an unsigned decimal; the whole string must be consumed. */
+inline bool
+parseU64(std::string_view s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    const auto *first = s.data();
+    const auto *last = s.data() + s.size();
+    const auto res = std::from_chars(first, last, out, 10);
+    return res.ec == std::errc{} && res.ptr == last;
+}
+
+/** Parse an int in [lo, hi]; the whole string must be consumed. */
+inline bool
+parseIntInRange(std::string_view s, int lo, int hi, int &out)
+{
+    if (s.empty())
+        return false;
+    int v = 0;
+    const auto *last = s.data() + s.size();
+    const auto res = std::from_chars(s.data(), last, v, 10);
+    if (res.ec != std::errc{} || res.ptr != last || v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace consim
+
+#endif // CONSIM_COMMON_PARSE_HH

@@ -82,12 +82,14 @@ class CalendarQueue
                 EventFn fn = std::move(bucket[i].fn);
                 ++i;
                 --size_;
+                ++executed_;
                 fn();
             } else if (heapDue) {
                 EventFn fn = std::move(
                     const_cast<HeapEvent &>(overflow_.top()).fn);
                 overflow_.pop();
                 --size_;
+                ++executed_;
                 fn();
             } else {
                 break;
@@ -101,6 +103,10 @@ class CalendarQueue
 
     /** @return true when no events are pending. */
     bool empty() const { return size_ == 0; }
+
+    /** Monotonic count of events executed (never reset; the
+     *  forward-progress watchdog diffs it across its interval). */
+    std::uint64_t executed() const { return executed_; }
 
   private:
     static constexpr Cycle mask_ = ringCycles - 1;
@@ -131,6 +137,7 @@ class CalendarQueue
         overflow_;
     std::uint64_t seq_ = 0;
     std::size_t size_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace consim

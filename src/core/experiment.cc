@@ -6,6 +6,7 @@
 
 #include "common/rng.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "exec/sweep.hh"
 
@@ -38,6 +39,16 @@ Cycle
 defaultMeasureCycles()
 {
     return envCycles("CONSIM_MEASURE", 3'000'000);
+}
+
+Cycle
+defaultWatchdogIntervalCycles()
+{
+    // Unlike the window defaults, an explicit "0" here is meaningful:
+    // it disables the watchdog.
+    if (const char *v = std::getenv("CONSIM_WATCHDOG"))
+        return std::strtoull(v, nullptr, 10);
+    return 1'000'000;
 }
 
 double
@@ -107,10 +118,25 @@ runExperiment(const RunConfig &cfg)
                                             cfg.policy, cfg.seed);
 
     System sys(cfg.machine, vms, placements);
+    sys.setWatchdogInterval(cfg.watchdogIntervalCycles
+                                ? cfg.watchdogIntervalCycles
+                                : defaultWatchdogIntervalCycles());
+    if (cfg.cycleDeadline != 0)
+        sys.setCycleDeadline(cfg.cycleDeadline);
+    if (!cfg.faults.empty())
+        sys.setFaultPlan(cfg.faults);
+    // Cross-component audits fire at measurement-window boundaries
+    // when CONSIM_CHECK=full; they are free otherwise.
+    const auto audit = [&] {
+        if (CONSIM_CHECK_ACTIVE(Full))
+            sys.auditWindow();
+    };
     if (cfg.migrationIntervalCycles == 0) {
         sys.run(warmup);
+        audit();
         sys.resetStats();
         sys.run(measure);
+        audit();
     } else {
         // Dynamic scheduling: periodically migrate threads, as a
         // hypervisor under reassignment pressure would.
@@ -127,8 +153,10 @@ runExperiment(const RunConfig &cfg)
             }
         };
         run_with_migrations(warmup);
+        audit();
         sys.resetStats();
         run_with_migrations(measure);
+        audit();
     }
 
     // Extraction reads the hierarchical stats registry ("sys.vmNN.*",

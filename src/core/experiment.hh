@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "core/fault.hh"
 #include "core/mix.hh"
 #include "core/system.hh"
 #include "workload/profile.hh"
@@ -34,6 +35,15 @@ struct RunConfig
      *  of two random cores every this many cycles (0 = static
      *  binding, the paper's methodology). */
     Cycle migrationIntervalCycles = 0;
+    /** Deterministic fault injection (hardening tests; empty = none). */
+    FaultPlan faults;
+    /** Forward-progress watchdog check interval. 0 = resolve from
+     *  CONSIM_WATCHDOG env, falling back to 1,000,000 cycles;
+     *  CONSIM_WATCHDOG=0 disables. */
+    Cycle watchdogIntervalCycles = 0;
+    /** Per-point simulated-cycle budget: run() raises
+     *  SimError(Deadline) past this absolute cycle. 0 = none. */
+    Cycle cycleDeadline = 0;
 };
 
 /** Default warmup window (overridable via env CONSIM_WARMUP). */
@@ -41,6 +51,9 @@ Cycle defaultWarmupCycles();
 
 /** Default measurement window (overridable via env CONSIM_MEASURE). */
 Cycle defaultMeasureCycles();
+
+/** Default watchdog interval (CONSIM_WATCHDOG env; 0 disables). */
+Cycle defaultWatchdogIntervalCycles();
 
 /** Metrics for one VM instance in one run. */
 struct VmResult

@@ -1,0 +1,188 @@
+#include "core/fault.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/parse.hh"
+
+namespace consim
+{
+
+namespace
+{
+
+/** Split @p s on @p sep, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+/** Parse "key=value" pairs after the kind keyword. */
+bool
+parseParams(const std::vector<std::string> &kvs, std::size_t from,
+            FaultEvent &e, std::string *err)
+{
+    for (std::size_t i = from; i < kvs.size(); ++i) {
+        const auto eq = kvs[i].find('=');
+        if (eq == std::string::npos)
+            return fail(err, "expected key=value, got '" + kvs[i] + "'");
+        const std::string key = kvs[i].substr(0, eq);
+        const std::string val = kvs[i].substr(eq + 1);
+        std::uint64_t v = 0;
+        if (!parseU64(val, v))
+            return fail(err, "bad number '" + val + "' for " + key);
+        if (key == "core") {
+            e.core = static_cast<CoreId>(v);
+        } else if (key == "at") {
+            e.at = v;
+        } else if (key == "nth") {
+            e.nth = v;
+        } else if (key == "len") {
+            e.len = v;
+        } else if (key == "extra") {
+            e.extra = v;
+        } else {
+            return fail(err, "unknown fault parameter '" + key + "'");
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+toString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::WedgeCore:
+        return "wedge";
+      case FaultKind::DropResponse:
+        return "drop";
+      case FaultKind::MemBurst:
+        return "memburst";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::spec() const
+{
+    std::ostringstream os;
+    os << toString(kind);
+    switch (kind) {
+      case FaultKind::WedgeCore:
+        os << ":core=" << core << ",at=" << at;
+        break;
+      case FaultKind::DropResponse:
+        os << ":nth=" << nth;
+        break;
+      case FaultKind::MemBurst:
+        os << ":at=" << at << ",len=" << len << ",extra=" << extra;
+        break;
+    }
+    return os.str();
+}
+
+bool
+FaultPlan::parse(const std::string &text, FaultPlan &out,
+                 std::string *err)
+{
+    FaultPlan plan;
+    for (const auto &ev : split(text, ';')) {
+        const auto colon = ev.find(':');
+        const std::string kind = ev.substr(0, colon);
+        const std::vector<std::string> params =
+            colon == std::string::npos
+                ? std::vector<std::string>{}
+                : split(ev.substr(colon + 1), ',');
+        FaultEvent e;
+        if (kind == "wedge") {
+            e.kind = FaultKind::WedgeCore;
+            if (!parseParams(params, 0, e, err))
+                return false;
+            if (e.core < 0)
+                return fail(err, "wedge: bad core");
+        } else if (kind == "drop") {
+            e.kind = FaultKind::DropResponse;
+            if (!parseParams(params, 0, e, err))
+                return false;
+            if (e.nth == 0)
+                return fail(err, "drop: nth must be >= 1");
+        } else if (kind == "memburst") {
+            e.kind = FaultKind::MemBurst;
+            if (!parseParams(params, 0, e, err))
+                return false;
+            if (e.len == 0 || e.extra == 0)
+                return fail(err,
+                            "memburst: len and extra must be >= 1");
+        } else {
+            return fail(err, "unknown fault kind '" + kind +
+                                 "' (wedge|drop|memburst)");
+        }
+        plan.events.push_back(e);
+    }
+    out = std::move(plan);
+    return true;
+}
+
+std::string
+FaultPlan::spec() const
+{
+    std::string s;
+    for (const auto &e : events) {
+        if (!s.empty())
+            s += ';';
+        s += e.spec();
+    }
+    return s;
+}
+
+json::Value
+FaultPlan::toJson() const
+{
+    auto arr = json::Value::array();
+    for (const auto &e : events) {
+        auto v = json::Value::object();
+        v.set("kind", toString(e.kind));
+        switch (e.kind) {
+          case FaultKind::WedgeCore:
+            v.set("core", e.core);
+            v.set("at", e.at);
+            break;
+          case FaultKind::DropResponse:
+            v.set("nth", e.nth);
+            break;
+          case FaultKind::MemBurst:
+            v.set("at", e.at);
+            v.set("len", e.len);
+            v.set("extra", e.extra);
+            break;
+        }
+        arr.push(std::move(v));
+    }
+    return arr;
+}
+
+} // namespace consim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultPlan is part of a RunConfig, so faults are as reproducible
+ * as the simulation itself: the same plan + seed wedges the same
+ * transaction at the same cycle on every host. The catalog covers the
+ * three failure classes the hardening layer must catch:
+ *
+ *   wedge    — a core stops retiring at a given cycle and never
+ *              unblocks (a hardware context wedged mid-miss). Caught
+ *              by the watchdog's per-core progress audit.
+ *   drop     — the Nth response-class protocol message is silently
+ *              discarded (a lost flit / credit leak). Wedges the
+ *              owning transaction; caught by the stuck-transaction
+ *              checker or the watchdog, whichever runs first.
+ *   memburst — every memory access issued in a cycle window pays a
+ *              large extra latency (a controller brown-out). Long
+ *              bursts starve all cores and trip the global
+ *              no-progress watchdog.
+ *
+ * Plan grammar (CLI / env / JSON friendly), `;`-separated events:
+ *   wedge:core=C,at=CYCLE
+ *   drop:nth=N
+ *   memburst:at=CYCLE,len=CYCLES,extra=CYCLES
+ * e.g. "wedge:core=3,at=250000;drop:nth=1200"
+ */
+
+#ifndef CONSIM_CORE_FAULT_HH
+#define CONSIM_CORE_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** Injection point kinds; see file header for semantics. */
+enum class FaultKind
+{
+    WedgeCore,    ///< core stops retiring at `at`
+    DropResponse, ///< drop the `nth` response-class message
+    MemBurst,     ///< [at, at+len): memory pays `extra` more cycles
+};
+
+/** @return the grammar keyword for a kind. */
+const char *toString(FaultKind k);
+
+/** One injected fault. Unused fields stay 0. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::WedgeCore;
+    CoreId core = 0;          ///< wedge: victim core
+    Cycle at = 0;             ///< wedge/memburst: start cycle
+    std::uint64_t nth = 0;    ///< drop: 1-based response ordinal
+    Cycle len = 0;            ///< memburst: window length
+    Cycle extra = 0;          ///< memburst: added latency per access
+
+    /** @return the event in plan-grammar form. */
+    std::string spec() const;
+};
+
+/** An ordered set of faults to inject into one simulation point. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Parse the plan grammar. On failure returns false and, when
+     * @p err is non-null, stores a human-readable reason.
+     */
+    static bool parse(const std::string &text, FaultPlan &out,
+                      std::string *err = nullptr);
+
+    /** @return the whole plan in grammar form (round-trips parse). */
+    std::string spec() const;
+
+    /** @return JSON array of event objects (config echo). */
+    json::Value toJson() const;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CORE_FAULT_HH

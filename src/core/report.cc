@@ -153,6 +153,14 @@ toJson(const RunConfig &cfg)
     v.set("warmup_cycles", cfg.warmupCycles);
     v.set("measure_cycles", cfg.measureCycles);
     v.set("migration_interval_cycles", cfg.migrationIntervalCycles);
+    // Hardening knobs are echoed only when set, keeping the default
+    // envelope byte-stable across versions.
+    if (!cfg.faults.empty())
+        v.set("faults", cfg.faults.toJson());
+    if (cfg.watchdogIntervalCycles != 0)
+        v.set("watchdog_interval_cycles", cfg.watchdogIntervalCycles);
+    if (cfg.cycleDeadline != 0)
+        v.set("cycle_deadline", cfg.cycleDeadline);
     return v;
 }
 

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/bitops.hh"
@@ -201,6 +202,14 @@ System::recordInstructions(VmId vm, std::uint64_t n)
 void
 System::deliver(const Msg &m)
 {
+    // Fault injection: the nth response-class message vanishes in
+    // transit (models a lost fill; the waiting transaction never
+    // completes, which the watchdog / stuck-transaction audit must
+    // then catch).
+    if (dropArmed_ && vnetOf(m.type) == 2 && --dropCountdown_ == 0) {
+        dropArmed_ = false;
+        return;
+    }
     switch (m.dstUnit) {
       case Unit::L1:
         l1s_.at(m.dstTile)->handle(m);
@@ -235,8 +244,33 @@ void
 System::run(Cycle cycles)
 {
     const Cycle end = now_ + cycles;
-    while (now_ < end)
-        tick();
+    if (watchdogInterval_ == 0 && deadline_ == 0) {
+        // Fast path: the per-cycle loop carries no hardening checks.
+        while (now_ < end)
+            tick();
+        return;
+    }
+    while (now_ < end) {
+        Cycle chunkEnd = end;
+        if (watchdogInterval_ != 0)
+            chunkEnd = std::min(chunkEnd, nextWatchdogCheck_);
+        if (deadline_ != 0)
+            chunkEnd = std::min(chunkEnd, deadline_);
+        while (now_ < chunkEnd)
+            tick();
+        if (deadline_ != 0 && now_ >= deadline_ && now_ < end) {
+            throw SimError(
+                SimErrorKind::Deadline,
+                logging::format("cycle deadline ", deadline_,
+                                " reached with ", end - now_,
+                                " cycles of work remaining"),
+                diagJson("cycle deadline exceeded").dump(2));
+        }
+        if (watchdogInterval_ != 0 && now_ >= nextWatchdogCheck_) {
+            watchdogCheck();
+            nextWatchdogCheck_ = now_ + watchdogInterval_;
+        }
+    }
 }
 
 bool
@@ -482,6 +516,270 @@ System::checkGlobalCoherence() const
                           std::hex, block, std::dec, " core ", t);
         });
     }
+}
+
+// ---------------------------------------------------------------------
+// Hardening layer
+// ---------------------------------------------------------------------
+
+void
+System::setFaultPlan(const FaultPlan &plan)
+{
+    faultPlan_ = plan;
+    for (const auto &e : faultPlan_.events) {
+        switch (e.kind) {
+          case FaultKind::WedgeCore: {
+            CONSIM_ASSERT(e.core >= 0 && e.core < cfg_.numCores(),
+                          "wedge fault for nonexistent core ", e.core);
+            const CoreId c = e.core;
+            if (e.at <= now_)
+                cores_[c]->wedge();
+            else
+                schedule(e.at - now_,
+                         [this, c] { cores_[c]->wedge(); });
+            break;
+          }
+          case FaultKind::DropResponse:
+            dropArmed_ = true;
+            dropCountdown_ = e.nth;
+            break;
+          case FaultKind::MemBurst:
+            memBurstArmed_ = true;
+            memBurstStart_ = e.at;
+            memBurstEnd_ = e.at + e.len;
+            memBurstExtra_ = e.extra;
+            break;
+        }
+    }
+}
+
+void
+System::setWatchdogInterval(Cycle interval)
+{
+    watchdogInterval_ = interval;
+    if (interval == 0)
+        return;
+    nextWatchdogCheck_ = now_ + interval;
+    // Take the baseline snapshot the first check will diff against.
+    wdSnap_.executed = events_.executed();
+    wdSnap_.ejected = net_->ejectedTotal();
+    wdSnap_.retired.resize(cores_.size());
+    wdSnap_.blocked.resize(cores_.size());
+    wdSnap_.retiredSum = 0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        wdSnap_.retired[i] = cores_[i]->retiredTotal();
+        wdSnap_.retiredSum += wdSnap_.retired[i];
+        wdSnap_.blocked[i] = cores_[i]->blocked() ? 1 : 0;
+    }
+}
+
+void
+System::watchdogCheck()
+{
+    std::uint64_t retiredSum = 0;
+    for (const auto &c : cores_)
+        retiredSum += c->retiredTotal();
+
+    // Condition A: the machine as a whole did nothing over the whole
+    // interval — no events executed, no packets delivered, no
+    // instructions retired — yet work is still in flight.
+    const bool globalProgress =
+        events_.executed() != wdSnap_.executed ||
+        net_->ejectedTotal() != wdSnap_.ejected ||
+        retiredSum != wdSnap_.retiredSum;
+    if (!globalProgress && !quiesced()) {
+        throw SimError(
+            SimErrorKind::Watchdog,
+            logging::format("no forward progress over ",
+                            watchdogInterval_, " cycles (cycle ",
+                            now_, ")"),
+            diagJson("watchdog: no global progress").dump(2));
+    }
+
+    // Condition B: a core with a bound thread sat blocked at both
+    // interval boundaries and retired nothing in between. No
+    // legitimate miss takes a full watchdog interval.
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const Core &c = *cores_[i];
+        if (!c.idle() && c.blocked() && wdSnap_.blocked[i] &&
+            c.retiredTotal() == wdSnap_.retired[i]) {
+            throw SimError(
+                SimErrorKind::Watchdog,
+                logging::format("core ", i, " made no progress over ",
+                                watchdogInterval_, " cycles (cycle ",
+                                now_, c.wedged() ? ", wedged" : "",
+                                ")"),
+                diagJson(logging::format("watchdog: core ", i,
+                                         " stalled"))
+                    .dump(2));
+        }
+    }
+
+    wdSnap_.executed = events_.executed();
+    wdSnap_.ejected = net_->ejectedTotal();
+    wdSnap_.retiredSum = retiredSum;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        wdSnap_.retired[i] = cores_[i]->retiredTotal();
+        wdSnap_.blocked[i] = cores_[i]->blocked() ? 1 : 0;
+    }
+}
+
+void
+System::auditWindow() const
+{
+    try {
+        // Per-component protocol invariants (CONSIM_ASSERT throws
+        // under basic+ levels, so violations surface as SimError
+        // here).
+        checkInvariants();
+
+        // NoC credit/flit conservation and packet census.
+        net_->checkConservation();
+
+        // Stuck transactions: a leaked entry never completes, so its
+        // age grows without bound. Anything older than the limit is
+        // dead.
+        for (const auto &l1 : l1s_)
+            l1->auditStuckMiss(now_, stuckLimit_);
+        for (const auto &b : banks_)
+            b->auditStuckTxns(now_, stuckLimit_);
+        for (const auto &d : dirs_)
+            d->auditStuckTxns(now_, stuckLimit_);
+
+        auditSharerState();
+    } catch (const SimError &e) {
+        // Checkers throw from deep inside components with no machine
+        // context; attach the full diag dump here, where we have it.
+        if (!e.diag().empty())
+            throw;
+        throw SimError(e.kind(), e.what(),
+                       diagJson("window audit failed").dump(2));
+    }
+}
+
+void
+System::auditSharerState() const
+{
+    // Directory-vs-cache consistency on a live machine: blocks with
+    // any in-flight transaction are skipped (their dir entry and
+    // cache copies legitimately disagree mid-protocol); the rest must
+    // agree exactly. checkGlobalCoherence() remains the stronger
+    // quiesced-only variant.
+    std::unordered_map<BlockAddr, std::uint16_t> held;
+    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
+        const GroupId g = groupOf_[t];
+        banks_[t]->forEachLine(
+            [&](BlockAddr block, const L2CacheLine &line) {
+                if (line.valid)
+                    held[block] |=
+                        static_cast<std::uint16_t>(1u << g);
+            });
+    }
+
+    const auto quiet = [&](BlockAddr block) {
+        if (dirs_[homeTileFor(block)]->hasActivity(block))
+            return false;
+        for (GroupId g = 0; g < cfg_.numGroups(); ++g) {
+            if (banks_[bankTileFor(g, block)]->hasActivity(block))
+                return false;
+        }
+        return true;
+    };
+
+    dirStorage_.forEach([&](BlockAddr block, const DirEntry &e) {
+        const auto it = held.find(block);
+        const std::uint16_t copies =
+            it == held.end() ? 0 : it->second;
+        if (e.state == L2State::Invalid && copies == 0)
+            return; // fast path: the overwhelming majority
+        if (!quiet(block))
+            return;
+        switch (e.state) {
+          case L2State::Invalid:
+            CONSIM_CHECK_FAIL("sharer audit: block 0x", std::hex,
+                              block, std::dec, " cached (mask ",
+                              copies, ") but directory says Invalid");
+            break;
+          case L2State::Shared:
+            if (copies != e.sharers) {
+                CONSIM_CHECK_FAIL("sharer audit: block 0x", std::hex,
+                                  block, std::dec,
+                                  " sharer mismatch (dir=", e.sharers,
+                                  " held=", copies, ")");
+            }
+            break;
+          case L2State::Exclusive:
+          case L2State::Modified:
+            if (e.owner < 0 ||
+                copies != static_cast<std::uint16_t>(1u << e.owner)) {
+                CONSIM_CHECK_FAIL("sharer audit: block 0x", std::hex,
+                                  block, std::dec,
+                                  " owner mismatch (dir owner=",
+                                  static_cast<int>(e.owner),
+                                  " held=", copies, ")");
+            }
+            break;
+        }
+    });
+}
+
+json::Value
+System::diagJson(const std::string &reason) const
+{
+    auto v = json::Value::object();
+    v.set("schema", "consim.diag.v1");
+    v.set("reason", reason);
+    v.set("cycle", now_);
+    v.set("quiesced", quiesced());
+
+    auto eq = json::Value::object();
+    eq.set("pending", static_cast<std::uint64_t>(events_.size()));
+    eq.set("executed_total", events_.executed());
+    v.set("event_queue", std::move(eq));
+
+    auto cores = json::Value::array();
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const Core &c = *cores_[i];
+        const L1Controller &l1 = *l1s_[i];
+        auto e = json::Value::object();
+        e.set("tile", static_cast<int>(i));
+        e.set("bound", !c.idle());
+        e.set("vm", c.vm());
+        e.set("blocked", c.blocked());
+        e.set("wedged", c.wedged());
+        e.set("retired_total", c.retiredTotal());
+        if (c.blocked())
+            e.set("block_start", c.blockStart());
+        if (!l1.idle()) {
+            auto p = json::Value::object();
+            p.set("block", l1.pendingBlock());
+            p.set("start", l1.pendingStart());
+            p.set("write", l1.pendingIsWrite());
+            e.set("l1_pending", std::move(p));
+        }
+        cores.push(std::move(e));
+    }
+    v.set("cores", std::move(cores));
+
+    auto banks = json::Value::array();
+    for (const auto &b : banks_) {
+        if (!b->idle())
+            banks.push(b->diagJson());
+    }
+    v.set("l2_banks", std::move(banks));
+
+    auto dirs = json::Value::array();
+    for (const auto &d : dirs_) {
+        if (!d->idle())
+            dirs.push(d->diagJson());
+    }
+    v.set("directories", std::move(dirs));
+
+    v.set("net", net_->diagJson());
+
+    if (!faultPlan_.empty())
+        v.set("faults", faultPlan_.toJson());
+    return v;
 }
 
 } // namespace consim

@@ -13,10 +13,13 @@
 #include <ostream>
 #include <vector>
 
+#include "common/check.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 
 #include "core/event_queue.hh"
+#include "core/fault.hh"
 
 #include "coherence/directory.hh"
 #include "coherence/fabric.hh"
@@ -106,6 +109,13 @@ class System : public Fabric
     {
         return static_cast<VmId>(block >> vmSpanBits);
     }
+    Cycle memFaultExtraLatency() const override
+    {
+        return (memBurstArmed_ && now_ >= memBurstStart_ &&
+                now_ < memBurstEnd_)
+                   ? memBurstExtra_
+                   : 0;
+    }
     void recordL2Access(VmId vm) override;
     void recordL2Miss(VmId vm, bool c2c, bool c2c_dirty) override;
     void recordL1Miss(VmId vm, Cycle latency) override;
@@ -181,6 +191,55 @@ class System : public Fabric
     /** @return true when nothing is in flight anywhere. */
     bool quiesced() const;
 
+    // --- hardening layer ---
+
+    /**
+     * Install a deterministic fault plan (call before running).
+     * Wedge events whose cycle already passed fire immediately;
+     * drop/memburst events arm their respective hooks.
+     */
+    void setFaultPlan(const FaultPlan &plan);
+
+    /**
+     * Enable the forward-progress watchdog: every @p interval cycles
+     * of run(), verify that (a) the machine as a whole made progress
+     * (events executed, packets delivered, or instructions retired)
+     * unless it is quiesced, and (b) no core with a bound thread sat
+     * blocked across the whole interval without retiring anything.
+     * Throws SimError(Watchdog) with a `consim.diag.v1` dump on
+     * violation. 0 disables (the default; runExperiment turns it on).
+     */
+    void setWatchdogInterval(Cycle interval);
+
+    /**
+     * Abort run() with SimError(Deadline) when the simulated clock
+     * reaches @p deadline (absolute cycle) with work still to do.
+     * 0 disables. Sweep workers use this as a per-point budget.
+     */
+    void setCycleDeadline(Cycle deadline) { deadline_ = deadline; }
+
+    /** Age limit for the stuck-transaction audit (default 20000). */
+    void setStuckTxnLimit(Cycle limit) { stuckLimit_ = limit; }
+
+    /**
+     * Window-boundary audit (run under CONSIM_CHECK=full): NoC
+     * credit/flit conservation, stuck-transaction (leaked MSHR
+     * equivalent) detection in every L1/bank/directory, per-component
+     * protocol invariants, and a directory-vs-cache sharer-state
+     * consistency audit that skips blocks with in-flight activity
+     * (safe on a non-quiesced machine, unlike
+     * checkGlobalCoherence()). Throws SimError on violation.
+     */
+    void auditWindow() const;
+
+    /**
+     * Full machine snapshot as a `consim.diag.v1` JSON document:
+     * per-core blocked state, outstanding L1 misses, active bank and
+     * directory transactions, event-queue depth, and the router
+     * credit map.
+     */
+    json::Value diagJson(const std::string &reason) const;
+
   private:
     /** Per-group bank lookup table with the modulo strength-reduced
      *  for power-of-two member counts (all standard sharing degrees). */
@@ -193,6 +252,8 @@ class System : public Fabric
     };
 
     void deliver(const Msg &m);
+    void watchdogCheck();
+    void auditSharerState() const;
 
     MachineConfig cfg_;
     std::vector<VirtualMachine *> vms_;
@@ -212,6 +273,29 @@ class System : public Fabric
 
     Cycle now_ = 0;
     CalendarQueue events_;
+
+    // --- hardening state ---
+    FaultPlan faultPlan_;
+    Cycle watchdogInterval_ = 0;   ///< 0 = watchdog off
+    Cycle nextWatchdogCheck_ = 0;  ///< absolute cycle of next check
+    Cycle deadline_ = 0;           ///< 0 = no deadline
+    Cycle stuckLimit_ = 20000;     ///< stuck-transaction age limit
+    /** Watchdog snapshot at the previous interval boundary. */
+    struct WatchdogSnap
+    {
+        std::uint64_t executed = 0;
+        std::uint64_t ejected = 0;
+        std::uint64_t retiredSum = 0;
+        std::vector<std::uint64_t> retired; ///< per core
+        std::vector<char> blocked;          ///< per core
+    };
+    WatchdogSnap wdSnap_;
+    bool dropArmed_ = false;         ///< drop-nth-response fault live
+    std::uint64_t dropCountdown_ = 0; ///< responses until the drop
+    bool memBurstArmed_ = false;
+    Cycle memBurstStart_ = 0;
+    Cycle memBurstEnd_ = 0;
+    Cycle memBurstExtra_ = 0;
 
     stats::Group statsRoot_{"sys"};
     /** Per-tile registry nodes ("tileNN") under statsRoot_. */

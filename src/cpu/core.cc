@@ -25,7 +25,7 @@ Core::bindThread(InstrStream *stream, VmId vm)
 void
 Core::tick()
 {
-    if (stream_ == nullptr || blocked_)
+    if (stream_ == nullptr || blocked_ || wedged_)
         return;
     const Cycle now = fab_.now();
     if (now < busyUntil_)
@@ -35,6 +35,7 @@ Core::tick()
         slice_ = stream_->next();
         haveSlice_ = true;
         stats_.instructions += slice_.computeCycles + 1;
+        retiredTotal_ += slice_.computeCycles + 1;
         fab_.recordInstructions(vm_, slice_.computeCycles + 1);
         if (slice_.computeCycles > 0) {
             busyUntil_ = now + slice_.computeCycles;

@@ -55,8 +55,24 @@ class Core
     /** @return true when no thread is bound. */
     bool idle() const { return stream_ == nullptr; }
 
-    /** @return true while a miss is outstanding. */
-    bool blocked() const { return blocked_; }
+    /** @return true while a miss is outstanding (or wedged). */
+    bool blocked() const { return blocked_ || wedged_; }
+
+    /**
+     * Fault injection: stop retiring forever (a wedged hardware
+     * context). The core reports blocked() from here on, so the
+     * watchdog's per-core progress audit flags it.
+     */
+    void wedge() { wedged_ = true; }
+
+    /** @return true when the core was wedged by fault injection. */
+    bool wedged() const { return wedged_; }
+
+    /** Monotonic retired-instruction count (never reset; watchdog). */
+    std::uint64_t retiredTotal() const { return retiredTotal_; }
+
+    /** Cycle the current miss began (diagnostics; valid if blocked). */
+    Cycle blockStart() const { return blockStart_; }
 
     VmId vm() const { return vm_; }
     CoreId tile() const { return tile_; }
@@ -78,6 +94,8 @@ class Core
     VmId vm_ = invalidVm;
 
     bool blocked_ = false;
+    bool wedged_ = false;
+    std::uint64_t retiredTotal_ = 0;
     bool haveSlice_ = false;
     WorkSlice slice_;
     Cycle busyUntil_ = 0;

@@ -1,5 +1,9 @@
 #include "exec/sweep.hh"
 
+#include <chrono>
+#include <thread>
+
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "core/report.hh"
 #include "exec/thread_pool.hh"
@@ -13,30 +17,96 @@ sweepJobs(const SweepOptions &opts)
     return opts.jobs > 0 ? opts.jobs : ThreadPool::defaultThreads();
 }
 
-std::vector<RunResult>
-runSweep(const std::vector<RunConfig> &configs,
-         const SweepOptions &opts)
+namespace
 {
-    std::vector<RunResult> results(configs.size());
+
+/**
+ * Run one point with crash isolation: catch anything the simulation
+ * throws, retry with a fresh seed offset (a failure tied to one
+ * seed's event interleaving must not recur verbatim) and exponential
+ * backoff, and record the last error if every attempt fails.
+ */
+SweepRun
+runPoint(const RunConfig &cfg, const SweepOptions &opts)
+{
+    SweepRun out;
+    RunConfig base = cfg;
+    if (opts.pointDeadlineCycles != 0 && base.cycleDeadline == 0)
+        base.cycleDeadline = opts.pointDeadlineCycles;
+    for (int attempt = 0;; ++attempt) {
+        RunConfig c = base;
+        c.seed = base.seed + static_cast<std::uint64_t>(attempt) *
+                                 0x9e3779b97f4a7c15ull;
+        try {
+            out.result = runExperiment(c);
+            out.ok = true;
+            out.retries = attempt;
+            return out;
+        } catch (const SimError &e) {
+            out.errorKind = toString(e.kind());
+            out.errorMessage = e.what();
+            out.diag = e.diag();
+        } catch (const std::exception &e) {
+            out.errorKind = "exception";
+            out.errorMessage = e.what();
+            out.diag.clear();
+        }
+        out.retries = attempt;
+        if (attempt >= opts.maxRetries)
+            return out;
+        // Backoff before retrying: cheap insurance against failures
+        // caused by transient host pressure (the deterministic ones
+        // will simply fail again and land in the error record).
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1L << attempt));
+    }
+}
+
+} // namespace
+
+std::vector<SweepRun>
+runSweepEx(const std::vector<RunConfig> &configs,
+           const SweepOptions &opts)
+{
+    std::vector<SweepRun> runs(configs.size());
     if (configs.empty())
-        return results;
+        return runs;
 
     const int jobs = sweepJobs(opts);
     if (jobs == 1 || configs.size() == 1) {
         // No pool: keep single-threaded sweeps trivially debuggable.
         for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = runExperiment(configs[i]);
-        return results;
+            runs[i] = runPoint(configs[i], opts);
+        return runs;
     }
 
     ThreadPool pool(jobs);
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        pool.submit(
-            [&results, &configs, i] {
-                results[i] = runExperiment(configs[i]);
-            });
+        pool.submit([&runs, &configs, &opts, i] {
+            runs[i] = runPoint(configs[i], opts);
+        });
     }
     pool.wait();
+    return runs;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<RunConfig> &configs,
+         const SweepOptions &opts)
+{
+    std::vector<SweepRun> runs = runSweepEx(configs, opts);
+    std::vector<RunResult> results(configs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].ok) {
+            results[i] = std::move(runs[i].result);
+        } else {
+            CONSIM_WARN("sweep point ", i, " failed after ",
+                        runs[i].retries, " retries (",
+                        runs[i].errorKind, ": ",
+                        runs[i].errorMessage,
+                        "); salvaging the rest of the batch");
+        }
+    }
     return results;
 }
 
@@ -56,21 +126,84 @@ runSweepAveraged(const std::vector<RunConfig> &configs,
         }
     }
 
-    std::vector<RunResult> runs = runSweep(flat, opts);
+    std::vector<SweepRun> runs = runSweepEx(flat, opts);
 
     std::vector<RunResult> out;
     out.reserve(configs.size());
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        std::vector<RunResult> group(
-            std::make_move_iterator(runs.begin() +
-                                    static_cast<std::ptrdiff_t>(
-                                        i * seeds.size())),
-            std::make_move_iterator(runs.begin() +
-                                    static_cast<std::ptrdiff_t>(
-                                        (i + 1) * seeds.size())));
-        out.push_back(averageRunResults(std::move(group)));
+        std::vector<RunResult> group;
+        group.reserve(seeds.size());
+        for (std::size_t s = 0; s < seeds.size(); ++s) {
+            SweepRun &run = runs[i * seeds.size() + s];
+            if (run.ok) {
+                group.push_back(std::move(run.result));
+            } else {
+                CONSIM_WARN("config ", i, " seed ", seeds[s],
+                            " failed (", run.errorKind, ": ",
+                            run.errorMessage,
+                            "); averaging the surviving seeds");
+            }
+        }
+        if (group.empty()) {
+            CONSIM_WARN("config ", i, " failed under every seed; "
+                        "emitting an empty result");
+            out.emplace_back();
+        } else {
+            out.push_back(averageRunResults(std::move(group)));
+        }
     }
     return out;
+}
+
+namespace
+{
+
+json::Value
+errorJson(const SweepRun &run)
+{
+    auto e = json::Value::object();
+    e.set("kind", run.errorKind);
+    e.set("message", run.errorMessage);
+    if (!run.diag.empty()) {
+        json::Value diag;
+        if (json::parse(run.diag, diag))
+            e.set("diag", std::move(diag));
+        else
+            e.set("diag_text", run.diag);
+    }
+    return e;
+}
+
+} // namespace
+
+json::Value
+sweepResultsJson(const std::vector<RunConfig> &configs,
+                 const std::vector<SweepRun> &runs)
+{
+    CONSIM_ASSERT(configs.size() == runs.size(),
+                  "sweep JSON: configs/runs size mismatch");
+    auto doc = json::Value::object();
+    doc.set("schema", "consim.sweep.v2");
+    auto points = json::Value::array();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const SweepRun &run = runs[i];
+        auto p = json::Value::object();
+        p.set("ok", run.ok);
+        p.set("retries", run.retries);
+        if (run.ok) {
+            // Inline the consim.run.v1 envelope fields after the
+            // outcome header.
+            const auto envelope = runResultJson(configs[i], run.result);
+            for (const auto &[key, val] : envelope.members())
+                p.set(key, val);
+        } else {
+            p.set("config", toJson(configs[i]));
+            p.set("error", errorJson(run));
+        }
+        points.push(std::move(p));
+    }
+    doc.set("points", std::move(points));
+    return doc;
 }
 
 json::Value
@@ -79,13 +212,12 @@ sweepResultsJson(const std::vector<RunConfig> &configs,
 {
     CONSIM_ASSERT(configs.size() == results.size(),
                   "sweep JSON: configs/results size mismatch");
-    auto doc = json::Value::object();
-    doc.set("schema", "consim.sweep.v1");
-    auto points = json::Value::array();
-    for (std::size_t i = 0; i < configs.size(); ++i)
-        points.push(runResultJson(configs[i], results[i]));
-    doc.set("points", std::move(points));
-    return doc;
+    std::vector<SweepRun> runs(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        runs[i].ok = true;
+        runs[i].result = results[i];
+    }
+    return sweepResultsJson(configs, runs);
 }
 
 } // namespace consim

@@ -33,14 +33,49 @@ struct SweepOptions
 {
     /** Worker threads; 0 = CONSIM_JOBS / hardware_concurrency. */
     int jobs = 0;
+    /** Extra attempts per failed point (each with a fresh seed
+     *  offset and exponential backoff). 0 = fail fast. */
+    int maxRetries = 2;
+    /** Per-point simulated-cycle budget applied to configs that do
+     *  not set their own cycleDeadline. 0 = none. */
+    Cycle pointDeadlineCycles = 0;
 };
 
 /** @return the resolved worker count for @p opts. */
 int sweepJobs(const SweepOptions &opts = {});
 
 /**
+ * Outcome of one crash-isolated sweep point. A point that throws
+ * (SimError from a tripped checker/watchdog/deadline, or any other
+ * exception) is retried up to SweepOptions::maxRetries times with a
+ * per-attempt seed offset; if every attempt fails, the last error is
+ * recorded here and the rest of the batch is unaffected.
+ */
+struct SweepRun
+{
+    bool ok = false;
+    int retries = 0;          ///< failed attempts before the outcome
+    RunResult result;         ///< valid when ok
+    std::string errorKind;    ///< "invariant"|"watchdog"|"deadline"|
+                              ///< "exception" (when !ok)
+    std::string errorMessage; ///< exception what() (when !ok)
+    std::string diag;         ///< consim.diag.v1 text ("" if none)
+};
+
+/**
+ * Crash-isolated sweep: run every config (in parallel) and return
+ * per-point outcomes positionally. Never throws for a point failure;
+ * a failed point yields an !ok entry carrying the error and its
+ * diagnostic dump.
+ */
+std::vector<SweepRun> runSweepEx(const std::vector<RunConfig> &configs,
+                                 const SweepOptions &opts = {});
+
+/**
  * Run every config (in parallel) and return results positionally:
- * result[i] corresponds to configs[i].
+ * result[i] corresponds to configs[i]. Points that fail even after
+ * retries are salvaged as default-constructed RunResults with a
+ * warning on stderr (use runSweepEx to see per-point outcomes).
  */
 std::vector<RunResult> runSweep(const std::vector<RunConfig> &configs,
                                 const SweepOptions &opts = {});
@@ -50,6 +85,9 @@ std::vector<RunResult> runSweep(const std::vector<RunConfig> &configs,
  * sweep in parallel, and reduce each config's seed runs with
  * averageRunResults. result[i] corresponds to configs[i]; each
  * config's own `seed` field is ignored in favour of @p seeds.
+ * Failed seed runs are dropped from their config's average (with a
+ * warning); a config whose every seed fails yields a default
+ * RunResult.
  */
 std::vector<RunResult>
 runSweepAveraged(const std::vector<RunConfig> &configs,
@@ -57,12 +95,19 @@ runSweepAveraged(const std::vector<RunConfig> &configs,
                  const SweepOptions &opts = {});
 
 /**
- * Serialize a sweep's output as one "consim.sweep.v1" document:
- * points[i] is the consim.run.v1 envelope of configs[i]/results[i].
- * Because the JSON writer is deterministic, parallel and serial
- * sweeps of the same configs produce byte-identical documents
- * (tests/test_determinism.cc enforces this).
+ * Serialize a sweep's outcomes as one "consim.sweep.v2" document.
+ * points[i] carries {ok, retries} plus, for good points, the
+ * consim.run.v1 envelope of configs[i]/results[i], or, for failed
+ * points, the config echo and a structured error (kind, message,
+ * parsed consim.diag.v1 dump). Because the JSON writer is
+ * deterministic, parallel and serial sweeps of the same configs
+ * produce byte-identical documents (tests/test_determinism.cc
+ * enforces this).
  */
+json::Value sweepResultsJson(const std::vector<RunConfig> &configs,
+                             const std::vector<SweepRun> &runs);
+
+/** Same envelope for an all-good result set (ok=true, retries=0). */
 json::Value sweepResultsJson(const std::vector<RunConfig> &configs,
                              const std::vector<RunResult> &results);
 

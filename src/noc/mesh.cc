@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace consim
@@ -53,6 +54,7 @@ Mesh::inject(Msg m)
     CONSIM_ASSERT(m.srcTile != m.dstTile,
                   "mesh injection for a same-tile message");
     ++stats_.packetsInjected;
+    ++injectedTotal_;
     nis_.at(m.srcTile)->enqueue(std::move(m));
 }
 
@@ -94,6 +96,74 @@ Mesh::inFlight() const
     for (const auto &ni : nis_)
         n += ni->queued();
     return n;
+}
+
+void
+Mesh::checkConservation() const
+{
+    // Pass 1: collect credits held by packets in transit, keyed by
+    // their destination (tile, port, vc).
+    const int totalVcs = params_.totalVcs();
+    std::vector<int> reserved(routers_.size() * NumPorts * totalVcs,
+                              0);
+    const auto slot = [&](CoreId tile, int port, int vc) -> int & {
+        return reserved[(static_cast<std::size_t>(tile) * NumPorts +
+                         port) * totalVcs + vc];
+    };
+    for (const auto &r : routers_) {
+        r->forEachTransit(
+            [&](CoreId dst, int port, int vc, int flits) {
+                slot(dst, port, vc) += flits;
+            });
+    }
+
+    // Pass 2: per-router credit equations plus the packet census.
+    int buffered = 0, transit = 0, queued = 0;
+    for (const auto &r : routers_) {
+        const CoreId t = r->tile();
+        r->checkInvariants(
+            [&](int port, int vc) { return slot(t, port, vc); });
+        buffered += r->bufferedPackets();
+        transit += r->transitPackets();
+    }
+    for (const auto &ni : nis_)
+        queued += ni->queued();
+
+    const std::uint64_t inNetwork =
+        static_cast<std::uint64_t>(buffered + transit + queued);
+    if (injectedTotal_ - ejectedTotal_ != inNetwork) {
+        CONSIM_CHECK_FAIL(
+            "mesh packet conservation broken: injected=",
+            injectedTotal_, " ejected=", ejectedTotal_,
+            " buffered=", buffered, " in_transit=", transit,
+            " ni_queued=", queued);
+    }
+}
+
+json::Value
+Mesh::diagJson() const
+{
+    auto v = json::Value::object();
+    v.set("injected_total", injectedTotal_);
+    v.set("ejected_total", ejectedTotal_);
+    v.set("in_flight", inFlight());
+    auto routers = json::Value::array();
+    for (const auto &r : routers_) {
+        if (!r->idle())
+            routers.push(r->creditJson());
+    }
+    v.set("routers", std::move(routers));
+    auto nis = json::Value::array();
+    for (std::size_t t = 0; t < nis_.size(); ++t) {
+        if (nis_[t]->queued() == 0)
+            continue;
+        auto e = json::Value::object();
+        e.set("tile", static_cast<int>(t));
+        e.set("queued", nis_[t]->queued());
+        nis.push(std::move(e));
+    }
+    v.set("ni_queues", std::move(nis));
+    return v;
 }
 
 } // namespace consim

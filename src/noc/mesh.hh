@@ -29,6 +29,18 @@ class Mesh : public Network
     void tick(Cycle now) override;
     bool idle() const override;
 
+    /**
+     * Hardening audit: per-VC flit/credit conservation across every
+     * router (folding in-transit reservations into the equation) and
+     * global packet conservation (injected - ejected must equal
+     * buffered + NI-queued + in-transit). Throws SimError on
+     * violation.
+     */
+    void checkConservation() const override;
+
+    /** Non-idle router credit maps + NI queue depths (diag dump). */
+    json::Value diagJson() const override;
+
     /** @return router at a tile (tests/diagnostics). */
     Router &router(CoreId tile) { return *routers_.at(tile); }
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "coherence/protocol.hh"
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -76,6 +77,25 @@ class Network
     /** @return true when no packets are in flight (quiesced). */
     virtual bool idle() const = 0;
 
+    /**
+     * Hardening-layer audit: verify flit/credit conservation and
+     * packet accounting. Throws SimError on violation; the base
+     * implementation (ideal network) has nothing to conserve.
+     */
+    virtual void checkConservation() const {}
+
+    /** Per-router/VC state for the `consim.diag.v1` dump. */
+    virtual json::Value diagJson() const
+    {
+        return json::Value::object();
+    }
+
+    /** Monotonic inject/eject packet counts (never reset; the
+     *  watchdog and conservation audits diff these, so they must
+     *  survive resetStats). */
+    std::uint64_t injectedTotal() const { return injectedTotal_; }
+    std::uint64_t ejectedTotal() const { return ejectedTotal_; }
+
     NetworkStats &netStats() { return stats_; }
     const NetworkStats &netStats() const { return stats_; }
 
@@ -89,6 +109,7 @@ class Network
     recordEject(const Msg &m, Cycle now, int len_flits)
     {
         ++stats_.packetsEjected;
+        ++ejectedTotal_;
         const double lat = static_cast<double>(now - m.injectCycle);
         stats_.latency.sample(lat);
         if (len_flits > 1)
@@ -99,6 +120,8 @@ class Network
 
     DeliverFn deliver_;
     NetworkStats stats_;
+    std::uint64_t injectedTotal_ = 0;
+    std::uint64_t ejectedTotal_ = 0;
     stats::Group statsGroup_{"net"};
 };
 
@@ -116,6 +139,7 @@ class IdealNetwork : public Network
     inject(Msg m) override
     {
         ++stats_.packetsInjected;
+        ++injectedTotal_;
         inflight_.push_back({m.injectCycle + latency_, std::move(m)});
     }
 

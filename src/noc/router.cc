@@ -1,5 +1,6 @@
 #include "noc/router.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace consim
@@ -147,6 +148,120 @@ Router::bufferedPackets() const
     for (const auto &ivc : inputs_)
         n += static_cast<int>(ivc.q.size());
     return n;
+}
+
+void
+Router::forEachTransit(
+    const std::function<void(CoreId, int, int, int)> &fn) const
+{
+    for (int port = 0; port < NumPorts; ++port) {
+        const auto &out = outputs_[port];
+        if (!out.busy || port == PortLocal)
+            continue;
+        // Non-null: asserted when the grant was issued.
+        const Router *next = neighbor_[port];
+        fn(next->tile_, oppositePort(port), out.dstVc,
+           out.pkt.lenFlits);
+    }
+}
+
+void
+Router::checkInvariants(
+    const std::function<int(int, int)> &inbound_reserved) const
+{
+    int buffered = 0;
+    for (int port = 0; port < NumPorts; ++port) {
+        for (int vc = 0; vc < params_.totalVcs(); ++vc) {
+            const auto &ivc = in(port, vc);
+            int queuedFlits = 0;
+            for (const auto &pkt : ivc.q) {
+                if (pkt.lenFlits < 1 ||
+                    pkt.lenFlits > params_.vcBufferFlits) {
+                    CONSIM_CHECK_FAIL("router ", tile_,
+                                      ": packet with bad length ",
+                                      pkt.lenFlits, " flits");
+                }
+                queuedFlits += pkt.lenFlits;
+            }
+            buffered += static_cast<int>(ivc.q.size());
+            if (ivc.freeFlits < 0 ||
+                ivc.freeFlits > params_.vcBufferFlits) {
+                CONSIM_CHECK_FAIL("router ", tile_, " port ", port,
+                                  " vc ", vc, ": credit count ",
+                                  ivc.freeFlits, " out of range");
+            }
+            const int held = ivc.freeFlits + queuedFlits;
+            if (inbound_reserved) {
+                const int transit = inbound_reserved(port, vc);
+                if (held + transit != params_.vcBufferFlits) {
+                    CONSIM_CHECK_FAIL(
+                        "router ", tile_, " port ", port, " vc ", vc,
+                        ": flit credits not conserved (free=",
+                        ivc.freeFlits, " queued=", queuedFlits,
+                        " in_transit=", transit, " buffer=",
+                        params_.vcBufferFlits, ")");
+                }
+            } else if (held > params_.vcBufferFlits) {
+                CONSIM_CHECK_FAIL(
+                    "router ", tile_, " port ", port, " vc ", vc,
+                    ": credits exceed buffer (free=", ivc.freeFlits,
+                    " queued=", queuedFlits, " buffer=",
+                    params_.vcBufferFlits, ")");
+            }
+        }
+    }
+    if (buffered != buffered_) {
+        CONSIM_CHECK_FAIL("router ", tile_,
+                          ": buffered packet count drifted (cached=",
+                          buffered_, " recount=", buffered, ")");
+    }
+    int busy = 0;
+    for (const auto &out : outputs_) {
+        if (out.busy) {
+            ++busy;
+            if (out.remaining < 1) {
+                CONSIM_CHECK_FAIL("router ", tile_,
+                                  ": busy output with ",
+                                  out.remaining, " flits remaining");
+            }
+        }
+    }
+    if (busy != busyOutputs_) {
+        CONSIM_CHECK_FAIL("router ", tile_,
+                          ": busy output count drifted (cached=",
+                          busyOutputs_, " recount=", busy, ")");
+    }
+}
+
+json::Value
+Router::creditJson() const
+{
+    auto v = json::Value::object();
+    v.set("tile", tile_);
+    v.set("buffered", buffered_);
+    v.set("busy_outputs", busyOutputs_);
+    auto vcs = json::Value::array();
+    for (int port = 0; port < NumPorts; ++port) {
+        for (int vc = 0; vc < params_.totalVcs(); ++vc) {
+            const auto &ivc = in(port, vc);
+            // Only VCs holding packets or missing credits are
+            // interesting in a hang dump.
+            if (ivc.q.empty() &&
+                ivc.freeFlits == params_.vcBufferFlits) {
+                continue;
+            }
+            auto e = json::Value::object();
+            e.set("port", port);
+            e.set("vc", vc);
+            e.set("free_flits", ivc.freeFlits);
+            e.set("queued", static_cast<int>(ivc.q.size()));
+            if (!ivc.q.empty())
+                e.set("head", describe(ivc.q.front().msg));
+            vcs.push(std::move(e));
+        }
+    }
+    v.set("vcs", std::move(vcs));
+    return v;
 }
 
 } // namespace consim

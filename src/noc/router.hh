@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "coherence/protocol.hh"
+#include "common/json.hh"
 #include "noc/network.hh"
 #include "noc/routing.hh"
 
@@ -108,6 +109,35 @@ class Router
 
     /** @return buffered packets (diagnostics). */
     int bufferedPackets() const;
+
+    /** @return packets mid-transmission on this router's outputs. */
+    int transitPackets() const { return busyOutputs_; }
+
+    /**
+     * Report every neighbor-bound in-transit packet's downstream
+     * credit reservation: the flits it holds in (dstTile, dstPort,
+     * dstVc). The mesh-level conservation audit folds these into the
+     * per-VC credit equation.
+     */
+    void forEachTransit(
+        const std::function<void(CoreId dst_tile, int dst_port,
+                                 int dst_vc, int flits)> &fn) const;
+
+    /**
+     * Hardening audit: verify credit and packet accounting. For each
+     * input VC, freeFlits + queued flits + inbound in-transit flits
+     * must equal vcBufferFlits; buffered_/busyOutputs_ must match a
+     * recount. Throws SimError on violation.
+     * @param inbound_reserved flits reserved in (port, vc) by packets
+     *        in transit from upstream; when null the per-VC equation
+     *        degrades to an upper-bound check.
+     */
+    void checkInvariants(
+        const std::function<int(int port, int vc)> &inbound_reserved)
+        const;
+
+    /** Credit/occupancy snapshot for the `consim.diag.v1` dump. */
+    json::Value creditJson() const;
 
   private:
     struct InputVc

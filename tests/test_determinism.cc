@@ -163,7 +163,7 @@ TEST(Determinism, ParallelAndSerialSweepJsonIsByteIdentical)
     std::string err;
     ASSERT_TRUE(json::parse(parallel_doc, parsed, &err)) << err;
     ASSERT_NE(parsed.find("schema"), nullptr);
-    EXPECT_EQ(parsed.find("schema")->str(), "consim.sweep.v1");
+    EXPECT_EQ(parsed.find("schema")->str(), "consim.sweep.v2");
     EXPECT_EQ(parsed.find("points")->size(), configs.size());
 }
 

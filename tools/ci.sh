@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (full build + test suite), an ASan+UBSan
-# pass over the whole tier-1 suite (memory safety of the registry,
-# JSON layer, and simulator core), plus a ThreadSanitizer pass over
-# the sweep engine's concurrency surface (thread pool + parallel
-# sweep determinism + event queue).
+# CI gate: tier-1 verify (full build + test suite), a checked-mode
+# pass (full suite with every runtime invariant checker enabled) plus
+# a fault-injection smoke over the whole catalog, an ASan+UBSan pass
+# over the whole tier-1 suite (memory safety of the registry, JSON
+# layer, and simulator core), plus a ThreadSanitizer pass over the
+# sweep engine's concurrency surface (thread pool + parallel sweep
+# determinism + event queue).
 #
-# Usage: tools/ci.sh [--skip-tsan] [--skip-asan]
+# Usage: tools/ci.sh [--skip-tsan] [--skip-asan] [--skip-checked]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
 skip_asan=0
+skip_checked=0
 for arg in "$@"; do
     case "$arg" in
         --skip-tsan) skip_tsan=1 ;;
         --skip-asan) skip_asan=1 ;;
+        --skip-checked) skip_checked=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -24,6 +28,26 @@ echo "=== tier-1: build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$skip_checked" == 1 ]]; then
+    echo "=== checked mode: skipped ==="
+else
+    echo "=== checked mode: full test suite under CONSIM_CHECK=full ==="
+    # Death tests assert the off-level abort behaviour that checked
+    # mode deliberately replaces with recoverable SimErrors.
+    (cd build && CONSIM_CHECK=full ctest --output-on-failure \
+        -j "$(nproc)" -E 'DeathTest')
+
+    echo "=== fault-injection smoke: every catalog fault must be caught ==="
+    ./build/tools/repro_hang --cycles 400000 --watchdog 50000 \
+        --fault "wedge:core=3,at=100000" --expect-trip >/dev/null
+    ./build/tools/repro_hang --cycles 600000 --watchdog 50000 \
+        --fault "drop:nth=500" --expect-trip >/dev/null
+    ./build/tools/repro_hang --cycles 400000 --watchdog 50000 \
+        --fault "memburst:at=100000,len=200000,extra=400000" \
+        --expect-trip >/dev/null
+    echo "fault-injection smoke: all faults caught"
+fi
 
 if [[ "$skip_asan" == 1 ]]; then
     echo "=== asan+ubsan: skipped ==="

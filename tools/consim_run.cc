@@ -19,10 +19,19 @@
  *     --no-dir-cache           ablation: no directory caches
  *     --no-clean-fwd           ablation: memory supplies clean data
  *     --ideal-noc              ablation: fixed-latency interconnect
+ *     --check off|basic|full   runtime check level (CONSIM_CHECK)
+ *     --watchdog N             progress-watchdog interval in cycles
+ *                              (0 disables; default CONSIM_WATCHDOG)
+ *     --deadline N             abort the point after N sim cycles
+ *     --fault PLAN             inject faults, e.g.
+ *                              "wedge:core=3,at=250000;drop:nth=800"
  *     --csv                    machine-readable per-VM output
  *     --dump-stats             full component statistics dump
  *     --json PATH              write the consim.run.v1 JSON envelope
  *                              (also via the CONSIM_JSON env var)
+ *
+ * A tripped checker / watchdog / deadline exits 1 after printing the
+ * structured consim.diag.v1 dump to stderr.
  *
  * Examples:
  *   consim_run --mix "Mix 7" --policy rr
@@ -37,8 +46,10 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/mix.hh"
@@ -62,8 +73,21 @@ usage(const char *msg = nullptr)
         "[--migrate N]\n"
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
         "[--csv] [--dump-stats]\n"
+        "       [--check off|basic|full] [--watchdog N] "
+        "[--deadline N] [--fault PLAN]\n"
         "       [--json PATH]\n";
     std::exit(2);
+}
+
+/** Strict cycle/seed-count parsing: junk exits 2, never becomes 0. */
+std::uint64_t
+parseCount(const std::string &opt, const std::string &s)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v))
+        usage((opt + " wants an unsigned integer, got '" + s + "'")
+                  .c_str());
+    return v;
 }
 
 void
@@ -77,6 +101,24 @@ writeJsonDoc(const std::string &path, const json::Value &doc)
     }
     doc.write(out, 2);
     out << "\n";
+}
+
+/** Print a tripped checker/watchdog/deadline error and exit 1. */
+[[noreturn]] void
+reportSimError(const std::string &kind, const std::string &msg,
+               const std::string &diag)
+{
+    std::cerr << "consim_run: " << kind << " error: " << msg << "\n";
+    if (!diag.empty()) {
+        json::Value d;
+        if (json::parse(diag, d)) {
+            d.write(std::cerr, 2);
+            std::cerr << "\n";
+        } else {
+            std::cerr << diag << "\n";
+        }
+    }
+    std::exit(1);
 }
 
 WorkloadKind
@@ -110,7 +152,10 @@ parsePolicy(const std::string &s)
 SharingDegree
 parseSharing(const std::string &s)
 {
-    switch (std::atoi(s.c_str())) {
+    int n = 0;
+    if (!parseIntInRange(s, 1, 16, n))
+        usage("sharing degree must be 1|2|4|8|16");
+    switch (n) {
       case 1:
         return SharingDegree::Private;
       case 2:
@@ -157,21 +202,35 @@ main(int argc, char **argv)
         } else if (a == "--sharing") {
             cfg.machine.sharing = parseSharing(next_arg(i));
         } else if (a == "--warmup") {
-            cfg.warmupCycles = std::strtoull(
-                next_arg(i).c_str(), nullptr, 10);
+            cfg.warmupCycles = parseCount(a, next_arg(i));
         } else if (a == "--measure") {
-            cfg.measureCycles = std::strtoull(
-                next_arg(i).c_str(), nullptr, 10);
+            cfg.measureCycles = parseCount(a, next_arg(i));
         } else if (a == "--seed") {
-            cfg.seed =
-                std::strtoull(next_arg(i).c_str(), nullptr, 10);
+            cfg.seed = parseCount(a, next_arg(i));
         } else if (a == "--seeds") {
-            num_seeds = std::atoi(next_arg(i).c_str());
-            if (num_seeds < 1)
-                usage("--seeds wants a positive count");
+            if (!parseIntInRange(next_arg(i), 1, 1024, num_seeds))
+                usage("--seeds wants a count in 1..1024");
         } else if (a == "--migrate") {
-            cfg.migrationIntervalCycles = std::strtoull(
-                next_arg(i).c_str(), nullptr, 10);
+            cfg.migrationIntervalCycles = parseCount(a, next_arg(i));
+        } else if (a == "--check") {
+            check::Level lvl;
+            if (!check::parseLevel(next_arg(i), lvl))
+                usage("--check wants off|basic|full");
+            check::setLevel(lvl);
+        } else if (a == "--watchdog") {
+            const std::uint64_t n = parseCount(a, next_arg(i));
+            // In RunConfig, 0 means "library default", so an explicit
+            // --watchdog 0 disables via the env override instead.
+            if (n == 0)
+                ::setenv("CONSIM_WATCHDOG", "0", 1);
+            else
+                cfg.watchdogIntervalCycles = n;
+        } else if (a == "--deadline") {
+            cfg.cycleDeadline = parseCount(a, next_arg(i));
+        } else if (a == "--fault") {
+            std::string err;
+            if (!FaultPlan::parse(next_arg(i), cfg.faults, &err))
+                usage(("bad --fault plan: " + err).c_str());
         } else if (a == "--no-dir-cache") {
             cfg.machine.dirCacheEnabled = false;
         } else if (a == "--no-clean-fwd") {
@@ -209,11 +268,30 @@ main(int argc, char **argv)
 
     if (!dump) {
         // Standard path: run every seed on the parallel sweep engine
-        // and report the averaged RunResult.
-        std::vector<std::uint64_t> seeds;
-        for (int s = 0; s < num_seeds; ++s)
-            seeds.push_back(cfg.seed + static_cast<std::uint64_t>(s));
-        const RunResult r = runSweepAveraged({cfg}, seeds).front();
+        // and report the averaged RunResult. Unlike batch sweeps,
+        // a front-end run fails loudly: no retries, and the first
+        // tripped checker/watchdog/deadline exits with its diag.
+        std::vector<RunConfig> seed_cfgs;
+        for (int s = 0; s < num_seeds; ++s) {
+            seed_cfgs.push_back(cfg);
+            seed_cfgs.back().seed =
+                cfg.seed + static_cast<std::uint64_t>(s);
+        }
+        SweepOptions opts;
+        opts.maxRetries = 0;
+        std::vector<SweepRun> runs = runSweepEx(seed_cfgs, opts);
+        std::vector<RunResult> group;
+        group.reserve(runs.size());
+        for (std::size_t s = 0; s < runs.size(); ++s) {
+            if (!runs[s].ok) {
+                std::cerr << "consim_run: seed "
+                          << seed_cfgs[s].seed << " failed\n";
+                reportSimError(runs[s].errorKind,
+                               runs[s].errorMessage, runs[s].diag);
+            }
+            group.push_back(std::move(runs[s].result));
+        }
+        const RunResult r = averageRunResults(std::move(group));
 
         if (!json_path.empty())
             writeJsonDoc(json_path, runResultJson(cfg, r));
@@ -278,6 +356,13 @@ main(int argc, char **argv)
     const auto placements =
         scheduleThreads(cfg.machine, threads, cfg.policy, cfg.seed);
     System sys(cfg.machine, vms, placements);
+    sys.setWatchdogInterval(cfg.watchdogIntervalCycles
+                                ? cfg.watchdogIntervalCycles
+                                : defaultWatchdogIntervalCycles());
+    if (cfg.cycleDeadline != 0)
+        sys.setCycleDeadline(cfg.cycleDeadline);
+    if (!cfg.faults.empty())
+        sys.setFaultPlan(cfg.faults);
 
     const Cycle warmup =
         cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
@@ -297,9 +382,17 @@ main(int argc, char **argv)
                 sys.swapRandomThreads(mig_rng);
         }
     };
-    run_phase(warmup);
-    sys.resetStats();
-    run_phase(measure);
+    try {
+        run_phase(warmup);
+        if (CONSIM_CHECK_ACTIVE(Full))
+            sys.auditWindow();
+        sys.resetStats();
+        run_phase(measure);
+        if (CONSIM_CHECK_ACTIVE(Full))
+            sys.auditWindow();
+    } catch (const SimError &e) {
+        reportSimError(toString(e.kind()), e.what(), e.diag());
+    }
 
     if (csv) {
         std::cout << "vm,kind,threads,transactions,cycles_per_txn,"

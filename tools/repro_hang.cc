@@ -1,32 +1,152 @@
-// Repro harness for long-run stalls: runs one configuration and
-// reports per-VM progress in intervals, flagging cores that stay
-// blocked across a whole interval.
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
+/**
+ * @file
+ * repro_hang: stall reproducer driven by the in-simulator progress
+ * watchdog. The original tool polled instruction counters from the
+ * outside every 100k cycles and hand-dumped component state on a
+ * stall; the watchdog does the same audit inside System::run with
+ * per-core blocked tracking, and its SimError carries a structured
+ * `consim.diag.v1` dump, which this tool pretty-prints.
+ *
+ * Usage:
+ *   repro_hang [options]
+ *     --vm jbb|tpcw|tpch|web   workload (default tpch)
+ *     --sharing 1|2|4|8|16     sharing degree (default 16)
+ *     --policy rr|affinity     placement policy (default affinity)
+ *     --cycles N               total cycles to run (default 8e6)
+ *     --watchdog N             check interval in cycles (default 1e5)
+ *     --fault PLAN             inject faults to provoke a stall, e.g.
+ *                              "wedge:core=3,at=250000"
+ *     --expect-trip            invert the exit code: 0 when the
+ *                              watchdog trips (CI fault smoke), 1
+ *                              when the run completes cleanly
+ *
+ * Exit: 0 = ran to completion, 1 = stall detected (diag on stdout),
+ * 2 = bad usage. With --expect-trip, 0 and 1 are swapped.
+ */
 
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/json.hh"
+#include "common/parse.hh"
 #include "core/experiment.hh"
+#include "core/fault.hh"
 
 using namespace consim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::cerr << "error: " << msg << "\n";
+    std::cerr << "usage: repro_hang [--vm KIND] [--sharing N] "
+                 "[--policy rr|affinity]\n"
+                 "       [--cycles N] [--watchdog N] [--fault PLAN] "
+                 "[--expect-trip]\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const std::string &opt, const std::string &s)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v))
+        usage((opt + " wants an unsigned integer, got '" + s + "'")
+                  .c_str());
+    return v;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    const char *kind_s = argc > 1 ? argv[1] : "tpch";
     WorkloadKind kind = WorkloadKind::TpcH;
-    if (std::string(kind_s) == "jbb")
-        kind = WorkloadKind::SpecJbb;
-    else if (std::string(kind_s) == "tpcw")
-        kind = WorkloadKind::TpcW;
-    else if (std::string(kind_s) == "web")
-        kind = WorkloadKind::SpecWeb;
-
     SharingDegree sharing = SharingDegree::Shared16;
-    if (argc > 2)
-        sharing = static_cast<SharingDegree>(std::atoi(argv[2]));
     SchedPolicy policy = SchedPolicy::Affinity;
-    if (argc > 3 && std::string(argv[3]) == "rr")
-        policy = SchedPolicy::RoundRobin;
+    Cycle cycles = 8'000'000;
+    Cycle watchdog = 100'000;
+    FaultPlan faults;
+    bool expect_trip = false;
+
+    auto next_arg = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage("missing argument value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--vm") {
+            const std::string v = next_arg(i);
+            if (v == "jbb")
+                kind = WorkloadKind::SpecJbb;
+            else if (v == "tpcw")
+                kind = WorkloadKind::TpcW;
+            else if (v == "tpch")
+                kind = WorkloadKind::TpcH;
+            else if (v == "web")
+                kind = WorkloadKind::SpecWeb;
+            else
+                usage("unknown workload kind (jbb|tpcw|tpch|web)");
+        } else if (a == "--sharing") {
+            int n = 0;
+            if (!parseIntInRange(next_arg(i), 1, 16, n))
+                usage("sharing degree must be 1|2|4|8|16");
+            switch (n) {
+              case 1:
+                sharing = SharingDegree::Private;
+                break;
+              case 2:
+                sharing = SharingDegree::Shared2;
+                break;
+              case 4:
+                sharing = SharingDegree::Shared4;
+                break;
+              case 8:
+                sharing = SharingDegree::Shared8;
+                break;
+              case 16:
+                sharing = SharingDegree::Shared16;
+                break;
+              default:
+                usage("sharing degree must be 1|2|4|8|16");
+            }
+        } else if (a == "--policy") {
+            const std::string v = next_arg(i);
+            if (v == "rr")
+                policy = SchedPolicy::RoundRobin;
+            else if (v == "affinity")
+                policy = SchedPolicy::Affinity;
+            else
+                usage("unknown policy (rr|affinity)");
+        } else if (a == "--cycles") {
+            cycles = parseCount(a, next_arg(i));
+            if (cycles == 0)
+                usage("--cycles wants a positive count");
+        } else if (a == "--watchdog") {
+            watchdog = parseCount(a, next_arg(i));
+            if (watchdog == 0)
+                usage("--watchdog wants a positive interval");
+        } else if (a == "--fault") {
+            std::string err;
+            if (!FaultPlan::parse(next_arg(i), faults, &err))
+                usage(("bad --fault plan: " + err).c_str());
+        } else if (a == "--expect-trip") {
+            expect_trip = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+        } else {
+            usage(("unknown option '" + a + "'").c_str());
+        }
+    }
 
     RunConfig cfg = isolationConfig(kind, policy, sharing);
 
@@ -40,35 +160,42 @@ main(int argc, char **argv)
         ptrs.push_back(vms.back().get());
         tpv.push_back(prof.numThreads);
     }
-    const auto placements = scheduleThreads(cfg.machine, tpv,
-                                            cfg.policy, 1);
-    System sys(cfg.machine, ptrs, placements);
+    // A diagnosis tool wants recoverable errors: raise the ambient
+    // check level to basic so invariant violations surface as
+    // SimError (an explicit CONSIM_CHECK=full still wins).
+    if (check::level() == check::Level::Off)
+        check::setLevel(check::Level::Basic);
 
-    std::uint64_t last_instr = 0;
-    for (int interval = 0; interval < 80; ++interval) {
-        sys.run(100'000);
-        std::uint64_t instr = 0;
-        for (auto *vm : ptrs)
-            instr += vm->vmStats().instructions.value();
-        int blocked = 0;
-        for (CoreId t = 0; t < 16; ++t)
-            blocked += sys.core(t).blocked() ? 1 : 0;
-        std::printf("t=%8llu instr=%12llu d=%10llu blocked=%d\n",
-                    (unsigned long long)(interval + 1) * 100000ull,
-                    (unsigned long long)instr,
-                    (unsigned long long)(instr - last_instr), blocked);
-        if (instr == last_instr) {
-            std::printf("STALLED; dumping state\n");
-            for (CoreId t = 0; t < 16; ++t)
-                sys.bank(t).debugDump();
-            for (CoreId t = 0; t < 16; ++t)
-                sys.dir(t).debugDump();
-            std::fprintf(stderr, "net idle=%d\n",
-                         sys.network().idle());
-            return 1;
+    const auto placements =
+        scheduleThreads(cfg.machine, tpv, cfg.policy, 1);
+    System sys(cfg.machine, ptrs, placements);
+    sys.setWatchdogInterval(watchdog);
+    if (!faults.empty())
+        sys.setFaultPlan(faults);
+
+    try {
+        sys.run(cycles);
+    } catch (const SimError &e) {
+        std::cout << "stall detected (" << toString(e.kind())
+                  << "): " << e.what() << "\n";
+        json::Value d;
+        if (!e.diag().empty() && json::parse(e.diag(), d)) {
+            d.write(std::cout, 2);
+            std::cout << "\n";
+        } else if (!e.diag().empty()) {
+            std::cout << e.diag() << "\n";
         }
-        last_instr = instr;
+        return expect_trip ? 0 : 1;
     }
-    std::printf("completed without stall\n");
+
+    std::uint64_t instr = 0;
+    for (auto *vm : ptrs)
+        instr += vm->vmStats().instructions.value();
+    std::cout << "completed " << cycles << " cycles without stall ("
+              << instr << " instructions)\n";
+    if (expect_trip) {
+        std::cerr << "error: expected the watchdog to trip\n";
+        return 1;
+    }
     return 0;
 }

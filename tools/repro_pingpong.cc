@@ -27,8 +27,15 @@ class RandomStream : public InstrStream {
     std::uint64_t left_;
 };
 
-int main()
+int main(int argc, char **argv)
 {
+    if (argc > 1) {
+        std::fprintf(stderr,
+                     "error: unknown option '%s'\n"
+                     "usage: repro_pingpong (takes no arguments)\n",
+                     argv[1]);
+        return 2;
+    }
     WorkloadProfile p;
     p.name = "stress";
     p.sharedRoBlocks = 3000; p.migratoryBlocks = 500;
