@@ -177,6 +177,10 @@ class CacheArray
     const CacheGeometry &geometry() const { return geom_; }
 
   private:
+    /** Checkpoint layer restores slots index-exact (victim() choice
+     *  depends on slot order and lruStamp values). */
+    friend struct CkptAccess;
+
     /** [begin, end) line indices of the set holding @p block. */
     std::pair<std::uint64_t, std::uint64_t>
     setRange(BlockAddr block) const

@@ -95,7 +95,8 @@ DirectorySlice::startTxn(Msg m)
         lat += fab_.config().memLatency;
         t.dirFetched = true;
     }
-    fab_.schedule(lat, [this, block] { process(block); });
+    fab_.scheduleEvent(SimEvent(SimEventKind::DirProcess, tile_, block),
+                       lat, [this, block] { process(block); });
 }
 
 bool

@@ -162,6 +162,11 @@ class DirectorySlice
     json::Value diagJson() const;
 
   private:
+    /** System dispatches typed events (DirProcess) and the
+     *  checkpoint layer reads raw state. */
+    friend class System;
+    friend struct CkptAccess;
+
     struct DirCacheLine : CacheLineBase
     {
     };

@@ -16,6 +16,43 @@
 namespace consim
 {
 
+/**
+ * Kind tag of a typed simulator event. Typed events describe the
+ * handful of recurring callback shapes in the machine as plain data,
+ * which is what lets a checkpoint serialize a pending event queue:
+ * an Opaque closure cannot be written to disk, but (kind, tile,
+ * block, msg) can.
+ */
+enum class SimEventKind : std::uint8_t
+{
+    Opaque,        ///< arbitrary closure; not checkpointable
+    Deliver,       ///< deliver msg to its destination unit
+    BankDispatch,  ///< L2Bank at tile dispatches block's queue head
+    BankFillRetry, ///< L2Bank at tile retries a stalled fill of block
+    DirProcess,    ///< DirectorySlice at tile processes block
+    MemDone,       ///< memory access done; msg is the Data reply
+    WedgeCore,     ///< fault injection: wedge core `tile`
+};
+
+/**
+ * A typed simulator event: every scheduled callback in the machine
+ * expressed as data plus an escape hatch (Opaque) holding a closure.
+ * The System's executor switches on `kind` to re-dispatch into the
+ * owning component; checkpoints refuse to serialize Opaque events.
+ */
+struct SimEvent
+{
+    SimEventKind kind = SimEventKind::Opaque;
+    CoreId tile = invalidCore; ///< owning component's tile
+    BlockAddr block = 0;
+    Msg msg{};
+    EventFn fn; ///< Opaque only
+
+    SimEvent() = default;
+    SimEvent(SimEventKind k, CoreId t, BlockAddr b) : kind(k), tile(t), block(b) {}
+    SimEvent(SimEventKind k, Msg m) : kind(k), msg(std::move(m)) {}
+};
+
 /** Interface to the surrounding machine (clock, transport, mapping). */
 class Fabric
 {
@@ -33,6 +70,21 @@ class Fabric
 
     /** Run a callback after @p delay cycles (delay >= 1). */
     virtual void schedule(Cycle delay, EventFn fn) = 0;
+
+    /**
+     * Schedule a typed event after @p delay cycles (delay >= 1).
+     * @p fallback must perform the same action as @p ev; the default
+     * implementation runs it through schedule(), so mock fabrics in
+     * unit tests keep working without knowing about typed events.
+     * The System overrides this to enqueue `ev` itself, keeping the
+     * event queue serializable.
+     */
+    virtual void
+    scheduleEvent(SimEvent ev, Cycle delay, EventFn fallback)
+    {
+        (void)ev;
+        schedule(delay, std::move(fallback));
+    }
 
     /** @return the machine configuration. */
     virtual const MachineConfig &config() const = 0;

@@ -120,6 +120,9 @@ class L1Controller
     }
 
   private:
+    /** Checkpoint layer reads raw state. */
+    friend struct CkptAccess;
+
     void fillL0(BlockAddr block);
     void sendToBank(MsgType t, BlockAddr block);
 

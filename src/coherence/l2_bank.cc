@@ -136,8 +136,10 @@ L2Bank::onL1Request(const Msg &m)
     t.req = m;
     t.started = fab_.now();
     active_[block] = std::move(t);
-    fab_.schedule(fab_.config().l2Latency,
-                  [this, block] { dispatchLocal(block); });
+    fab_.scheduleEvent(
+        SimEvent(SimEventKind::BankDispatch, tile_, block),
+        fab_.config().l2Latency,
+        [this, block] { dispatchLocal(block); });
 }
 
 void
@@ -290,8 +292,10 @@ L2Bank::startOp(Msg m)
         t.req = std::move(m);
         t.started = fab_.now();
         active_[block] = std::move(t);
-        fab_.schedule(fab_.config().l2Latency,
-                      [this, block] { dispatchLocal(block); });
+        fab_.scheduleEvent(
+            SimEvent(SimEventKind::BankDispatch, tile_, block),
+            fab_.config().l2Latency,
+            [this, block] { dispatchLocal(block); });
         break;
       }
       case MsgType::FwdGetS:
@@ -634,10 +638,9 @@ L2Bank::tryCompleteFill(BlockAddr block)
     if (slot == nullptr) {
         // Every candidate in the set is mid-operation; retry shortly.
         ++stats_.fillRetries;
-        fab_.schedule(8, [this, block] {
-            if (active_.count(block))
-                tryCompleteFill(block);
-        });
+        fab_.scheduleEvent(
+            SimEvent(SimEventKind::BankFillRetry, tile_, block), 8,
+            [this, block] { fillRetry(block); });
         return;
     }
     if (slot->valid) {
@@ -656,6 +659,13 @@ L2Bank::tryCompleteFill(BlockAddr block)
         evictLineNow(slot);
     }
     installAndFinish(block);
+}
+
+void
+L2Bank::fillRetry(BlockAddr block)
+{
+    if (active_.count(block))
+        tryCompleteFill(block);
 }
 
 void

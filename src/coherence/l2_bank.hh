@@ -132,6 +132,11 @@ class L2Bank
     json::Value diagJson() const;
 
   private:
+    /** System dispatches typed events (BankDispatch/BankFillRetry)
+     *  and the checkpoint layer reads raw state. */
+    friend class System;
+    friend struct CkptAccess;
+
     enum class Phase
     {
         Lookup,        ///< paying the L2 access latency
@@ -191,6 +196,7 @@ class L2Bank
     void serveFwdFromWb(const Msg &m, WbEntry &wb);
     void handleExtractionData(BlockAddr txn_block);
     void tryCompleteFill(BlockAddr block);
+    void fillRetry(BlockAddr block);
     void installAndFinish(BlockAddr block);
     void grantLocal(const Msg &req, L2CacheLine *line);
     void finishLocal(BlockAddr block);

@@ -50,10 +50,15 @@ MemoryController::handle(const Msg &msg)
     reply.dstUnit = Unit::L2Bank;
     reply.c2cTransfer = false;
     reply.dirtyData = false;
-    fab_.schedule(done, [this, reply] {
-        --outstanding_;
-        fab_.send(reply);
-    });
+    fab_.scheduleEvent(SimEvent(SimEventKind::MemDone, reply), done,
+                       [this, reply] { finishAccess(reply); });
+}
+
+void
+MemoryController::finishAccess(const Msg &reply)
+{
+    --outstanding_;
+    fab_.send(reply);
 }
 
 } // namespace consim

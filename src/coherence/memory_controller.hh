@@ -31,6 +31,11 @@ class MemoryController
     /** Handle a MemRead or MemWrite. */
     void handle(const Msg &msg);
 
+    /** Complete an access: send @p reply (a fully-formed Data
+     *  message) back toward the requester. Dispatched by the typed
+     *  MemDone event (or its fallback closure in mock fabrics). */
+    void finishAccess(const Msg &reply);
+
     /** @return true when no access is outstanding. */
     bool idle() const { return outstanding_ == 0; }
 
@@ -43,6 +48,9 @@ class MemoryController
     stats::Group &statsGroup() { return statsGroup_; }
 
   private:
+    /** Checkpoint layer reads raw state. */
+    friend struct CkptAccess;
+
     Fabric &fab_;
     CoreId tile_;
     Cycle nextFree_ = 0;   ///< earliest cycle the channel can issue

@@ -71,9 +71,17 @@ class SimError : public std::runtime_error
     /** `consim.diag.v1` JSON text captured at failure (may be ""). */
     const std::string &diag() const { return diag_; }
 
+    /** Attach the most recent pre-trip checkpoint (may be ""). */
+    void setCkpt(std::string ckpt) { ckpt_ = std::move(ckpt); }
+
+    /** `consim.ckpt.v1` JSON text of the last snapshot before the
+     *  failure ("" when periodic snapshotting was off). */
+    const std::string &ckpt() const { return ckpt_; }
+
   private:
     SimErrorKind kind_;
     std::string diag_;
+    std::string ckpt_;
 };
 
 namespace check

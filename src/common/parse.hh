@@ -12,7 +12,10 @@
 
 #include <charconv>
 #include <cstdint>
+#include <cstdlib>
 #include <string_view>
+
+#include "common/logging.hh"
 
 namespace consim
 {
@@ -42,6 +45,42 @@ parseIntInRange(std::string_view s, int lo, int hi, int &out)
         return false;
     out = v;
     return true;
+}
+
+/**
+ * Read an environment variable as a strict unsigned integer. Unset
+ * returns @p def; a set-but-malformed value (trailing garbage, empty,
+ * negative, overflow) is a fatal user error — silently falling back to
+ * the default would run a different experiment than the one asked for.
+ */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    std::uint64_t out = 0;
+    if (!parseU64(v, out)) {
+        CONSIM_FATAL(name, "='", v,
+                     "' is not an unsigned integer; unset it or pass a "
+                     "plain decimal value");
+    }
+    return out;
+}
+
+/** envU64 for bounded int knobs: fatal when outside [lo, hi]. */
+inline int
+envIntInRange(const char *name, int lo, int hi, int def)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    int out = 0;
+    if (!parseIntInRange(v, lo, hi, out)) {
+        CONSIM_FATAL(name, "='", v, "' is not an integer in [", lo, ", ",
+                     hi, "]; unset it or pass a value in range");
+    }
+    return out;
 }
 
 } // namespace consim

@@ -13,6 +13,7 @@
 #ifndef CONSIM_COMMON_RNG_HH
 #define CONSIM_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/logging.hh"
@@ -108,6 +109,21 @@ class Rng
             std::size_t j = below(i);
             std::swap(c[i - 1], c[j]);
         }
+    }
+
+    /** Raw generator state (checkpointing). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore raw generator state (checkpointing). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[i];
     }
 
   private:

@@ -235,6 +235,96 @@ Group::toJson() const
     return node;
 }
 
+json::Value
+Group::saveState() const
+{
+    json::Value node = json::Value::object();
+    json::Value sv = json::Value::object();
+    for (const auto &[k, s] : stats_) {
+        switch (s.kind) {
+          case StatKind::Counter:
+            sv.set(k, static_cast<const Counter *>(s.ptr)->value());
+            break;
+          case StatKind::Average: {
+            const auto *a = static_cast<const Average *>(s.ptr);
+            json::Value v = json::Value::object();
+            v.set("sum", a->sum());
+            v.set("count", a->count());
+            sv.set(k, std::move(v));
+            break;
+          }
+          case StatKind::Histogram: {
+            const auto *h = static_cast<const Histogram *>(s.ptr);
+            json::Value v = json::Value::object();
+            json::Value b = json::Value::array();
+            for (std::size_t i = 0; i < h->numBuckets(); ++i)
+                b.push(h->bucket(i));
+            v.set("buckets", std::move(b));
+            v.set("sum", h->rawSum());
+            v.set("count", h->count());
+            v.set("max", h->max());
+            sv.set(k, std::move(v));
+            break;
+          }
+        }
+    }
+    node.set("stats", std::move(sv));
+    json::Value cv = json::Value::object();
+    for (const Group *c : children_)
+        cv.set(c->name_, c->saveState());
+    node.set("children", std::move(cv));
+    return node;
+}
+
+void
+Group::restoreState(const json::Value &v)
+{
+    const json::Value *sv = v.find("stats");
+    CONSIM_ASSERT(sv != nullptr, "stat state missing for ", name_);
+    for (auto &[k, s] : stats_) {
+        const json::Value *e = sv->find(k);
+        CONSIM_ASSERT(e != nullptr, "stat '", k, "' missing in saved "
+                      "state for group ", name_);
+        switch (s.kind) {
+          case StatKind::Counter:
+            static_cast<Counter *>(s.ptr)->restore(e->asUint());
+            break;
+          case StatKind::Average: {
+            const json::Value *sum = e->find("sum");
+            const json::Value *count = e->find("count");
+            CONSIM_ASSERT(sum && count, "bad average state for ", k);
+            static_cast<Average *>(s.ptr)->restore(sum->number(),
+                                                   count->asUint());
+            break;
+          }
+          case StatKind::Histogram: {
+            const json::Value *b = e->find("buckets");
+            const json::Value *sum = e->find("sum");
+            const json::Value *count = e->find("count");
+            const json::Value *max = e->find("max");
+            CONSIM_ASSERT(b && sum && count && max,
+                          "bad histogram state for ", k);
+            std::vector<std::uint64_t> buckets;
+            buckets.reserve(b->size());
+            for (const auto &item : b->items())
+                buckets.push_back(item.asUint());
+            static_cast<Histogram *>(s.ptr)->restore(
+                buckets, sum->asUint(), count->asUint(),
+                max->asUint());
+            break;
+          }
+        }
+    }
+    const json::Value *cv = v.find("children");
+    CONSIM_ASSERT(cv != nullptr, "child state missing for ", name_);
+    for (Group *c : children_) {
+        const json::Value *e = cv->find(c->name_);
+        CONSIM_ASSERT(e != nullptr, "group '", c->name_,
+                      "' missing in saved state under ", name_);
+        c->restoreState(*e);
+    }
+}
+
 const Group *
 Group::findGroup(std::string_view path) const
 {

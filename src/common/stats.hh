@@ -45,6 +45,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Restore a checkpointed value. */
+    void restore(std::uint64_t v) { value_ = v; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -77,6 +80,14 @@ class Average
     {
         sum_ = 0.0;
         count_ = 0;
+    }
+
+    /** Restore checkpointed raw state. */
+    void
+    restore(double sum, std::uint64_t count)
+    {
+        sum_ = sum;
+        count_ = count;
     }
 
   private:
@@ -116,6 +127,7 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     std::uint64_t max() const { return max_; }
+    std::uint64_t rawSum() const { return sum_; }
     double mean() const
     {
         return count_ ? static_cast<double>(sum_) / count_ : 0.0;
@@ -140,6 +152,20 @@ class Histogram
         sum_ = 0;
         count_ = 0;
         max_ = 0;
+    }
+
+    /** Restore checkpointed raw state; bucket count must match the
+     *  constructed shape (shape is config, not state). */
+    void
+    restore(const std::vector<std::uint64_t> &buckets,
+            std::uint64_t sum, std::uint64_t count, std::uint64_t max)
+    {
+        CONSIM_ASSERT(buckets.size() == buckets_.size(),
+                      "histogram shape mismatch on restore");
+        buckets_ = buckets;
+        sum_ = sum;
+        count_ = count;
+        max_ = max;
     }
 
   private:
@@ -218,6 +244,16 @@ class Group
      * {mean,max,count,p50,p95} summaries.
      */
     json::Value toJson() const;
+
+    /**
+     * Lossless raw dump of every stat in the subtree (toJson() is a
+     * summary — means and percentiles — and cannot be restored from).
+     * Used by the checkpoint layer; restoreState() walks the same
+     * tree and requires identical structure (same registration order,
+     * i.e. the same machine configuration).
+     */
+    json::Value saveState() const;
+    void restoreState(const json::Value &v);
 
     // --- typed path lookup (paths relative to this Group, i.e.
     //     excluding its own name: root.findCounter("tile03.l1.misses")) ---

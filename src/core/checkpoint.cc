@@ -1,0 +1,1029 @@
+/**
+ * @file
+ * `consim.ckpt.v1` serializer: System::saveCheckpoint /
+ * System::restoreCheckpoint plus the protocol-message codec. See
+ * checkpoint.hh for the document layout and the byte-identity
+ * contract.
+ *
+ * All component access goes through CkptAccess, the single friend
+ * every stateful class declares. Conventions:
+ *
+ *  - unsigned 64-bit quantities (cycles, tags, LRU stamps, RNG words,
+ *    seq numbers) are written as Uint and read back with asUint(),
+ *    which is exact; possibly-negative small integers (core ids,
+ *    owners) are written as Int and read through number();
+ *  - unordered_map contents are written sorted by block key so the
+ *    same machine state always produces the same text;
+ *  - cache arrays are restored slot-index-exact: victim() picks the
+ *    first invalid slot in set order (else the lowest lruStamp), so
+ *    which slot holds which line is architecturally visible.
+ */
+
+#include "core/checkpoint.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "coherence/directory.hh"
+#include "coherence/l1_controller.hh"
+#include "coherence/l2_bank.hh"
+#include "coherence/memory_controller.hh"
+#include "common/check.hh"
+#include "core/system.hh"
+#include "core/vm.hh"
+#include "noc/mesh.hh"
+#include "noc/network.hh"
+#include "workload/generator.hh"
+
+namespace consim
+{
+
+namespace
+{
+
+using json::Value;
+
+/** @return required member of a checkpoint object. */
+const Value &
+get(const Value &obj, std::string_view key)
+{
+    const Value *p = obj.find(key);
+    CONSIM_ASSERT(p != nullptr, "checkpoint: missing field \"",
+                  std::string(key), "\"");
+    return *p;
+}
+
+/** @return a (possibly negative) integral field. */
+std::int64_t
+asInt(const Value &v)
+{
+    return static_cast<std::int64_t>(v.number());
+}
+
+/** @return an unordered map's keys in ascending order. */
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map &m)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(m.size());
+    for (const auto &kv : m)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+Value
+cyclesJson(Cycle c)
+{
+    return Value(static_cast<std::uint64_t>(c));
+}
+
+} // namespace
+
+json::Value
+msgToJson(const Msg &m)
+{
+    Value v = Value::array();
+    v.push(static_cast<int>(m.type));
+    v.push(static_cast<std::uint64_t>(m.block));
+    v.push(m.srcTile);
+    v.push(m.dstTile);
+    v.push(static_cast<int>(m.srcUnit));
+    v.push(static_cast<int>(m.dstUnit));
+    v.push(m.reqCore);
+    v.push(m.reqBankTile);
+    v.push(m.reqGroup);
+    v.push(m.vm);
+    v.push(m.isWrite);
+    v.push(m.dirtyData);
+    v.push(m.noDataNeeded);
+    v.push(m.c2cTransfer);
+    v.push(m.stale);
+    v.push(m.toInvalid);
+    v.push(m.overlappedFetch);
+    v.push(static_cast<int>(m.grantState));
+    v.push(static_cast<int>(m.ackCount));
+    v.push(static_cast<std::uint64_t>(m.injectCycle));
+    return v;
+}
+
+Msg
+msgFromJson(const json::Value &v)
+{
+    CONSIM_ASSERT(v.size() == 20, "checkpoint: bad message record");
+    Msg m;
+    m.type = static_cast<MsgType>(asInt(v.at(0)));
+    m.block = v.at(1).asUint();
+    m.srcTile = static_cast<CoreId>(asInt(v.at(2)));
+    m.dstTile = static_cast<CoreId>(asInt(v.at(3)));
+    m.srcUnit = static_cast<Unit>(asInt(v.at(4)));
+    m.dstUnit = static_cast<Unit>(asInt(v.at(5)));
+    m.reqCore = static_cast<CoreId>(asInt(v.at(6)));
+    m.reqBankTile = static_cast<CoreId>(asInt(v.at(7)));
+    m.reqGroup = static_cast<GroupId>(asInt(v.at(8)));
+    m.vm = static_cast<VmId>(asInt(v.at(9)));
+    m.isWrite = v.at(10).boolean();
+    m.dirtyData = v.at(11).boolean();
+    m.noDataNeeded = v.at(12).boolean();
+    m.c2cTransfer = v.at(13).boolean();
+    m.stale = v.at(14).boolean();
+    m.toInvalid = v.at(15).boolean();
+    m.overlappedFetch = v.at(16).boolean();
+    m.grantState = static_cast<L2State>(asInt(v.at(17)));
+    m.ackCount = static_cast<std::int16_t>(asInt(v.at(18)));
+    m.injectCycle = v.at(19).asUint();
+    return m;
+}
+
+/**
+ * The one class every stateful component befriends. Static helpers
+ * only; each saveX returns the JSON for one component, each loadX
+ * restores it into a freshly constructed counterpart.
+ */
+struct CkptAccess
+{
+    // --- cache arrays (slot-index-exact) ---
+
+    template <typename LineT, typename SaveExtra>
+    static Value
+    saveArray(const CacheArray<LineT> &a, SaveExtra &&extra)
+    {
+        Value lines = Value::array();
+        for (std::size_t i = 0; i < a.lines_.size(); ++i) {
+            const LineT &l = a.lines_[i];
+            if (!l.valid)
+                continue;
+            Value rec = Value::array();
+            rec.push(static_cast<std::uint64_t>(i));
+            rec.push(static_cast<std::uint64_t>(l.tag));
+            rec.push(l.lruStamp);
+            extra(l, rec);
+            lines.push(std::move(rec));
+        }
+        Value v = Value::object();
+        v.set("num_lines", static_cast<std::uint64_t>(a.lines_.size()));
+        v.set("stamp", a.stamp_);
+        v.set("lines", std::move(lines));
+        return v;
+    }
+
+    template <typename LineT, typename LoadExtra>
+    static void
+    loadArray(CacheArray<LineT> &a, const Value &v, LoadExtra &&extra)
+    {
+        CONSIM_ASSERT(get(v, "num_lines").asUint() == a.lines_.size(),
+                      "checkpoint: cache geometry mismatch");
+        a.stamp_ = get(v, "stamp").asUint();
+        std::fill(a.lines_.begin(), a.lines_.end(), LineT{});
+        for (const Value &rec : get(v, "lines").items()) {
+            const std::size_t i = rec.at(0).asUint();
+            CONSIM_ASSERT(i < a.lines_.size(),
+                          "checkpoint: line slot out of range");
+            LineT &l = a.lines_[i];
+            l.tag = rec.at(1).asUint();
+            l.valid = true;
+            l.lruStamp = rec.at(2).asUint();
+            extra(l, rec);
+        }
+    }
+
+    static Value
+    savePrivArray(const CacheArray<PrivateCacheLine> &a)
+    {
+        return saveArray(a, [](const PrivateCacheLine &l, Value &rec) {
+            rec.push(static_cast<int>(l.state));
+        });
+    }
+
+    static void
+    loadPrivArray(CacheArray<PrivateCacheLine> &a, const Value &v)
+    {
+        loadArray(a, v, [](PrivateCacheLine &l, const Value &rec) {
+            l.state = static_cast<L1State>(asInt(rec.at(3)));
+        });
+    }
+
+    // --- event queue ---
+
+    static Value
+    saveEvents(const System &s)
+    {
+        struct Rec
+        {
+            Cycle when;
+            std::uint64_t seq;
+            const SimEvent *ev;
+        };
+        std::vector<Rec> recs;
+        s.events_.forEachPending(
+            s.now_,
+            [&](Cycle when, std::uint64_t seq, const SimEvent &ev) {
+                if (ev.kind == SimEventKind::Opaque)
+                    throw SimError(
+                        SimErrorKind::Invariant,
+                        "cannot checkpoint: opaque event pending "
+                        "(scheduled via the closure escape hatch)");
+                recs.push_back(Rec{when, seq, &ev});
+            });
+        std::sort(recs.begin(), recs.end(),
+                  [](const Rec &a, const Rec &b) {
+                      return a.when != b.when ? a.when < b.when
+                                              : a.seq < b.seq;
+                  });
+        Value pending = Value::array();
+        for (const Rec &r : recs) {
+            Value rec = Value::array();
+            rec.push(cyclesJson(r.when));
+            rec.push(r.seq);
+            rec.push(static_cast<int>(r.ev->kind));
+            rec.push(r.ev->tile);
+            rec.push(static_cast<std::uint64_t>(r.ev->block));
+            if (r.ev->kind == SimEventKind::Deliver ||
+                r.ev->kind == SimEventKind::MemDone)
+                rec.push(msgToJson(r.ev->msg));
+            pending.push(std::move(rec));
+        }
+        Value v = Value::object();
+        v.set("seq", s.events_.seqCounter());
+        v.set("executed", s.events_.executed());
+        v.set("pending", std::move(pending));
+        return v;
+    }
+
+    static void
+    loadEvents(System &s, const Value &v)
+    {
+        s.events_.setSeqCounter(get(v, "seq").asUint());
+        s.events_.setExecuted(get(v, "executed").asUint());
+        // Saved sorted by (when, seq), which restoreEvent requires.
+        for (const Value &rec : get(v, "pending").items()) {
+            SimEvent ev;
+            ev.kind = static_cast<SimEventKind>(asInt(rec.at(2)));
+            ev.tile = static_cast<CoreId>(asInt(rec.at(3)));
+            ev.block = rec.at(4).asUint();
+            if (rec.size() > 5)
+                ev.msg = msgFromJson(rec.at(5));
+            s.events_.restoreEvent(s.now_, rec.at(0).asUint(),
+                                   rec.at(1).asUint(), std::move(ev));
+        }
+    }
+
+    // --- cores ---
+
+    static Value
+    saveCore(const System &s, const Core &c)
+    {
+        Value v = Value::object();
+        if (c.stream_ != nullptr) {
+            // Recover the thread index from the stream pointer; the
+            // binding is restored by index into the same VM set.
+            WorkloadInstance &inst = s.vms_.at(c.vm_)->instance();
+            int thread = -1;
+            for (int i = 0; i < inst.numThreads(); ++i) {
+                if (&inst.thread(i) == c.stream_) {
+                    thread = i;
+                    break;
+                }
+            }
+            CONSIM_ASSERT(thread >= 0,
+                          "checkpoint: unbindable stream on core ",
+                          c.tile_);
+            v.set("vm", c.vm_);
+            v.set("thread", thread);
+        } else {
+            v.set("vm", -1);
+            v.set("thread", -1);
+        }
+        v.set("blocked", c.blocked_);
+        v.set("wedged", c.wedged_);
+        v.set("retired", c.retiredTotal_);
+        v.set("have_slice", c.haveSlice_);
+        Value sl = Value::array();
+        sl.push(static_cast<unsigned>(c.slice_.computeCycles));
+        sl.push(static_cast<std::uint64_t>(c.slice_.block));
+        sl.push(c.slice_.isWrite);
+        sl.push(c.slice_.endsTransaction);
+        sl.push(c.slice_.noMemRef);
+        v.set("slice", std::move(sl));
+        v.set("busy_until", cyclesJson(c.busyUntil_));
+        v.set("block_start", cyclesJson(c.blockStart_));
+        return v;
+    }
+
+    static void
+    loadCore(System &s, Core &c, const Value &v)
+    {
+        // Direct field writes: bindThread() would reset the in-flight
+        // slice and blocked state we are about to restore.
+        const auto vm = static_cast<VmId>(asInt(get(v, "vm")));
+        if (vm >= 0) {
+            const int thread =
+                static_cast<int>(asInt(get(v, "thread")));
+            c.stream_ = &s.vms_.at(vm)->instance().thread(thread);
+            c.vm_ = vm;
+        } else {
+            c.stream_ = nullptr;
+            c.vm_ = invalidVm;
+        }
+        c.blocked_ = get(v, "blocked").boolean();
+        c.wedged_ = get(v, "wedged").boolean();
+        c.retiredTotal_ = get(v, "retired").asUint();
+        c.haveSlice_ = get(v, "have_slice").boolean();
+        const Value &sl = get(v, "slice");
+        c.slice_.computeCycles =
+            static_cast<std::uint32_t>(sl.at(0).asUint());
+        c.slice_.block = sl.at(1).asUint();
+        c.slice_.isWrite = sl.at(2).boolean();
+        c.slice_.endsTransaction = sl.at(3).boolean();
+        c.slice_.noMemRef = sl.at(4).boolean();
+        c.busyUntil_ = get(v, "busy_until").asUint();
+        c.blockStart_ = get(v, "block_start").asUint();
+    }
+
+    // --- L1 controllers ---
+
+    static Value
+    saveL1(const L1Controller &l)
+    {
+        Value p = Value::array();
+        p.push(l.pending_.active);
+        p.push(static_cast<std::uint64_t>(l.pending_.block));
+        p.push(l.pending_.isWrite);
+        p.push(cyclesJson(l.pending_.start));
+        Value v = Value::object();
+        v.set("l0", savePrivArray(l.l0_));
+        v.set("l1", savePrivArray(l.l1_));
+        v.set("pending", std::move(p));
+        return v;
+    }
+
+    static void
+    loadL1(L1Controller &l, const Value &v)
+    {
+        loadPrivArray(l.l0_, get(v, "l0"));
+        loadPrivArray(l.l1_, get(v, "l1"));
+        const Value &p = get(v, "pending");
+        l.pending_.active = p.at(0).boolean();
+        l.pending_.block = p.at(1).asUint();
+        l.pending_.isWrite = p.at(2).boolean();
+        l.pending_.start = p.at(3).asUint();
+    }
+
+    // --- L2 banks ---
+
+    static Value
+    saveL2Array(const CacheArray<L2CacheLine> &a)
+    {
+        return saveArray(a, [](const L2CacheLine &l, Value &rec) {
+            rec.push(static_cast<int>(l.state));
+            rec.push(l.dirty);
+            rec.push(l.pinned);
+            rec.push(static_cast<unsigned>(l.presence));
+            rec.push(static_cast<int>(l.ownerCore));
+            rec.push(l.vm);
+        });
+    }
+
+    static void
+    loadL2Array(CacheArray<L2CacheLine> &a, const Value &v)
+    {
+        loadArray(a, v, [](L2CacheLine &l, const Value &rec) {
+            l.state = static_cast<L2State>(asInt(rec.at(3)));
+            l.dirty = rec.at(4).boolean();
+            l.pinned = rec.at(5).boolean();
+            l.presence =
+                static_cast<std::uint16_t>(rec.at(6).asUint());
+            l.ownerCore = static_cast<std::int8_t>(asInt(rec.at(7)));
+            l.vm = static_cast<VmId>(asInt(rec.at(8)));
+        });
+    }
+
+    static Value
+    saveBankTxn(const L2Bank::BankTxn &t)
+    {
+        Value v = Value::object();
+        v.set("phase", static_cast<int>(t.phase));
+        v.set("req", msgToJson(t.req));
+        v.set("started", cyclesJson(t.started));
+        v.set("data_arrived", t.dataArrived);
+        v.set("grant_arrived", t.grantArrived);
+        v.set("data_msg", msgToJson(t.dataMsg));
+        v.set("grant_msg", msgToJson(t.grantMsg));
+        v.set("victim", static_cast<std::uint64_t>(t.victimBlock));
+        v.set("expect_putm", t.expectPutM);
+        v.set("extract", t.extractTarget);
+        return v;
+    }
+
+    static L2Bank::BankTxn
+    loadBankTxn(const Value &v)
+    {
+        L2Bank::BankTxn t;
+        t.phase = static_cast<L2Bank::Phase>(asInt(get(v, "phase")));
+        t.req = msgFromJson(get(v, "req"));
+        t.started = get(v, "started").asUint();
+        t.dataArrived = get(v, "data_arrived").boolean();
+        t.grantArrived = get(v, "grant_arrived").boolean();
+        t.dataMsg = msgFromJson(get(v, "data_msg"));
+        t.grantMsg = msgFromJson(get(v, "grant_msg"));
+        t.victimBlock = get(v, "victim").asUint();
+        t.expectPutM = get(v, "expect_putm").boolean();
+        t.extractTarget =
+            static_cast<CoreId>(asInt(get(v, "extract")));
+        return t;
+    }
+
+    /** Serialize a block-keyed deque-of-messages map (sorted). Empty
+     *  deques are kept: idle() distinguishes them from absent keys. */
+    template <typename Map>
+    static Value
+    saveMsgQueues(const Map &m)
+    {
+        Value v = Value::array();
+        for (BlockAddr k : sortedKeys(m)) {
+            Value q = Value::array();
+            for (const Msg &msg : m.at(k))
+                q.push(msgToJson(msg));
+            Value e = Value::array();
+            e.push(static_cast<std::uint64_t>(k));
+            e.push(std::move(q));
+            v.push(std::move(e));
+        }
+        return v;
+    }
+
+    template <typename Map>
+    static void
+    loadMsgQueues(Map &m, const Value &v)
+    {
+        m.clear();
+        for (const Value &e : v.items()) {
+            auto &q = m[e.at(0).asUint()];
+            for (const Value &msg : e.at(1).items())
+                q.push_back(msgFromJson(msg));
+        }
+    }
+
+    static Value
+    saveBank(const L2Bank &b)
+    {
+        Value active = Value::array();
+        for (BlockAddr k : sortedKeys(b.active_)) {
+            Value e = Value::array();
+            e.push(static_cast<std::uint64_t>(k));
+            e.push(saveBankTxn(b.active_.at(k)));
+            active.push(std::move(e));
+        }
+        Value wb = Value::array();
+        for (BlockAddr k : sortedKeys(b.wb_)) {
+            const L2Bank::WbEntry &w = b.wb_.at(k);
+            Value e = Value::array();
+            e.push(static_cast<std::uint64_t>(k));
+            e.push(w.dirty);
+            e.push(w.vm);
+            e.push(cyclesJson(w.started));
+            wb.push(std::move(e));
+        }
+        Value extract = Value::array();
+        for (BlockAddr k : sortedKeys(b.victimExtract_)) {
+            Value e = Value::array();
+            e.push(static_cast<std::uint64_t>(k));
+            e.push(static_cast<std::uint64_t>(b.victimExtract_.at(k)));
+            extract.push(std::move(e));
+        }
+        Value v = Value::object();
+        v.set("array", saveL2Array(b.array_));
+        v.set("active", std::move(active));
+        v.set("waiting", saveMsgQueues(b.waiting_));
+        v.set("wb", std::move(wb));
+        v.set("victim_extract", std::move(extract));
+        return v;
+    }
+
+    static void
+    loadBank(L2Bank &b, const Value &v)
+    {
+        loadL2Array(b.array_, get(v, "array"));
+        b.active_.clear();
+        for (const Value &e : get(v, "active").items())
+            b.active_[e.at(0).asUint()] = loadBankTxn(e.at(1));
+        loadMsgQueues(b.waiting_, get(v, "waiting"));
+        b.wb_.clear();
+        for (const Value &e : get(v, "wb").items()) {
+            L2Bank::WbEntry w;
+            w.dirty = e.at(1).boolean();
+            w.vm = static_cast<VmId>(asInt(e.at(2)));
+            w.started = e.at(3).asUint();
+            b.wb_[e.at(0).asUint()] = w;
+        }
+        b.victimExtract_.clear();
+        for (const Value &e : get(v, "victim_extract").items())
+            b.victimExtract_[e.at(0).asUint()] = e.at(1).asUint();
+    }
+
+    // --- directory slices ---
+
+    static Value
+    saveDir(const DirectorySlice &d)
+    {
+        Value active = Value::array();
+        for (BlockAddr k : sortedKeys(d.active_)) {
+            const DirectorySlice::Txn &t = d.active_.at(k);
+            Value e = Value::array();
+            e.push(static_cast<std::uint64_t>(k));
+            e.push(msgToJson(t.req));
+            e.push(cyclesJson(t.started));
+            e.push(t.acksPending);
+            e.push(t.fwdAckPending);
+            e.push(t.grantSent);
+            e.push(t.doneReceived);
+            e.push(t.dirFetched);
+            active.push(std::move(e));
+        }
+        Value v = Value::object();
+        // The directory cache is timing state: a hit or miss on it
+        // decides whether a transaction pays the off-chip fetch.
+        v.set("cache", saveArray(d.dirCache_,
+                                 [](const auto &, Value &) {}));
+        v.set("active", std::move(active));
+        v.set("waiting", saveMsgQueues(d.waiting_));
+        return v;
+    }
+
+    static void
+    loadDir(DirectorySlice &d, const Value &v)
+    {
+        loadArray(d.dirCache_, get(v, "cache"),
+                  [](auto &, const Value &) {});
+        d.active_.clear();
+        for (const Value &e : get(v, "active").items()) {
+            DirectorySlice::Txn t;
+            t.req = msgFromJson(e.at(1));
+            t.started = e.at(2).asUint();
+            t.acksPending = static_cast<int>(asInt(e.at(3)));
+            t.fwdAckPending = e.at(4).boolean();
+            t.grantSent = e.at(5).boolean();
+            t.doneReceived = e.at(6).boolean();
+            t.dirFetched = e.at(7).boolean();
+            d.active_[e.at(0).asUint()] = std::move(t);
+        }
+        loadMsgQueues(d.waiting_, get(v, "waiting"));
+    }
+
+    // --- directory storage (sparse: non-default entries only) ---
+
+    static Value
+    saveDirEntries(const DirectoryStorage &st)
+    {
+        Value v = Value::array();
+        // forEach walks (vm, offset) ascending: deterministic order.
+        st.forEach([&](BlockAddr block, const DirEntry &e) {
+            if (e.state == L2State::Invalid && e.sharers == 0 &&
+                e.owner == -1)
+                return;
+            Value rec = Value::array();
+            rec.push(static_cast<std::uint64_t>(block));
+            rec.push(static_cast<int>(e.state));
+            rec.push(static_cast<unsigned>(e.sharers));
+            rec.push(static_cast<int>(e.owner));
+            v.push(std::move(rec));
+        });
+        return v;
+    }
+
+    static void
+    loadDirEntries(DirectoryStorage &st, const Value &v)
+    {
+        // The target System is freshly constructed, so every entry
+        // not listed here is already default.
+        for (const Value &rec : v.items()) {
+            DirEntry e;
+            e.state = static_cast<L2State>(asInt(rec.at(1)));
+            e.sharers =
+                static_cast<std::uint16_t>(rec.at(2).asUint());
+            e.owner = static_cast<std::int8_t>(asInt(rec.at(3)));
+            st.entry(rec.at(0).asUint()) = e;
+        }
+    }
+
+    // --- memory controllers ---
+
+    static Value
+    saveMc(const MemoryController &mc)
+    {
+        Value v = Value::object();
+        v.set("next_free", cyclesJson(mc.nextFree_));
+        v.set("outstanding", mc.outstanding_);
+        return v;
+    }
+
+    static void
+    loadMc(MemoryController &mc, const Value &v)
+    {
+        mc.nextFree_ = get(v, "next_free").asUint();
+        mc.outstanding_ =
+            static_cast<int>(asInt(get(v, "outstanding")));
+    }
+
+    // --- interconnect ---
+
+    static Value
+    savePacket(const RouterPacket &p)
+    {
+        Value v = Value::array();
+        v.push(msgToJson(p.msg));
+        v.push(p.lenFlits);
+        v.push(cyclesJson(p.readyCycle));
+        v.push(p.outPort);
+        return v;
+    }
+
+    static RouterPacket
+    loadPacket(const Value &v)
+    {
+        RouterPacket p;
+        p.msg = msgFromJson(v.at(0));
+        p.lenFlits = static_cast<int>(asInt(v.at(1)));
+        p.readyCycle = v.at(2).asUint();
+        p.outPort = static_cast<int>(asInt(v.at(3)));
+        return p;
+    }
+
+    static Value
+    saveRouter(const Router &r)
+    {
+        Value ins = Value::array();
+        for (const Router::InputVc &ivc : r.inputs_) {
+            Value q = Value::array();
+            for (const RouterPacket &p : ivc.q)
+                q.push(savePacket(p));
+            Value e = Value::object();
+            e.set("free", ivc.freeFlits);
+            e.set("q", std::move(q));
+            ins.push(std::move(e));
+        }
+        Value outs = Value::array();
+        for (int p = 0; p < NumPorts; ++p) {
+            const Router::OutPort &o = r.outputs_[p];
+            Value e = Value::object();
+            e.set("busy", o.busy);
+            if (o.busy) {
+                e.set("remaining", o.remaining);
+                e.set("dst_vc", o.dstVc);
+                e.set("pkt", savePacket(o.pkt));
+            }
+            outs.push(std::move(e));
+        }
+        Value v = Value::object();
+        v.set("inputs", std::move(ins));
+        v.set("outputs", std::move(outs));
+        v.set("rr", r.rrInput_);
+        v.set("buffered", r.buffered_);
+        v.set("busy_outputs", r.busyOutputs_);
+        return v;
+    }
+
+    static void
+    loadRouter(Router &r, const Value &v)
+    {
+        const Value &ins = get(v, "inputs");
+        CONSIM_ASSERT(ins.size() == r.inputs_.size(),
+                      "checkpoint: router VC layout mismatch");
+        for (std::size_t i = 0; i < r.inputs_.size(); ++i) {
+            Router::InputVc &ivc = r.inputs_[i];
+            const Value &e = ins.at(i);
+            ivc.freeFlits = static_cast<int>(asInt(get(e, "free")));
+            ivc.q.clear();
+            for (const Value &p : get(e, "q").items())
+                ivc.q.push_back(loadPacket(p));
+        }
+        const Value &outs = get(v, "outputs");
+        CONSIM_ASSERT(outs.size() == NumPorts,
+                      "checkpoint: router port count mismatch");
+        for (int p = 0; p < NumPorts; ++p) {
+            Router::OutPort &o = r.outputs_[p];
+            const Value &e = outs.at(p);
+            o.busy = get(e, "busy").boolean();
+            if (o.busy) {
+                o.remaining =
+                    static_cast<int>(asInt(get(e, "remaining")));
+                o.dstVc = static_cast<int>(asInt(get(e, "dst_vc")));
+                o.pkt = loadPacket(get(e, "pkt"));
+            } else {
+                o.remaining = 0;
+                o.dstVc = 0;
+                o.pkt = RouterPacket{};
+            }
+        }
+        r.rrInput_ = static_cast<int>(asInt(get(v, "rr")));
+        r.buffered_ = static_cast<int>(asInt(get(v, "buffered")));
+        r.busyOutputs_ =
+            static_cast<int>(asInt(get(v, "busy_outputs")));
+    }
+
+    static Value
+    saveNet(const System &s)
+    {
+        const Network &n = *s.net_;
+        Value v = Value::object();
+        v.set("injected", n.injectedTotal_);
+        v.set("ejected", n.ejectedTotal_);
+        if (const auto *mesh = dynamic_cast<const Mesh *>(&n)) {
+            v.set("kind", "mesh");
+            Value routers = Value::array();
+            for (const auto &r : mesh->routers_)
+                routers.push(saveRouter(*r));
+            v.set("routers", std::move(routers));
+            Value nis = Value::array();
+            for (const auto &ni : mesh->nis_) {
+                Value vnets = Value::array();
+                for (const auto &q : ni->queues_) {
+                    Value msgs = Value::array();
+                    for (const Msg &m : q)
+                        msgs.push(msgToJson(m));
+                    vnets.push(std::move(msgs));
+                }
+                nis.push(std::move(vnets));
+            }
+            v.set("nis", std::move(nis));
+        } else {
+            const auto *ideal =
+                dynamic_cast<const IdealNetwork *>(&n);
+            CONSIM_ASSERT(ideal != nullptr,
+                          "checkpoint: unknown network type");
+            v.set("kind", "ideal");
+            Value inflight = Value::array();
+            for (const auto &[when, msg] : ideal->inflight_) {
+                Value e = Value::array();
+                e.push(cyclesJson(when));
+                e.push(msgToJson(msg));
+                inflight.push(std::move(e));
+            }
+            v.set("inflight", std::move(inflight));
+        }
+        return v;
+    }
+
+    static void
+    loadNet(System &s, const Value &v)
+    {
+        Network &n = *s.net_;
+        n.injectedTotal_ = get(v, "injected").asUint();
+        n.ejectedTotal_ = get(v, "ejected").asUint();
+        const std::string &kind = get(v, "kind").str();
+        if (auto *mesh = dynamic_cast<Mesh *>(&n)) {
+            CONSIM_ASSERT(kind == "mesh",
+                          "checkpoint: network kind mismatch");
+            const Value &routers = get(v, "routers");
+            CONSIM_ASSERT(routers.size() == mesh->routers_.size(),
+                          "checkpoint: router count mismatch");
+            for (std::size_t i = 0; i < mesh->routers_.size(); ++i)
+                loadRouter(*mesh->routers_[i], routers.at(i));
+            const Value &nis = get(v, "nis");
+            CONSIM_ASSERT(nis.size() == mesh->nis_.size(),
+                          "checkpoint: NI count mismatch");
+            for (std::size_t i = 0; i < mesh->nis_.size(); ++i) {
+                NetworkInterface &ni = *mesh->nis_[i];
+                const Value &vnets = nis.at(i);
+                CONSIM_ASSERT(vnets.size() == ni.queues_.size(),
+                              "checkpoint: NI vnet count mismatch");
+                for (std::size_t q = 0; q < ni.queues_.size(); ++q) {
+                    ni.queues_[q].clear();
+                    for (const Value &m : vnets.at(q).items())
+                        ni.queues_[q].push_back(msgFromJson(m));
+                }
+            }
+        } else {
+            auto *ideal = dynamic_cast<IdealNetwork *>(&n);
+            CONSIM_ASSERT(ideal != nullptr && kind == "ideal",
+                          "checkpoint: network kind mismatch");
+            ideal->inflight_.clear();
+            for (const Value &e : get(v, "inflight").items())
+                ideal->inflight_.push_back(
+                    {e.at(0).asUint(), msgFromJson(e.at(1))});
+        }
+    }
+
+    // --- fault-injection runtime state ---
+
+    static Value
+    saveFaults(const System &s)
+    {
+        // Only live runtime state: pending WedgeCore events ride in
+        // the serialized event queue, so the restored System must NOT
+        // re-run setFaultPlan (it would double-fire them).
+        Value v = Value::object();
+        v.set("drop_armed", s.dropArmed_);
+        v.set("drop_countdown", s.dropCountdown_);
+        v.set("memburst_armed", s.memBurstArmed_);
+        v.set("memburst_start", cyclesJson(s.memBurstStart_));
+        v.set("memburst_end", cyclesJson(s.memBurstEnd_));
+        v.set("memburst_extra", cyclesJson(s.memBurstExtra_));
+        return v;
+    }
+
+    static void
+    loadFaults(System &s, const Value &v)
+    {
+        s.dropArmed_ = get(v, "drop_armed").boolean();
+        s.dropCountdown_ = get(v, "drop_countdown").asUint();
+        s.memBurstArmed_ = get(v, "memburst_armed").boolean();
+        s.memBurstStart_ = get(v, "memburst_start").asUint();
+        s.memBurstEnd_ = get(v, "memburst_end").asUint();
+        s.memBurstExtra_ = get(v, "memburst_extra").asUint();
+    }
+
+    // --- workload streams / footprints ---
+
+    static Value
+    saveVms(const System &s)
+    {
+        Value v = Value::array();
+        for (VirtualMachine *vm : s.vms_) {
+            WorkloadInstance &inst = vm->instance();
+            Value streams = Value::array();
+            for (int i = 0; i < inst.numThreads(); ++i) {
+                SyntheticStream &st = inst.thread(i);
+                Value rng = Value::array();
+                for (std::uint64_t w : st.rng_.state())
+                    rng.push(w);
+                Value sv = Value::object();
+                sv.set("rng", std::move(rng));
+                sv.set("hot_shared", st.hotSharedPos_);
+                sv.set("hot_private", st.hotPrivatePos_);
+                sv.set("refs", st.refs_);
+                sv.set("refs_in_txn",
+                       static_cast<unsigned>(st.refsInTxn_));
+                streams.push(std::move(sv));
+            }
+            const Footprint &fp = inst.footprint_;
+            Value touched = Value::array();
+            for (std::size_t i = 0; i < fp.touched_.size(); ++i) {
+                if (fp.touched_[i])
+                    touched.push(static_cast<std::uint64_t>(i));
+            }
+            Value fpv = Value::object();
+            fpv.set("count", fp.count_);
+            fpv.set("touched", std::move(touched));
+            Value e = Value::object();
+            e.set("streams", std::move(streams));
+            e.set("footprint", std::move(fpv));
+            v.push(std::move(e));
+        }
+        return v;
+    }
+
+    static void
+    loadVms(System &s, const Value &v)
+    {
+        CONSIM_ASSERT(v.size() == s.vms_.size(),
+                      "checkpoint: VM count mismatch");
+        for (std::size_t i = 0; i < s.vms_.size(); ++i) {
+            WorkloadInstance &inst = s.vms_[i]->instance();
+            const Value &e = v.at(i);
+            const Value &streams = get(e, "streams");
+            CONSIM_ASSERT(
+                static_cast<int>(streams.size()) ==
+                    inst.numThreads(),
+                "checkpoint: thread count mismatch in vm ", i);
+            for (int t = 0; t < inst.numThreads(); ++t) {
+                SyntheticStream &st = inst.thread(t);
+                const Value &sv = streams.at(t);
+                const Value &rng = get(sv, "rng");
+                CONSIM_ASSERT(rng.size() == 4,
+                              "checkpoint: bad rng state");
+                st.rng_.setState({rng.at(0).asUint(),
+                                  rng.at(1).asUint(),
+                                  rng.at(2).asUint(),
+                                  rng.at(3).asUint()});
+                st.hotSharedPos_ = get(sv, "hot_shared").asUint();
+                st.hotPrivatePos_ = get(sv, "hot_private").asUint();
+                st.refs_ = get(sv, "refs").asUint();
+                st.refsInTxn_ = static_cast<std::uint32_t>(
+                    get(sv, "refs_in_txn").asUint());
+            }
+            Footprint &fp = inst.footprint_;
+            const Value &fpv = get(e, "footprint");
+            std::fill(fp.touched_.begin(), fp.touched_.end(), false);
+            for (const Value &idx : get(fpv, "touched").items()) {
+                const std::uint64_t off = idx.asUint();
+                CONSIM_ASSERT(off < fp.touched_.size(),
+                              "checkpoint: footprint index out of "
+                              "range");
+                fp.touched_[off] = true;
+            }
+            fp.count_ = get(fpv, "count").asUint();
+        }
+    }
+
+    // --- whole machine ---
+
+    static Value
+    saveMachine(const System &s)
+    {
+        Value m = Value::object();
+        m.set("cycle", cyclesJson(s.now_));
+        m.set("events", saveEvents(s));
+        Value cores = Value::array();
+        for (const auto &c : s.cores_)
+            cores.push(saveCore(s, *c));
+        m.set("cores", std::move(cores));
+        Value l1s = Value::array();
+        for (const auto &l : s.l1s_)
+            l1s.push(saveL1(*l));
+        m.set("l1s", std::move(l1s));
+        Value banks = Value::array();
+        for (const auto &b : s.banks_)
+            banks.push(saveBank(*b));
+        m.set("banks", std::move(banks));
+        Value dirs = Value::array();
+        for (const auto &d : s.dirs_)
+            dirs.push(saveDir(*d));
+        m.set("dirs", std::move(dirs));
+        Value mcs = Value::array();
+        for (const auto &mc : s.mcs_)
+            mcs.push(saveMc(*mc));
+        m.set("mcs", std::move(mcs));
+        m.set("dir_entries", saveDirEntries(s.dirStorage_));
+        m.set("net", saveNet(s));
+        m.set("faults", saveFaults(s));
+        m.set("stats", s.statsRoot_.saveState());
+        return m;
+    }
+
+    static void
+    loadMachine(System &s, const Value &m)
+    {
+        // Restore targets a freshly constructed System: directory
+        // entries, cache arrays and queues all start default there,
+        // and the sparse loaders rely on it.
+        CONSIM_ASSERT(s.now_ == 0 && s.events_.empty(),
+                      "restoreCheckpoint needs a fresh System");
+        // The clock must be set before events: restoreEvent checks
+        // every due cycle against now.
+        s.now_ = get(m, "cycle").asUint();
+        loadEvents(s, get(m, "events"));
+        const Value &cores = get(m, "cores");
+        CONSIM_ASSERT(cores.size() == s.cores_.size(),
+                      "checkpoint: core count mismatch");
+        for (std::size_t i = 0; i < s.cores_.size(); ++i)
+            loadCore(s, *s.cores_[i], cores.at(i));
+        const Value &l1s = get(m, "l1s");
+        CONSIM_ASSERT(l1s.size() == s.l1s_.size(),
+                      "checkpoint: L1 count mismatch");
+        for (std::size_t i = 0; i < s.l1s_.size(); ++i)
+            loadL1(*s.l1s_[i], l1s.at(i));
+        const Value &banks = get(m, "banks");
+        CONSIM_ASSERT(banks.size() == s.banks_.size(),
+                      "checkpoint: bank count mismatch");
+        for (std::size_t i = 0; i < s.banks_.size(); ++i)
+            loadBank(*s.banks_[i], banks.at(i));
+        const Value &dirs = get(m, "dirs");
+        CONSIM_ASSERT(dirs.size() == s.dirs_.size(),
+                      "checkpoint: directory count mismatch");
+        for (std::size_t i = 0; i < s.dirs_.size(); ++i)
+            loadDir(*s.dirs_[i], dirs.at(i));
+        const Value &mcs = get(m, "mcs");
+        CONSIM_ASSERT(mcs.size() == s.mcs_.size(),
+                      "checkpoint: MC count mismatch");
+        for (std::size_t i = 0; i < s.mcs_.size(); ++i)
+            loadMc(*s.mcs_[i], mcs.at(i));
+        loadDirEntries(s.dirStorage_, get(m, "dir_entries"));
+        loadNet(s, get(m, "net"));
+        loadFaults(s, get(m, "faults"));
+        s.statsRoot_.restoreState(get(m, "stats"));
+    }
+};
+
+json::Value
+System::saveCheckpoint() const
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema", "consim.ckpt.v1");
+    doc.set("context", ckptCtx_);
+    doc.set("machine", CkptAccess::saveMachine(*this));
+    doc.set("vms", CkptAccess::saveVms(*this));
+    return doc;
+}
+
+void
+System::restoreCheckpoint(const json::Value &doc)
+{
+    const json::Value *schema = doc.find("schema");
+    CONSIM_ASSERT(schema != nullptr &&
+                      schema->str() == "consim.ckpt.v1",
+                  "not a consim.ckpt.v1 document");
+    CkptAccess::loadMachine(*this, get(doc, "machine"));
+    CkptAccess::loadVms(*this, get(doc, "vms"));
+    // Operational knobs (watchdog, deadline, periodic snapshotting)
+    // are deliberately not part of the document: callers re-arm them
+    // after restore, and setWatchdogInterval re-baselines its
+    // progress snapshot against the restored clock.
+}
+
+} // namespace consim

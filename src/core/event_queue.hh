@@ -15,6 +15,12 @@
  * ordering semantics are identical to the old priority queue: events
  * run in (when, seq) order, seq giving FIFO among same-cycle events.
  *
+ * Events are typed SimEvents (see fabric.hh): plain data the
+ * checkpoint layer can serialize, with an Opaque closure escape hatch
+ * for tests and one-off callbacks. runDue() hands each due event to
+ * an executor callback (the System's dispatch switch); the
+ * executor-less overload runs Opaque closures directly.
+ *
  * The ring invariant requires runDue(now) to be called for every
  * cycle in ascending order (the System ticks every cycle, so this is
  * free); schedule() must never be handed a zero delay.
@@ -23,10 +29,11 @@
 #ifndef CONSIM_CORE_EVENT_QUEUE_HH
 #define CONSIM_CORE_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "coherence/fabric.hh"
 #include "common/event_fn.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -42,28 +49,32 @@ class CalendarQueue
      *  largest common delay (memLatency + margin). */
     static constexpr Cycle ringCycles = 256;
 
-    /** Schedule @p fn to run @p delay cycles after @p now. */
+    /** Schedule typed event @p ev to run @p delay cycles after @p now. */
+    void
+    schedule(Cycle now, Cycle delay, SimEvent ev)
+    {
+        CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
+        insertWithSeq(now, now + delay, seq_++, std::move(ev));
+    }
+
+    /** Schedule a bare closure (wrapped as an Opaque event). */
     void
     schedule(Cycle now, Cycle delay, EventFn fn)
     {
-        CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
-        const Cycle when = now + delay;
-        if (delay < ringCycles) {
-            ring_[when & mask_].push_back(
-                RingEvent{seq_++, std::move(fn)});
-        } else {
-            overflow_.push(HeapEvent{when, seq_++, std::move(fn)});
-        }
-        ++size_;
+        SimEvent ev;
+        ev.fn = std::move(fn);
+        schedule(now, delay, std::move(ev));
     }
 
     /**
-     * Run every event due at cycle @p now, in seq (FIFO) order.
-     * Must be called once per cycle, cycles ascending; events for a
-     * cycle that was skipped would otherwise fire `ringCycles` late.
+     * Run every event due at cycle @p now, in seq (FIFO) order,
+     * handing each to @p exec. Must be called once per cycle, cycles
+     * ascending; events for a cycle that was skipped would otherwise
+     * fire `ringCycles` late.
      */
+    template <typename Exec>
     void
-    runDue(Cycle now)
+    runDue(Cycle now, Exec &&exec)
     {
         auto &bucket = ring_[now & mask_];
         std::size_t i = 0;
@@ -71,31 +82,43 @@ class CalendarQueue
         // chronological and seq is global) with due overflow events.
         while (true) {
             const bool heapDue =
-                !overflow_.empty() && overflow_.top().when <= now;
+                !overflow_.empty() && overflow_.front().when <= now;
             if (heapDue) {
-                CONSIM_ASSERT(overflow_.top().when == now,
+                CONSIM_ASSERT(overflow_.front().when == now,
                               "event missed its cycle");
             }
             if (i < bucket.size() &&
                 (!heapDue ||
-                 bucket[i].seq < overflow_.top().seq)) {
-                EventFn fn = std::move(bucket[i].fn);
+                 bucket[i].seq < overflow_.front().seq)) {
+                SimEvent ev = std::move(bucket[i].ev);
                 ++i;
                 --size_;
                 ++executed_;
-                fn();
+                exec(ev);
             } else if (heapDue) {
-                EventFn fn = std::move(
-                    const_cast<HeapEvent &>(overflow_.top()).fn);
-                overflow_.pop();
+                std::pop_heap(overflow_.begin(), overflow_.end(),
+                              HeapEvent::later);
+                SimEvent ev = std::move(overflow_.back().ev);
+                overflow_.pop_back();
                 --size_;
                 ++executed_;
-                fn();
+                exec(ev);
             } else {
                 break;
             }
         }
         bucket.clear();
+    }
+
+    /** Executor-less runDue: runs Opaque closures (tests). */
+    void
+    runDue(Cycle now)
+    {
+        runDue(now, [](SimEvent &ev) {
+            CONSIM_ASSERT(ev.kind == SimEventKind::Opaque && ev.fn,
+                          "typed event needs an executor");
+            ev.fn();
+        });
     }
 
     /** @return number of pending events. */
@@ -108,6 +131,44 @@ class CalendarQueue
      *  forward-progress watchdog diffs it across its interval). */
     std::uint64_t executed() const { return executed_; }
 
+    // --- checkpoint support ---
+
+    /**
+     * Walk every pending event as (when, seq, event). @p now must be
+     * the cycle runDue() would be called for next; the due cycle of
+     * ring events is recovered from it (bucket index b holds the
+     * unique cycle w in [now, now + ringCycles) with w % ring == b).
+     */
+    template <typename Fn>
+    void
+    forEachPending(Cycle now, Fn &&fn) const
+    {
+        for (Cycle b = 0; b < ringCycles; ++b) {
+            const Cycle when = now + ((b - now) & mask_);
+            for (const auto &e : ring_[b])
+                fn(when, e.seq, e.ev);
+        }
+        for (const auto &e : overflow_)
+            fn(e.when, e.seq, e.ev);
+    }
+
+    /**
+     * Re-insert a saved event. Events of one due cycle must be
+     * restored in ascending seq order (runDue's merge relies on it);
+     * restoring the whole set sorted by (when, seq) satisfies that.
+     */
+    void
+    restoreEvent(Cycle now, Cycle when, std::uint64_t seq, SimEvent ev)
+    {
+        CONSIM_ASSERT(when >= now, "restoring an overdue event");
+        insertWithSeq(now, when, seq, std::move(ev));
+    }
+
+    /** Event sequence counter (checkpointed for FIFO reproducibility). */
+    std::uint64_t seqCounter() const { return seq_; }
+    void setSeqCounter(std::uint64_t s) { seq_ = s; }
+    void setExecuted(std::uint64_t e) { executed_ = e; }
+
   private:
     static constexpr Cycle mask_ = ringCycles - 1;
     static_assert((ringCycles & mask_) == 0,
@@ -117,24 +178,40 @@ class CalendarQueue
     struct RingEvent
     {
         std::uint64_t seq;
-        EventFn fn;
+        SimEvent ev;
     };
 
     struct HeapEvent
     {
         Cycle when;
         std::uint64_t seq;
-        EventFn fn;
-        bool operator>(const HeapEvent &o) const
+        SimEvent ev;
+
+        /** Min-heap comparator ("a due after b"). */
+        static bool
+        later(const HeapEvent &a, const HeapEvent &b)
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
+    void
+    insertWithSeq(Cycle now, Cycle when, std::uint64_t seq,
+                  SimEvent ev)
+    {
+        if (when - now < ringCycles) {
+            ring_[when & mask_].push_back(
+                RingEvent{seq, std::move(ev)});
+        } else {
+            overflow_.push_back(HeapEvent{when, seq, std::move(ev)});
+            std::push_heap(overflow_.begin(), overflow_.end(),
+                           HeapEvent::later);
+        }
+        ++size_;
+    }
+
     std::vector<RingEvent> ring_[ringCycles];
-    std::priority_queue<HeapEvent, std::vector<HeapEvent>,
-                        std::greater<HeapEvent>>
-        overflow_;
+    std::vector<HeapEvent> overflow_; ///< min-heap via std heap ops
     std::uint64_t seq_ = 0;
     std::size_t size_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,13 +1,15 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "common/rng.hh"
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
+#include "core/scheduler.hh"
 #include "exec/sweep.hh"
 
 namespace consim
@@ -16,15 +18,16 @@ namespace consim
 namespace
 {
 
+/**
+ * Window defaults treat an explicit "0" like unset (you cannot ask for
+ * a zero-cycle window); malformed values are fatal via envU64 rather
+ * than silently running the built-in default.
+ */
 Cycle
 envCycles(const char *name, Cycle fallback)
 {
-    if (const char *v = std::getenv(name)) {
-        const auto parsed = std::strtoull(v, nullptr, 10);
-        if (parsed > 0)
-            return parsed;
-    }
-    return fallback;
+    const std::uint64_t v = envU64(name, 0);
+    return v ? v : fallback;
 }
 
 } // namespace
@@ -46,9 +49,14 @@ defaultWatchdogIntervalCycles()
 {
     // Unlike the window defaults, an explicit "0" here is meaningful:
     // it disables the watchdog.
-    if (const char *v = std::getenv("CONSIM_WATCHDOG"))
-        return std::strtoull(v, nullptr, 10);
-    return 1'000'000;
+    return envU64("CONSIM_WATCHDOG", 1'000'000);
+}
+
+Cycle
+defaultCheckpointIntervalCycles()
+{
+    // Periodic snapshotting is opt-in; "0" (or unset) keeps it off.
+    return envU64("CONSIM_CKPT", 0);
 }
 
 double
@@ -93,76 +101,305 @@ RunResult::meanMissLatency(WorkloadKind kind) const
     return n ? sum / n : 0.0;
 }
 
-RunResult
-runExperiment(const RunConfig &cfg)
+namespace
 {
-    const Cycle warmup =
-        cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
-    const Cycle measure =
-        cfg.measureCycles ? cfg.measureCycles : defaultMeasureCycles();
 
-    // Build the VMs.
-    std::vector<std::unique_ptr<VirtualMachine>> vm_storage;
+// --- checkpoint context codec -------------------------------------
+//
+// The `consim.run.v1` config echo (core/report.cc) is a byte-stable
+// PARTIAL view and must not grow fields; a resume instead needs every
+// structural knob, so the checkpoint context carries its own complete
+// codec. Enums travel as their integer values (no inverse string
+// parsers exist) and the fault plan as its grammar string, which
+// round-trips through FaultPlan::parse.
+
+const json::Value &
+ctxGet(const json::Value &obj, const char *key)
+{
+    const json::Value *v = obj.find(key);
+    CONSIM_ASSERT(v, "checkpoint context: missing key '", key, "'");
+    return *v;
+}
+
+int
+ctxInt(const json::Value &obj, const char *key)
+{
+    return static_cast<int>(ctxGet(obj, key).number());
+}
+
+json::Value
+machineCtxJson(const MachineConfig &m)
+{
+    auto v = json::Value::object();
+    v.set("mesh_x", m.meshX);
+    v.set("mesh_y", m.meshY);
+    v.set("l0_bytes", m.l0Bytes);
+    v.set("l0_assoc", m.l0Assoc);
+    v.set("l0_latency", m.l0Latency);
+    v.set("l1_bytes", m.l1Bytes);
+    v.set("l1_assoc", m.l1Assoc);
+    v.set("l1_latency", m.l1Latency);
+    v.set("l2_total_bytes", m.l2TotalBytes);
+    v.set("l2_assoc", m.l2Assoc);
+    v.set("l2_latency", m.l2Latency);
+    v.set("sharing", coresPerGroup(m.sharing));
+    v.set("mem_latency", m.memLatency);
+    v.set("num_mem_ctrls", m.numMemCtrls);
+    v.set("mem_issue_interval", m.memIssueInterval);
+    v.set("mem_overlap_latency", m.memOverlapLatency);
+    v.set("dir_cache_enabled", m.dirCacheEnabled);
+    v.set("dir_cache_entries", m.dirCacheEntries);
+    v.set("dir_cache_assoc", m.dirCacheAssoc);
+    v.set("dir_latency", m.dirLatency);
+    v.set("clean_forwarding", m.cleanForwarding);
+    v.set("ideal_noc", m.idealNoc);
+    v.set("ideal_noc_latency", m.idealNocLatency);
+    v.set("flat_intra_group", m.flatIntraGroup);
+    v.set("intra_group_latency", m.intraGroupLatency);
+    v.set("flit_bytes", m.flitBytes);
+    v.set("vcs_per_vnet", m.vcsPerVnet);
+    v.set("vc_buffer_flits", m.vcBufferFlits);
+    v.set("num_vnets", m.numVnets);
+    return v;
+}
+
+MachineConfig
+machineFromCtx(const json::Value &v)
+{
+    MachineConfig m;
+    m.meshX = ctxInt(v, "mesh_x");
+    m.meshY = ctxInt(v, "mesh_y");
+    m.l0Bytes = ctxGet(v, "l0_bytes").asUint();
+    m.l0Assoc = ctxInt(v, "l0_assoc");
+    m.l0Latency = ctxInt(v, "l0_latency");
+    m.l1Bytes = ctxGet(v, "l1_bytes").asUint();
+    m.l1Assoc = ctxInt(v, "l1_assoc");
+    m.l1Latency = ctxInt(v, "l1_latency");
+    m.l2TotalBytes = ctxGet(v, "l2_total_bytes").asUint();
+    m.l2Assoc = ctxInt(v, "l2_assoc");
+    m.l2Latency = ctxInt(v, "l2_latency");
+    const int sharing = ctxInt(v, "sharing");
+    CONSIM_ASSERT(sharing == 1 || sharing == 2 || sharing == 4 ||
+                      sharing == 8 || sharing == 16,
+                  "checkpoint context: bad sharing degree ", sharing);
+    m.sharing = static_cast<SharingDegree>(sharing);
+    m.memLatency = ctxInt(v, "mem_latency");
+    m.numMemCtrls = ctxInt(v, "num_mem_ctrls");
+    m.memIssueInterval = ctxInt(v, "mem_issue_interval");
+    m.memOverlapLatency = ctxInt(v, "mem_overlap_latency");
+    m.dirCacheEnabled = ctxGet(v, "dir_cache_enabled").boolean();
+    m.dirCacheEntries = ctxGet(v, "dir_cache_entries").asUint();
+    m.dirCacheAssoc = ctxInt(v, "dir_cache_assoc");
+    m.dirLatency = ctxInt(v, "dir_latency");
+    m.cleanForwarding = ctxGet(v, "clean_forwarding").boolean();
+    m.idealNoc = ctxGet(v, "ideal_noc").boolean();
+    m.idealNocLatency = ctxInt(v, "ideal_noc_latency");
+    m.flatIntraGroup = ctxGet(v, "flat_intra_group").boolean();
+    m.intraGroupLatency = ctxInt(v, "intra_group_latency");
+    m.flitBytes = ctxInt(v, "flit_bytes");
+    m.vcsPerVnet = ctxInt(v, "vcs_per_vnet");
+    m.vcBufferFlits = ctxInt(v, "vc_buffer_flits");
+    m.numVnets = ctxInt(v, "num_vnets");
+    return m;
+}
+
+json::Value
+configCtxJson(const RunConfig &res, const RunConfig &raw)
+{
+    auto v = json::Value::object();
+    v.set("machine", machineCtxJson(res.machine));
+    auto wl = json::Value::array();
+    for (WorkloadKind k : res.workloads)
+        wl.push(static_cast<int>(k));
+    v.set("workloads", std::move(wl));
+    v.set("policy", static_cast<int>(res.policy));
+    v.set("seed", res.seed);
+    v.set("warmup_cycles", res.warmupCycles);
+    v.set("measure_cycles", res.measureCycles);
+    v.set("migration_interval_cycles", res.migrationIntervalCycles);
+    v.set("watchdog_interval_cycles", res.watchdogIntervalCycles);
+    v.set("cycle_deadline", res.cycleDeadline);
+    v.set("ckpt_every_cycles", res.ckptEveryCycles);
+    v.set("faults", res.faults.spec());
+    // The as-configured (pre-env-resolution) values of the four
+    // resolvable knobs, so a resume can echo the original config
+    // verbatim in its consim.run.v1 envelope while still running
+    // under the resolved values.
+    v.set("raw_warmup_cycles", raw.warmupCycles);
+    v.set("raw_measure_cycles", raw.measureCycles);
+    v.set("raw_watchdog_interval_cycles", raw.watchdogIntervalCycles);
+    v.set("raw_ckpt_every_cycles", raw.ckptEveryCycles);
+    return v;
+}
+
+RunConfig
+configFromCtx(const json::Value &v)
+{
+    RunConfig cfg;
+    cfg.machine = machineFromCtx(ctxGet(v, "machine"));
+    for (const auto &w : ctxGet(v, "workloads").items()) {
+        const int k = static_cast<int>(w.number());
+        CONSIM_ASSERT(k >= 0 && k <= 3,
+                      "checkpoint context: bad workload kind ", k);
+        cfg.workloads.push_back(static_cast<WorkloadKind>(k));
+    }
+    const int pol = ctxInt(v, "policy");
+    CONSIM_ASSERT(pol >= 0 && pol <= 3,
+                  "checkpoint context: bad scheduling policy ", pol);
+    cfg.policy = static_cast<SchedPolicy>(pol);
+    cfg.seed = ctxGet(v, "seed").asUint();
+    cfg.warmupCycles = ctxGet(v, "warmup_cycles").asUint();
+    cfg.measureCycles = ctxGet(v, "measure_cycles").asUint();
+    cfg.migrationIntervalCycles =
+        ctxGet(v, "migration_interval_cycles").asUint();
+    cfg.watchdogIntervalCycles =
+        ctxGet(v, "watchdog_interval_cycles").asUint();
+    cfg.cycleDeadline = ctxGet(v, "cycle_deadline").asUint();
+    cfg.ckptEveryCycles = ctxGet(v, "ckpt_every_cycles").asUint();
+    const std::string spec = ctxGet(v, "faults").str();
+    if (!spec.empty()) {
+        std::string err;
+        const bool ok = FaultPlan::parse(spec, cfg.faults, &err);
+        CONSIM_ASSERT(ok, "checkpoint context: bad fault spec '", spec,
+                      "': ", err);
+    }
+    return cfg;
+}
+
+/** The config as originally passed to runExperiment (raw knobs). */
+RunConfig
+configEchoFromCtx(const json::Value &v)
+{
+    RunConfig cfg = configFromCtx(v);
+    cfg.warmupCycles = ctxGet(v, "raw_warmup_cycles").asUint();
+    cfg.measureCycles = ctxGet(v, "raw_measure_cycles").asUint();
+    cfg.watchdogIntervalCycles =
+        ctxGet(v, "raw_watchdog_interval_cycles").asUint();
+    cfg.ckptEveryCycles =
+        ctxGet(v, "raw_ckpt_every_cycles").asUint();
+    return cfg;
+}
+
+// --- experiment rig and phase driver ------------------------------
+
+/** The pieces a System borrows: VM storage and thread placements. */
+struct ExperimentRig
+{
+    std::vector<std::unique_ptr<VirtualMachine>> storage;
     std::vector<VirtualMachine *> vms;
+    std::vector<ThreadPlacement> placements;
+};
+
+/** Build VMs + placements for @p cfg; deterministic in cfg alone. */
+ExperimentRig
+buildRig(const RunConfig &cfg)
+{
+    ExperimentRig rig;
     std::vector<int> threads_per_vm;
     for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
         const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
-        vm_storage.push_back(std::make_unique<VirtualMachine>(
+        rig.storage.push_back(std::make_unique<VirtualMachine>(
             prof, static_cast<VmId>(i),
             cfg.seed * 1000003ull + i * 7919ull));
-        vms.push_back(vm_storage.back().get());
+        rig.vms.push_back(rig.storage.back().get());
         threads_per_vm.push_back(prof.numThreads);
     }
+    rig.placements = scheduleThreads(cfg.machine, threads_per_vm,
+                                     cfg.policy, cfg.seed);
+    return rig;
+}
 
-    const auto placements = scheduleThreads(cfg.machine, threads_per_vm,
-                                            cfg.policy, cfg.seed);
+/**
+ * Resolve every env-defaulted knob so the config is self-contained:
+ * the checkpoint context embeds the resolved copy, making a resume
+ * independent of the environment it runs in.
+ */
+RunConfig
+resolveConfig(const RunConfig &cfg)
+{
+    RunConfig res = cfg;
+    res.warmupCycles =
+        cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
+    res.measureCycles =
+        cfg.measureCycles ? cfg.measureCycles : defaultMeasureCycles();
+    res.watchdogIntervalCycles = cfg.watchdogIntervalCycles
+                                     ? cfg.watchdogIntervalCycles
+                                     : defaultWatchdogIntervalCycles();
+    res.ckptEveryCycles = cfg.ckptEveryCycles
+                              ? cfg.ckptEveryCycles
+                              : defaultCheckpointIntervalCycles();
+    return res;
+}
 
-    System sys(cfg.machine, vms, placements);
-    sys.setWatchdogInterval(cfg.watchdogIntervalCycles
-                                ? cfg.watchdogIntervalCycles
-                                : defaultWatchdogIntervalCycles());
-    if (cfg.cycleDeadline != 0)
-        sys.setCycleDeadline(cfg.cycleDeadline);
-    if (!cfg.faults.empty())
-        sys.setFaultPlan(cfg.faults);
-    // Cross-component audits fire at measurement-window boundaries
-    // when CONSIM_CHECK=full; they are free otherwise.
-    const auto audit = [&] {
-        if (CONSIM_CHECK_ACTIVE(Full))
-            sys.auditWindow();
-    };
-    if (cfg.migrationIntervalCycles == 0) {
-        sys.run(warmup);
-        audit();
-        sys.resetStats();
-        sys.run(measure);
-        audit();
-    } else {
-        // Dynamic scheduling: periodically migrate threads, as a
-        // hypervisor under reassignment pressure would.
-        Rng mig_rng(cfg.seed ^ 0xd15ea5e);
-        auto run_with_migrations = [&](Cycle total) {
-            Cycle done = 0;
-            while (done < total) {
-                const Cycle chunk = std::min(
-                    cfg.migrationIntervalCycles, total - done);
-                sys.run(chunk);
-                done += chunk;
-                if (done < total)
-                    sys.swapRandomThreads(mig_rng);
-            }
-        };
-        run_with_migrations(warmup);
-        audit();
-        sys.resetStats();
-        run_with_migrations(measure);
-        audit();
+/** Re-arm operational knobs (resolved config; fault plan excluded). */
+void
+armSystem(System &sys, const RunConfig &res)
+{
+    sys.setWatchdogInterval(res.watchdogIntervalCycles);
+    if (res.cycleDeadline != 0)
+        sys.setCycleDeadline(res.cycleDeadline);
+    if (res.ckptEveryCycles != 0)
+        sys.setCheckpointInterval(res.ckptEveryCycles);
+}
+
+/** Experiment context embedded verbatim in periodic snapshots. */
+json::Value
+phaseContext(const RunConfig &res, const RunConfig &raw,
+             const char *phase, const Rng *mig)
+{
+    auto ctx = json::Value::object();
+    ctx.set("config", configCtxJson(res, raw));
+    ctx.set("phase", phase);
+    if (mig) {
+        auto st = json::Value::array();
+        for (std::uint64_t w : mig->state())
+            st.push(w);
+        ctx.set("mig_rng", std::move(st));
     }
+    return ctx;
+}
 
-    // Extraction reads the hierarchical stats registry ("sys.vmNN.*",
-    // "sys.net.*") rather than reaching into component structs, so
-    // RunResult and every other registry consumer (dumpStats, JSON
-    // export) see exactly the same numbers by construction.
+/**
+ * Drive one phase from @p done to @p total phase-relative cycles,
+ * refreshing the checkpoint context before every run() chunk (the
+ * migration RNG mutates only between chunks, so the context captured
+ * at chunk start is exact for any snapshot inside it).
+ *
+ * Resume subtlety: a periodic snapshot landing exactly on an interior
+ * migration boundary is taken before the swap (run() returns first,
+ * then the driver swaps), so a resume starting on such a boundary
+ * must redo the swap — with the pre-swap RNG state the context
+ * carries.
+ */
+void
+runOnePhase(System &sys, const RunConfig &res, const RunConfig &raw,
+            const char *phase, Cycle total, Cycle done, Rng *mig)
+{
+    const Cycle interval = res.migrationIntervalCycles;
+    if (mig && done > 0 && done < total && done % interval == 0)
+        sys.swapRandomThreads(*mig);
+    while (done < total) {
+        sys.setCheckpointContext(phaseContext(res, raw, phase, mig));
+        Cycle next = total;
+        if (mig)
+            next = std::min(total, (done / interval + 1) * interval);
+        sys.run(next - done);
+        done = next;
+        if (mig && done < total)
+            sys.swapRandomThreads(*mig);
+    }
+}
+
+/**
+ * Read the paper's metrics out of the hierarchical stats registry
+ * ("sys.vmNN.*", "sys.net.*") rather than component structs, so
+ * RunResult and every other registry consumer (dumpStats, JSON
+ * export) see exactly the same numbers by construction.
+ */
+RunResult
+extractResult(System &sys, const std::vector<VirtualMachine *> &vms,
+              Cycle measure)
+{
     const stats::Group &root = sys.statsRoot();
     RunResult out;
     out.measuredCycles = measure;
@@ -219,6 +456,115 @@ runExperiment(const RunConfig &cfg)
     return out;
 }
 
+} // namespace
+
+RunResult
+runExperiment(const RunConfig &cfg)
+{
+    const RunConfig res = resolveConfig(cfg);
+    ExperimentRig rig = buildRig(res);
+    System sys(res.machine, rig.vms, rig.placements);
+    armSystem(sys, res);
+    if (!res.faults.empty())
+        sys.setFaultPlan(res.faults);
+    Rng mig_rng(res.seed ^ 0xd15ea5e);
+    Rng *mig = res.migrationIntervalCycles ? &mig_rng : nullptr;
+    // Cross-component audits fire at measurement-window boundaries
+    // when CONSIM_CHECK=full; they are free otherwise.
+    const auto audit = [&] {
+        if (CONSIM_CHECK_ACTIVE(Full))
+            sys.auditWindow();
+    };
+    runOnePhase(sys, res, cfg, "warmup", res.warmupCycles, 0, mig);
+    audit();
+    sys.resetStats();
+    runOnePhase(sys, res, cfg, "measure", res.measureCycles, 0, mig);
+    audit();
+    return extractResult(sys, rig.vms, res.measureCycles);
+}
+
+RunConfig
+configFromCheckpoint(const json::Value &ckpt)
+{
+    const json::Value *ctx = ckpt.find("context");
+    CONSIM_ASSERT(ctx && ctx->find("config"),
+                  "checkpoint has no experiment context (saved outside "
+                  "runExperiment?); cannot seed a resume");
+    return configEchoFromCtx(ctxGet(*ctx, "config"));
+}
+
+RunResult
+resumeExperiment(const json::Value &ckpt)
+{
+    const json::Value *schema = ckpt.find("schema");
+    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v1",
+                  "resume: not a consim.ckpt.v1 document");
+    const json::Value *ctxp = ckpt.find("context");
+    CONSIM_ASSERT(ctxp && ctxp->find("config"),
+                  "checkpoint has no experiment context (saved outside "
+                  "runExperiment?); cannot seed a resume");
+    const json::Value &ctx = *ctxp;
+    // The embedded config is already env-resolved (resolveConfig ran
+    // before the snapshot), so no environment lookups happen here.
+    const RunConfig res = configFromCtx(ctxGet(ctx, "config"));
+    const RunConfig raw = configEchoFromCtx(ctxGet(ctx, "config"));
+
+    ExperimentRig rig = buildRig(res);
+    System sys(res.machine, rig.vms, rig.placements);
+    sys.restoreCheckpoint(ckpt);
+    // Re-arm operational knobs against the restored clock. The fault
+    // plan is deliberately NOT re-armed: one-shot faults that already
+    // fired are baked into the restored state, runtime flags (drop
+    // countdowns, memburst windows) were restored directly, and
+    // pending wedge events ride in the serialized event queue. The
+    // cycle deadline is not re-armed either — the restored clock
+    // typically sits at or past it, and a resume exists precisely to
+    // finish the work beyond the original attempt's budget (re-arming
+    // would deterministically re-trip). The watchdog stays armed, so
+    // a genuinely wedged resume still fails.
+    RunConfig arm = res;
+    arm.cycleDeadline = 0;
+    armSystem(sys, arm);
+
+    Rng mig_rng(res.seed ^ 0xd15ea5e);
+    Rng *mig = nullptr;
+    if (res.migrationIntervalCycles != 0) {
+        const json::Value &st = ctxGet(ctx, "mig_rng");
+        CONSIM_ASSERT(st.size() == 4, "resume: bad mig_rng state");
+        mig_rng.setState({st.at(0).asUint(), st.at(1).asUint(),
+                          st.at(2).asUint(), st.at(3).asUint()});
+        mig = &mig_rng;
+    }
+
+    const std::string phase = ctxGet(ctx, "phase").str();
+    const Cycle now = sys.now();
+    const auto audit = [&] {
+        if (CONSIM_CHECK_ACTIVE(Full))
+            sys.auditWindow();
+    };
+    if (phase == "warmup") {
+        CONSIM_ASSERT(now <= res.warmupCycles,
+                      "resume: clock ", now, " past warmup window");
+        runOnePhase(sys, res, raw, "warmup", res.warmupCycles, now,
+                    mig);
+        audit();
+        sys.resetStats();
+        runOnePhase(sys, res, raw, "measure", res.measureCycles, 0,
+                    mig);
+    } else {
+        CONSIM_ASSERT(phase == "measure", "resume: unknown phase '",
+                      phase, "'");
+        CONSIM_ASSERT(now >= res.warmupCycles &&
+                          now - res.warmupCycles <= res.measureCycles,
+                      "resume: clock ", now,
+                      " outside the measurement window");
+        runOnePhase(sys, res, raw, "measure", res.measureCycles,
+                    now - res.warmupCycles, mig);
+    }
+    audit();
+    return extractResult(sys, rig.vms, res.measureCycles);
+}
+
 RunResult
 averageRunResults(std::vector<RunResult> runs)
 {
@@ -258,6 +604,7 @@ averageRunResults(std::vector<RunResult> runs)
     }
     acc.netAvgLatency /= n;
     acc.netPackets = static_cast<std::uint64_t>(packets / n + 0.5);
+    acc.seedsUsed = static_cast<int>(runs.size());
     // acc.replication / acc.occupancy keep the first run's snapshot
     // (see RunResult docs).
     return acc;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "core/fault.hh"
 #include "core/mix.hh"
 #include "core/system.hh"
@@ -44,6 +45,11 @@ struct RunConfig
     /** Per-point simulated-cycle budget: run() raises
      *  SimError(Deadline) past this absolute cycle. 0 = none. */
     Cycle cycleDeadline = 0;
+    /** Periodic checkpoint interval: keep a small ring of
+     *  `consim.ckpt.v1` snapshots every this many cycles and attach
+     *  the most recent one to watchdog/deadline SimErrors. 0 = resolve
+     *  from CONSIM_CKPT env, which defaults to off. */
+    Cycle ckptEveryCycles = 0;
 };
 
 /** Default warmup window (overridable via env CONSIM_WARMUP). */
@@ -54,6 +60,9 @@ Cycle defaultMeasureCycles();
 
 /** Default watchdog interval (CONSIM_WATCHDOG env; 0 disables). */
 Cycle defaultWatchdogIntervalCycles();
+
+/** Default checkpoint interval (CONSIM_CKPT env; 0 = off, the default). */
+Cycle defaultCheckpointIntervalCycles();
 
 /** Metrics for one VM instance in one run. */
 struct VmResult
@@ -101,6 +110,10 @@ struct RunResult
     std::uint64_t netPackets = 0;
     ReplicationSnapshot replication;
     OccupancySnapshot occupancy;
+    /** Seed runs folded into this result by averageRunResults (0 = a
+     *  single un-averaged run; reported as `seeds_used` in JSON when
+     *  nonzero). */
+    int seedsUsed = 0;
 
     /** Mean metric over all instances of @p kind in this run. */
     double meanCyclesPerTxn(WorkloadKind kind) const;
@@ -110,6 +123,33 @@ struct RunResult
 
 /** Run one simulation point. */
 RunResult runExperiment(const RunConfig &cfg);
+
+/**
+ * Recover the full RunConfig embedded in a `consim.ckpt.v1` document's
+ * experiment context, with the env-resolvable knobs (warmup, measure,
+ * watchdog, checkpoint interval) restored to their as-configured
+ * values — i.e. exactly the config originally passed to runExperiment,
+ * suitable for a byte-identical `consim.run.v1` echo. Fatal-asserts
+ * when @p ckpt was saved outside the experiment driver (no context).
+ */
+RunConfig configFromCheckpoint(const json::Value &ckpt);
+
+/**
+ * Finish an interrupted run from a `consim.ckpt.v1` document produced
+ * by runExperiment's periodic snapshotting: rebuild the System from
+ * the embedded config, restore the machine state, and complete the
+ * remaining warmup/measurement phases. Yields a RunResult — and hence
+ * a `consim.run.v1` report — byte-identical to the uninterrupted run.
+ *
+ * The fault plan is intentionally NOT re-armed: one-shot faults that
+ * already fired are baked into the restored state, and pending wedge
+ * events ride in the serialized event queue. The watchdog and the
+ * snapshot interval are re-armed from the config; the cycle deadline
+ * is not (its budget was consumed by the original attempt, and the
+ * restored clock typically sits at or past it — a resume exists to
+ * finish the remaining work).
+ */
+RunResult resumeExperiment(const json::Value &ckpt);
 
 /**
  * Reduce per-seed runs of one config into a single RunResult (see

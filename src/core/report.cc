@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "exec/sweep.hh"
 #include "workload/profile.hh"
 
@@ -52,12 +53,9 @@ benchSeeds()
     static const std::vector<std::uint64_t> seeds = [] {
         // One seed by default; set CONSIM_SEEDS=N for the multi-seed
         // averaging of Alameldeen & Wood that the paper follows.
-        int n = 1;
-        if (const char *v = std::getenv("CONSIM_SEEDS")) {
-            const int parsed = std::atoi(v);
-            if (parsed > 0 && parsed <= 16)
-                n = parsed;
-        }
+        // Malformed or out-of-range values are fatal (strict parse),
+        // not silently one seed.
+        const int n = envIntInRange("CONSIM_SEEDS", 1, 16, 1);
         std::vector<std::uint64_t> s;
         for (int i = 0; i < n; ++i)
             s.push_back(1 + i);
@@ -190,6 +188,11 @@ toJson(const RunResult &r)
 {
     auto v = json::Value::object();
     v.set("measured_cycles", r.measuredCycles);
+    // Seed-averaged results disclose how many seed runs actually
+    // survived into the average; single runs keep the envelope
+    // byte-stable by omitting the field.
+    if (r.seedsUsed != 0)
+        v.set("seeds_used", r.seedsUsed);
     auto vms = json::Value::array();
     for (const auto &vm : r.vms)
         vms.push(toJson(vm));

@@ -107,14 +107,16 @@ System::send(Msg m)
     m.injectCycle = now_;
     if (m.srcTile == m.dstTile) {
         // Local hop: fixed one-cycle on-tile transfer.
-        schedule(1, [this, m] { deliver(m); });
+        events_.schedule(now_, 1,
+                         SimEvent(SimEventKind::Deliver, m));
         return;
     }
     if (cfg_.flatIntraGroup && isIntraGroup(m.type)) {
         // On-partition path: the paper models a constant L2 access
         // latency regardless of sharing degree, so traffic between a
         // core and its partition's banks bypasses the mesh.
-        schedule(cfg_.intraGroupLatency, [this, m] { deliver(m); });
+        events_.schedule(now_, cfg_.intraGroupLatency,
+                         SimEvent(SimEventKind::Deliver, m));
         return;
     }
     net_->inject(std::move(m));
@@ -231,9 +233,40 @@ System::deliver(const Msg &m)
 }
 
 void
+System::execEvent(SimEvent &ev)
+{
+    switch (ev.kind) {
+      case SimEventKind::Deliver:
+        deliver(ev.msg);
+        break;
+      case SimEventKind::BankDispatch:
+        banks_.at(ev.tile)->dispatchLocal(ev.block);
+        break;
+      case SimEventKind::BankFillRetry:
+        banks_.at(ev.tile)->fillRetry(ev.block);
+        break;
+      case SimEventKind::DirProcess:
+        dirs_.at(ev.tile)->process(ev.block);
+        break;
+      case SimEventKind::MemDone: {
+        const int idx = mcIndexOfTile_.at(ev.msg.srcTile);
+        CONSIM_ASSERT(idx >= 0, "MemDone from a tile without an MC");
+        mcs_.at(idx)->finishAccess(ev.msg);
+        break;
+      }
+      case SimEventKind::WedgeCore:
+        cores_.at(ev.tile)->wedge();
+        break;
+      case SimEventKind::Opaque:
+        ev.fn();
+        break;
+    }
+}
+
+void
 System::tick()
 {
-    events_.runDue(now_);
+    events_.runDue(now_, [this](SimEvent &ev) { execEvent(ev); });
     for (auto &c : cores_)
         c->tick();
     net_->tick(now_);
@@ -244,7 +277,8 @@ void
 System::run(Cycle cycles)
 {
     const Cycle end = now_ + cycles;
-    if (watchdogInterval_ == 0 && deadline_ == 0) {
+    if (watchdogInterval_ == 0 && deadline_ == 0 &&
+        ckptInterval_ == 0) {
         // Fast path: the per-cycle loop carries no hardening checks.
         while (now_ < end)
             tick();
@@ -256,21 +290,47 @@ System::run(Cycle cycles)
             chunkEnd = std::min(chunkEnd, nextWatchdogCheck_);
         if (deadline_ != 0)
             chunkEnd = std::min(chunkEnd, deadline_);
+        if (ckptInterval_ != 0)
+            chunkEnd = std::min(chunkEnd, nextCkpt_);
         while (now_ < chunkEnd)
             tick();
+        // Snapshot before the deadline check: a run tripping at its
+        // deadline then carries a checkpoint taken at that very
+        // cycle, so a resume loses no work.
+        if (ckptInterval_ != 0 && now_ >= nextCkpt_) {
+            takeSnapshot();
+            nextCkpt_ = now_ + ckptInterval_;
+        }
         if (deadline_ != 0 && now_ >= deadline_ && now_ < end) {
-            throw SimError(
+            SimError err(
                 SimErrorKind::Deadline,
                 logging::format("cycle deadline ", deadline_,
                                 " reached with ", end - now_,
                                 " cycles of work remaining"),
                 diagJson("cycle deadline exceeded").dump(2));
+            err.setCkpt(latestCheckpoint());
+            throw err;
         }
         if (watchdogInterval_ != 0 && now_ >= nextWatchdogCheck_) {
             watchdogCheck();
             nextWatchdogCheck_ = now_ + watchdogInterval_;
         }
     }
+}
+
+void
+System::setCheckpointInterval(Cycle interval)
+{
+    ckptInterval_ = interval;
+    if (interval != 0)
+        nextCkpt_ = now_ + interval;
+}
+
+void
+System::takeSnapshot()
+{
+    ckptLatest_ ^= 1;
+    ckptRing_[ckptLatest_] = saveCheckpoint().dump(1);
 }
 
 bool
@@ -535,8 +595,9 @@ System::setFaultPlan(const FaultPlan &plan)
             if (e.at <= now_)
                 cores_[c]->wedge();
             else
-                schedule(e.at - now_,
-                         [this, c] { cores_[c]->wedge(); });
+                events_.schedule(now_, e.at - now_,
+                                 SimEvent(SimEventKind::WedgeCore, c,
+                                          0));
             break;
           }
           case FaultKind::DropResponse:
@@ -588,12 +649,14 @@ System::watchdogCheck()
         net_->ejectedTotal() != wdSnap_.ejected ||
         retiredSum != wdSnap_.retiredSum;
     if (!globalProgress && !quiesced()) {
-        throw SimError(
+        SimError err(
             SimErrorKind::Watchdog,
             logging::format("no forward progress over ",
                             watchdogInterval_, " cycles (cycle ",
                             now_, ")"),
             diagJson("watchdog: no global progress").dump(2));
+        err.setCkpt(latestCheckpoint());
+        throw err;
     }
 
     // Condition B: a core with a bound thread sat blocked at both
@@ -603,7 +666,7 @@ System::watchdogCheck()
         const Core &c = *cores_[i];
         if (!c.idle() && c.blocked() && wdSnap_.blocked[i] &&
             c.retiredTotal() == wdSnap_.retired[i]) {
-            throw SimError(
+            SimError err(
                 SimErrorKind::Watchdog,
                 logging::format("core ", i, " made no progress over ",
                                 watchdogInterval_, " cycles (cycle ",
@@ -612,6 +675,8 @@ System::watchdogCheck()
                 diagJson(logging::format("watchdog: core ", i,
                                          " stalled"))
                     .dump(2));
+            err.setCkpt(latestCheckpoint());
+            throw err;
         }
     }
 

@@ -97,6 +97,14 @@ class System : public Fabric
     Cycle now() const override { return now_; }
     void send(Msg m) override;
     void schedule(Cycle delay, EventFn fn) override;
+    /** Typed events go straight into the calendar queue (the
+     *  fallback closure is dropped), keeping the queue serializable. */
+    void
+    scheduleEvent(SimEvent ev, Cycle delay, EventFn fallback) override
+    {
+        (void)fallback;
+        events_.schedule(now_, delay, std::move(ev));
+    }
     const MachineConfig &config() const override { return cfg_; }
     GroupId groupOfTile(CoreId tile) const override
     {
@@ -240,7 +248,58 @@ class System : public Fabric
      */
     json::Value diagJson(const std::string &reason) const;
 
+    // --- checkpoint / resume (`consim.ckpt.v1`) ---
+
+    /**
+     * Serialize the complete deterministic machine state (cycle,
+     * event queue, caches, transaction tables, NoC, RNG streams,
+     * stats registry) as a `consim.ckpt.v1` document. The embedded
+     * experiment context (setCheckpointContext) rides along so the
+     * experiment layer can resume its warmup/measure loop. Throws
+     * SimError(Invariant) if an Opaque event is pending.
+     */
+    json::Value saveCheckpoint() const;
+
+    /**
+     * Restore state saved by saveCheckpoint() into this freshly
+     * constructed System. The System must have been built from the
+     * same MachineConfig, VM set, and placements as the saved one;
+     * resuming then reproduces the uninterrupted run byte for byte.
+     */
+    void restoreCheckpoint(const json::Value &doc);
+
+    /**
+     * Periodic snapshotting: every @p interval cycles of run(), save
+     * a checkpoint into a two-deep ring; the most recent one is
+     * attached to every watchdog/deadline SimError. 0 disables (the
+     * default; `CONSIM_CKPT` / --ckpt-every turn it on).
+     */
+    void setCheckpointInterval(Cycle interval);
+
+    /**
+     * Experiment-layer context (run config echo, phase, migration
+     * RNG state) embedded verbatim in every snapshot.
+     */
+    void setCheckpointContext(json::Value ctx)
+    {
+        ckptCtx_ = std::move(ctx);
+    }
+
+    /** Most recent periodic snapshot text ("" when none taken). */
+    const std::string &latestCheckpoint() const
+    {
+        return ckptRing_[ckptLatest_];
+    }
+
   private:
+    friend struct CkptAccess;
+
+    /** Dispatch a due typed event into its owning component. */
+    void execEvent(SimEvent &ev);
+
+    /** Take a periodic snapshot into the ring. */
+    void takeSnapshot();
+
     /** Per-group bank lookup table with the modulo strength-reduced
      *  for power-of-two member counts (all standard sharing degrees). */
     struct GroupLut
@@ -296,6 +355,13 @@ class System : public Fabric
     Cycle memBurstStart_ = 0;
     Cycle memBurstEnd_ = 0;
     Cycle memBurstExtra_ = 0;
+
+    // --- checkpoint state ---
+    Cycle ckptInterval_ = 0;      ///< 0 = periodic snapshots off
+    Cycle nextCkpt_ = 0;          ///< absolute cycle of next snapshot
+    json::Value ckptCtx_;         ///< experiment context for snapshots
+    std::string ckptRing_[2];     ///< latest two snapshot texts
+    int ckptLatest_ = 0;
 
     stats::Group statsRoot_{"sys"};
     /** Per-tile registry nodes ("tileNN") under statsRoot_. */

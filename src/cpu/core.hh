@@ -85,6 +85,10 @@ class Core
     stats::Group &statsGroup() { return statsGroup_; }
 
   private:
+    /** Checkpoint layer restores raw fields (bindThread would reset
+     *  the in-flight slice and blocked state). */
+    friend struct CkptAccess;
+
     void missComplete();
 
     Fabric &fab_;

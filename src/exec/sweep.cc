@@ -21,35 +21,76 @@ namespace
 {
 
 /**
- * Run one point with crash isolation: catch anything the simulation
- * throws, retry with a fresh seed offset (a failure tied to one
- * seed's event interleaving must not recur verbatim) and exponential
- * backoff, and record the last error if every attempt fails.
+ * Run one point with crash isolation. The retry ladder:
+ *
+ *   attempt 0   — the configured seed, full run;
+ *   attempt 1   — if the failure carried a pre-trip checkpoint
+ *                 (periodic snapshotting on), resume it: same seed,
+ *                 and only the cycles after the snapshot re-run;
+ *   attempt 2+  — full re-runs with a per-attempt seed offset (a
+ *                 failure tied to one seed's event interleaving must
+ *                 not recur verbatim).
+ *
+ * Each retry backs off exponentially. The seed that finally succeeded
+ * is recorded as effectiveSeed: a mutated seed means the point's
+ * statistics answer a different question than configured, so that
+ * recovery also warns loudly. If every attempt fails, the last error
+ * is recorded.
  */
 SweepRun
 runPoint(const RunConfig &cfg, const SweepOptions &opts)
 {
     SweepRun out;
+    out.effectiveSeed = cfg.seed;
     RunConfig base = cfg;
     if (opts.pointDeadlineCycles != 0 && base.cycleDeadline == 0)
         base.cycleDeadline = opts.pointDeadlineCycles;
-    for (int attempt = 0;; ++attempt) {
-        RunConfig c = base;
-        c.seed = base.seed + static_cast<std::uint64_t>(attempt) *
-                                 0x9e3779b97f4a7c15ull;
+    std::string ckpt_text; // last snapshot attached to a SimError
+    const auto run_attempt = [&](bool resume, const json::Value *doc,
+                                 const RunConfig &c) -> bool {
         try {
-            out.result = runExperiment(c);
-            out.ok = true;
-            out.retries = attempt;
-            return out;
+            out.result = resume ? resumeExperiment(*doc)
+                                : runExperiment(c);
+            return true;
         } catch (const SimError &e) {
             out.errorKind = toString(e.kind());
             out.errorMessage = e.what();
             out.diag = e.diag();
+            if (!e.ckpt().empty())
+                ckpt_text = e.ckpt();
+            out.ckpt = ckpt_text;
         } catch (const std::exception &e) {
             out.errorKind = "exception";
             out.errorMessage = e.what();
             out.diag.clear();
+        }
+        return false;
+    };
+    for (int attempt = 0;; ++attempt) {
+        json::Value doc;
+        const bool can_resume = attempt == 1 && !ckpt_text.empty() &&
+                                json::parse(ckpt_text, doc) &&
+                                doc.find("context") != nullptr;
+        RunConfig c = base;
+        c.seed = base.seed + static_cast<std::uint64_t>(attempt) *
+                                 0x9e3779b97f4a7c15ull;
+        if (run_attempt(can_resume, &doc, c)) {
+            out.ok = true;
+            out.retries = attempt;
+            out.resumed = can_resume;
+            out.effectiveSeed = can_resume ? base.seed : c.seed;
+            out.errorKind.clear();
+            out.errorMessage.clear();
+            out.diag.clear();
+            out.ckpt.clear();
+            if (out.effectiveSeed != cfg.seed) {
+                CONSIM_WARN("sweep point recovered under mutated seed ",
+                            out.effectiveSeed, " (configured seed ",
+                            cfg.seed,
+                            "); its statistics reflect the mutated "
+                            "seed, see effective_seed in the output");
+            }
+            return out;
         }
         out.retries = attempt;
         if (attempt >= opts.maxRetries)
@@ -191,6 +232,12 @@ sweepResultsJson(const std::vector<RunConfig> &configs,
         p.set("ok", run.ok);
         p.set("retries", run.retries);
         if (run.ok) {
+            // Seed honesty: the config echo below repeats the seed as
+            // *asked*; effective_seed is the seed the surviving
+            // attempt actually ran under.
+            p.set("effective_seed", run.effectiveSeed);
+            if (run.resumed)
+                p.set("resumed", true);
             // Inline the consim.run.v1 envelope fields after the
             // outcome header.
             const auto envelope = runResultJson(configs[i], run.result);
@@ -216,6 +263,7 @@ sweepResultsJson(const std::vector<RunConfig> &configs,
     for (std::size_t i = 0; i < results.size(); ++i) {
         runs[i].ok = true;
         runs[i].result = results[i];
+        runs[i].effectiveSeed = configs[i].seed;
     }
     return sweepResultsJson(configs, runs);
 }

@@ -56,10 +56,23 @@ struct SweepRun
     bool ok = false;
     int retries = 0;          ///< failed attempts before the outcome
     RunResult result;         ///< valid when ok
+    /** Seed the successful attempt actually ran under. Retries mutate
+     *  the seed, so this can differ from the config's seed — in which
+     *  case the point's statistics answer a *different* question than
+     *  asked, and consumers must be told (`effective_seed` in
+     *  consim.sweep.v2, plus a warning at recovery time). */
+    std::uint64_t effectiveSeed = 0;
+    /** True when the point recovered by resuming the failed run from
+     *  its pre-trip checkpoint (same seed) rather than re-running. */
+    bool resumed = false;
     std::string errorKind;    ///< "invariant"|"watchdog"|"deadline"|
                               ///< "exception" (when !ok)
     std::string errorMessage; ///< exception what() (when !ok)
     std::string diag;         ///< consim.diag.v1 text ("" if none)
+    /** `consim.ckpt.v1` text of the last pre-trip snapshot attached
+     *  to the final error ("" when snapshotting was off or the point
+     *  succeeded) — resumable via resumeExperiment / --resume. */
+    std::string ckpt;
 };
 
 /**

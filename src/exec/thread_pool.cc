@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/parse.hh"
+
 namespace consim
 {
 
@@ -70,11 +72,12 @@ ThreadPool::workerLoop()
 int
 ThreadPool::defaultThreads()
 {
-    if (const char *v = std::getenv("CONSIM_JOBS")) {
-        const int parsed = std::atoi(v);
-        if (parsed > 0)
-            return parsed;
-    }
+    // Strict parse: CONSIM_JOBS=garbage is fatal rather than silently
+    // falling back to hardware_concurrency.
+    const int jobs =
+        envIntInRange("CONSIM_JOBS", 1, 4096, 0 /* unset */);
+    if (jobs > 0)
+        return jobs;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
 }

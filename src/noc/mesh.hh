@@ -51,6 +51,8 @@ class Mesh : public Network
     int inFlight() const;
 
   private:
+    friend struct CkptAccess;
+
     NocParams params_;
     Cycle lastTick_ = 0;
     std::vector<std::unique_ptr<Router>> routers_;

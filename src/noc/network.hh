@@ -103,6 +103,8 @@ class Network
     stats::Group &statsGroup() { return statsGroup_; }
 
   protected:
+    friend struct CkptAccess;
+
     Network() { stats_.registerIn(statsGroup_); }
 
     void
@@ -157,6 +159,8 @@ class IdealNetwork : public Network
     bool idle() const override { return inflight_.empty(); }
 
   private:
+    friend struct CkptAccess;
+
     int latency_;
     // FIFO works because latency is constant.
     std::deque<std::pair<Cycle, Msg>> inflight_;

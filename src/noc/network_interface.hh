@@ -37,6 +37,8 @@ class NetworkInterface
     int queued() const;
 
   private:
+    friend struct CkptAccess;
+
     CoreId tile_;
     NocParams params_;
     Router *router_;

@@ -140,6 +140,9 @@ class Router
     json::Value creditJson() const;
 
   private:
+    /** Checkpoint layer saves/restores VC queues and output ports. */
+    friend struct CkptAccess;
+
     struct InputVc
     {
         std::deque<RouterPacket> q;

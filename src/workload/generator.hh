@@ -43,6 +43,8 @@ class Footprint
     std::uint64_t distinctBlocks() const { return count_; }
 
   private:
+    friend struct CkptAccess;
+
     std::vector<bool> touched_;
     std::uint64_t count_ = 0;
 };
@@ -68,6 +70,10 @@ class SyntheticStream : public InstrStream
     std::uint64_t refsGenerated() const { return refs_; }
 
   private:
+    /** Checkpoint layer saves/restores the mutable stream state
+     *  (rng, hot-window positions, counters). */
+    friend struct CkptAccess;
+
     BlockAddr pickSharedRo();
     BlockAddr pickMigratory();
     BlockAddr pickPrivate();
@@ -122,6 +128,8 @@ class WorkloadInstance
     }
 
   private:
+    friend struct CkptAccess;
+
     const WorkloadProfile &prof_;
     VmId vm_;
     Footprint footprint_;

@@ -29,6 +29,34 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "=== resume equivalence: interrupted+resumed == uninterrupted ==="
+# 2M simulated cycles, snapshot at 1M, deadline-trip at 1.1M, resume
+# from the snapshot: the result block of the resumed run must be
+# byte-identical to the uninterrupted run. (The config echo alone may
+# differ — the tripped run carries the deadline knob — so compare from
+# the result object onward.)
+ckpt_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir"' EXIT
+./build/tools/consim_run --vm tpcw --vm jbb \
+    --warmup 1000000 --measure 1000000 --watchdog 200000 \
+    --json "$ckpt_dir/full.json" >/dev/null
+if ./build/tools/consim_run --vm tpcw --vm jbb \
+    --warmup 1000000 --measure 1000000 --watchdog 200000 \
+    --deadline 1100000 --ckpt-every 1000000 \
+    --ckpt-out "$ckpt_dir/trip.ckpt" >/dev/null 2>&1; then
+    echo "resume equivalence: deadline run unexpectedly succeeded" >&2
+    exit 1
+fi
+[[ -s "$ckpt_dir/trip.ckpt" ]] || {
+    echo "resume equivalence: no checkpoint written" >&2; exit 1; }
+./build/tools/consim_run --resume "$ckpt_dir/trip.ckpt" \
+    --json "$ckpt_dir/resumed.json" >/dev/null
+awk '/"result": \{/,0' "$ckpt_dir/full.json" >"$ckpt_dir/full.result"
+awk '/"result": \{/,0' "$ckpt_dir/resumed.json" >"$ckpt_dir/resumed.result"
+diff -u "$ckpt_dir/full.result" "$ckpt_dir/resumed.result" || {
+    echo "resume equivalence: resumed result diverged" >&2; exit 1; }
+echo "resume equivalence: result blocks byte-identical"
+
 if [[ "$skip_checked" == 1 ]]; then
     echo "=== checked mode: skipped ==="
 else

@@ -25,6 +25,14 @@
  *     --deadline N             abort the point after N sim cycles
  *     --fault PLAN             inject faults, e.g.
  *                              "wedge:core=3,at=250000;drop:nth=800"
+ *     --ckpt-every N           keep periodic consim.ckpt.v1 snapshots
+ *                              every N cycles (0 disables; default
+ *                              CONSIM_CKPT, off)
+ *     --ckpt-out PATH          on failure, write the last pre-trip
+ *                              snapshot to PATH (needs --ckpt-every)
+ *     --resume PATH            resume a consim.ckpt.v1 snapshot; the
+ *                              run config comes from the checkpoint
+ *                              (exclusive with --mix/--vm/--seeds)
  *     --csv                    machine-readable per-VM output
  *     --dump-stats             full component statistics dump
  *     --json PATH              write the consim.run.v1 JSON envelope
@@ -37,12 +45,15 @@
  *   consim_run --mix "Mix 7" --policy rr
  *   consim_run --vm jbb --vm jbb --sharing 8 --csv
  *   consim_run --mix "Mix 5" --json mix5.json
+ *   consim_run --mix "Mix 5" --ckpt-every 1000000 --ckpt-out w.ckpt
+ *   consim_run --resume w.ckpt --json mix5.json
  */
 
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -75,7 +86,8 @@ usage(const char *msg = nullptr)
         "[--csv] [--dump-stats]\n"
         "       [--check off|basic|full] [--watchdog N] "
         "[--deadline N] [--fault PLAN]\n"
-        "       [--json PATH]\n";
+        "       [--ckpt-every N] [--ckpt-out PATH] [--resume PATH] "
+        "[--json PATH]\n";
     std::exit(2);
 }
 
@@ -171,6 +183,52 @@ parseSharing(const std::string &s)
     }
 }
 
+/** Per-VM metrics report shared by the run and resume paths. */
+void
+printRunResult(const RunConfig &cfg, const RunResult &r, bool csv,
+               int num_seeds, const char *note)
+{
+    if (csv) {
+        std::cout << "vm,kind,threads,transactions,cycles_per_txn,"
+                     "l2_accesses,l2_misses,miss_rate,c2c_clean,"
+                     "c2c_dirty,miss_latency\n";
+    } else {
+        std::cout << "consim_run: " << cfg.workloads.size() << " VMs, "
+                  << toString(cfg.policy) << ", "
+                  << toString(cfg.machine.sharing) << ", measured "
+                  << r.measuredCycles << " cycles";
+        if (num_seeds > 1)
+            std::cout << " x " << num_seeds << " seeds";
+        if (note && *note)
+            std::cout << " (" << note << ")";
+        std::cout << "\n\n";
+    }
+
+    TextTable table({"vm", "cycles/txn", "LLC miss rate",
+                     "miss lat (cy)", "c2c clean", "c2c dirty"});
+    for (std::size_t i = 0; i < r.vms.size(); ++i) {
+        const VmResult &v = r.vms[i];
+        if (csv) {
+            std::cout << i << "," << toString(v.kind) << ","
+                      << WorkloadProfile::get(v.kind).numThreads << ","
+                      << v.transactions << ","
+                      << v.cyclesPerTransaction << "," << v.l2Accesses
+                      << "," << v.l2Misses << "," << v.missRate << ","
+                      << v.c2cClean << "," << v.c2cDirty << ","
+                      << v.avgMissLatency << "\n";
+        } else {
+            table.addRow({toString(v.kind) + " #" + std::to_string(i),
+                          TextTable::num(v.cyclesPerTransaction, 0),
+                          TextTable::pct(v.missRate),
+                          TextTable::num(v.avgMissLatency, 1),
+                          std::to_string(v.c2cClean),
+                          std::to_string(v.c2cDirty)});
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+}
+
 } // namespace
 
 int
@@ -182,6 +240,8 @@ main(int argc, char **argv)
     int num_seeds = 1;
     std::string mix_name;
     std::string json_path;
+    std::string ckpt_out;
+    std::string resume_path;
     if (const char *env = std::getenv("CONSIM_JSON"))
         json_path = env;
 
@@ -231,6 +291,18 @@ main(int argc, char **argv)
             std::string err;
             if (!FaultPlan::parse(next_arg(i), cfg.faults, &err))
                 usage(("bad --fault plan: " + err).c_str());
+        } else if (a == "--ckpt-every") {
+            const std::uint64_t n = parseCount(a, next_arg(i));
+            // In RunConfig, 0 means "library default", so an explicit
+            // --ckpt-every 0 disables via the env override instead.
+            if (n == 0)
+                ::setenv("CONSIM_CKPT", "0", 1);
+            else
+                cfg.ckptEveryCycles = n;
+        } else if (a == "--ckpt-out") {
+            ckpt_out = next_arg(i);
+        } else if (a == "--resume") {
+            resume_path = next_arg(i);
         } else if (a == "--no-dir-cache") {
             cfg.machine.dirCacheEnabled = false;
         } else if (a == "--no-clean-fwd") {
@@ -248,6 +320,49 @@ main(int argc, char **argv)
         } else {
             usage(("unknown option '" + a + "'").c_str());
         }
+    }
+
+    if (!resume_path.empty()) {
+        // Resume takes everything — workloads, policy, machine,
+        // windows, seed — from the checkpoint's embedded context.
+        if (!cfg.workloads.empty() || !mix_name.empty())
+            usage("--resume takes its configuration from the "
+                  "checkpoint (drop --mix/--vm)");
+        if (dump || num_seeds > 1)
+            usage("--resume runs a single live point "
+                  "(drop --dump-stats/--seeds)");
+
+        consim::logging::setVerbose(false);
+
+        std::ifstream in(resume_path);
+        if (!in) {
+            std::cerr << "error: cannot open checkpoint "
+                      << resume_path << "\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        json::Value doc;
+        std::string err;
+        if (!json::parse(text.str(), doc, &err)) {
+            std::cerr << "error: " << resume_path
+                      << " is not valid JSON: " << err << "\n";
+            return 1;
+        }
+        try {
+            const RunConfig rcfg = configFromCheckpoint(doc);
+            // Wrap through averageRunResults exactly like the normal
+            // single-seed path, so the envelope (seeds_used included)
+            // is byte-identical to an uninterrupted run's.
+            const RunResult r =
+                averageRunResults({resumeExperiment(doc)});
+            if (!json_path.empty())
+                writeJsonDoc(json_path, runResultJson(rcfg, r));
+            printRunResult(rcfg, r, csv, 1, "resumed");
+        } catch (const SimError &e) {
+            reportSimError(toString(e.kind()), e.what(), e.diag());
+        }
+        return 0;
     }
 
     if (!mix_name.empty()) {
@@ -286,6 +401,19 @@ main(int argc, char **argv)
             if (!runs[s].ok) {
                 std::cerr << "consim_run: seed "
                           << seed_cfgs[s].seed << " failed\n";
+                if (!ckpt_out.empty() && !runs[s].ckpt.empty()) {
+                    std::ofstream out(ckpt_out);
+                    if (out) {
+                        out << runs[s].ckpt << "\n";
+                        std::cerr << "consim_run: wrote pre-trip "
+                                     "checkpoint to "
+                                  << ckpt_out << " (resume with "
+                                     "--resume)\n";
+                    } else {
+                        std::cerr << "consim_run: cannot open "
+                                  << ckpt_out << "\n";
+                    }
+                }
                 reportSimError(runs[s].errorKind,
                                runs[s].errorMessage, runs[s].diag);
             }
