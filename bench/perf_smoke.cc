@@ -1,25 +1,34 @@
 /**
  * @file
  * perf_smoke: the simulator's performance trajectory in one JSON
- * line. Measures (a) single-simulation throughput in simulated
- * cycles per wall-second (exercises the calendar-queue event core)
- * and (b) wall time for an 8-config sweep run serially vs. on the
- * parallel sweep engine. Future PRs diff these numbers to catch
- * perf regressions.
+ * line (schema consim.bench.v1). Measures (a) single-simulation
+ * throughput in simulated cycles per wall-second (exercises the
+ * calendar-queue event core), (b) the same simulation under the
+ * tile-parallel event core at --run-jobs 1/2/4 with its speedup over
+ * serial (and a hard equality check — parallel must reproduce serial
+ * exactly), and (c) wall time for an 8-config sweep run serially vs.
+ * on the parallel sweep engine. Future PRs diff these numbers to
+ * catch perf regressions (tools/ci.sh gates on cycles_per_sec
+ * against the committed BENCH_<pr>.json).
  *
  * Knobs: CONSIM_PERF_CYCLES (measurement window per sim, default
  * 300000), CONSIM_JOBS (sweep parallelism, default
  * hardware_concurrency).
  *
  * Output (one line on stdout):
- *   {"bench":"perf_smoke","sim_cycles":...,"sim_wall_s":...,
- *    "cycles_per_sec":...,"sweep_configs":8,"sweep_serial_s":...,
+ *   {"schema":"consim.bench.v1","bench":"perf_smoke",
+ *    "host_cpus":N,"sim_cycles":...,"sim_wall_s":...,
+ *    "cycles_per_sec":...,
+ *    "run_jobs":[{"jobs":1,"wall_s":...,"cycles_per_sec":...,
+ *                 "speedup_vs_serial":...},...],
+ *    "sweep_configs":8,"sweep_serial_s":...,
  *    "sweep_parallel_s":...,"sweep_speedup":...,"jobs":N}
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -49,6 +58,24 @@ perfCycles()
     return 300'000;
 }
 
+/** The two results must agree exactly (parallel determinism gate). */
+void
+assertSameResult(const RunResult &a, const RunResult &b, int jobs)
+{
+    CONSIM_ASSERT(a.vms.size() == b.vms.size() &&
+                      a.netPackets == b.netPackets &&
+                      a.netAvgLatency == b.netAvgLatency,
+                  "run-jobs ", jobs, " diverged from serial");
+    for (std::size_t i = 0; i < a.vms.size(); ++i) {
+        CONSIM_ASSERT(a.vms[i].transactions == b.vms[i].transactions &&
+                          a.vms[i].l2Misses == b.vms[i].l2Misses &&
+                          a.vms[i].avgMissLatency ==
+                              b.vms[i].avgMissLatency,
+                      "run-jobs ", jobs,
+                      " diverged from serial on vm ", i);
+    }
+}
+
 } // namespace
 
 int
@@ -65,14 +92,47 @@ main()
                                  SharingDegree::Shared4);
     single.warmupCycles = cycles / 2;
     single.measureCycles = cycles;
+    single.runJobs = 1;
     const auto t0 = std::chrono::steady_clock::now();
-    (void)runExperiment(single);
+    const RunResult serial_result = runExperiment(single);
     const double sim_wall =
         seconds(std::chrono::steady_clock::now() - t0);
     const Cycle simulated = single.warmupCycles + single.measureCycles;
     const double cps =
         sim_wall > 0.0 ? static_cast<double>(simulated) / sim_wall
                        : 0.0;
+
+    // --- tile-parallel event core: --run-jobs 1/2/4 ---
+    // jobs=1 re-times the serial engine (the dispatch path, not the
+    // lane machinery) so speedup_vs_serial starts from a fresh
+    // same-process baseline rather than the cold-start run above.
+    struct RunJobsPoint
+    {
+        int jobs;
+        double wall_s;
+        double cps;
+        double speedup;
+    };
+    std::vector<RunJobsPoint> points;
+    double base_wall = 0.0;
+    for (const int jobs : {1, 2, 4}) {
+        RunConfig cfg = single;
+        cfg.runJobs = jobs;
+        const auto s0 = std::chrono::steady_clock::now();
+        const RunResult r = runExperiment(cfg);
+        const double wall =
+            seconds(std::chrono::steady_clock::now() - s0);
+        assertSameResult(serial_result, r, jobs);
+        if (jobs == 1)
+            base_wall = wall;
+        RunJobsPoint p;
+        p.jobs = jobs;
+        p.wall_s = wall;
+        p.cps = wall > 0.0 ? static_cast<double>(simulated) / wall
+                           : 0.0;
+        p.speedup = wall > 0.0 ? base_wall / wall : 0.0;
+        points.push_back(p);
+    }
 
     // --- sweep scaling: 8 configs, serial vs parallel ---
     std::vector<RunConfig> sweep;
@@ -111,13 +171,24 @@ main()
     const double speedup =
         parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
+    const unsigned hw = std::thread::hardware_concurrency();
     std::printf(
-        "{\"bench\":\"perf_smoke\",\"sim_cycles\":%llu,"
-        "\"sim_wall_s\":%.3f,\"cycles_per_sec\":%.0f,"
-        "\"sweep_configs\":%zu,\"sweep_serial_s\":%.3f,"
+        "{\"schema\":\"consim.bench.v1\",\"bench\":\"perf_smoke\","
+        "\"host_cpus\":%u,\"sim_cycles\":%llu,"
+        "\"sim_wall_s\":%.3f,\"cycles_per_sec\":%.0f,\"run_jobs\":[",
+        hw ? hw : 1, static_cast<unsigned long long>(simulated),
+        sim_wall, cps);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::printf("%s{\"jobs\":%d,\"wall_s\":%.3f,"
+                    "\"cycles_per_sec\":%.0f,"
+                    "\"speedup_vs_serial\":%.2f}",
+                    i ? "," : "", points[i].jobs, points[i].wall_s,
+                    points[i].cps, points[i].speedup);
+    }
+    std::printf(
+        "],\"sweep_configs\":%zu,\"sweep_serial_s\":%.3f,"
         "\"sweep_parallel_s\":%.3f,\"sweep_speedup\":%.2f,"
         "\"jobs\":%d}\n",
-        static_cast<unsigned long long>(simulated), sim_wall, cps,
         sweep.size(), serial_s, parallel_s, speedup, sweepJobs());
     return 0;
 }

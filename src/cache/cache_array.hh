@@ -11,6 +11,19 @@
  *   victim = array.victim(block);       // slot a fill would take
  *   ... evict victim's contents if valid ...
  *   array.install(victim, block);       // claim the slot
+ *
+ * Hot-path layout: lookup() and victim() are the two most-executed
+ * loops in the simulator, and they only need (valid, tag) resp.
+ * (valid, lruStamp) — a handful of bytes out of every LineT they pull
+ * into cache when scanning the AoS lines_ vector. The array therefore
+ * keeps two dense mirrors: key_ (tag + 1 for valid lines, 0 for
+ * invalid — one compare tests both) and lru_ (lruStamp). The set scan
+ * touches 8 bytes per way instead of a whole LineT, and the mirrors of
+ * one set share a cache line for the common associativities. lines_
+ * stays authoritative; every mutator keeps the mirrors in sync, and
+ * the escape hatches that hand out mutable LineT references
+ * (forEachLine, forEachInSet, the checkpoint restore path) re-derive
+ * them afterwards via rebuildIndex()/rebuildSet().
  */
 
 #ifndef CONSIM_CACHE_CACHE_ARRAY_HH
@@ -54,7 +67,8 @@ class CacheArray
 {
   public:
     explicit CacheArray(const CacheGeometry &geom)
-        : geom_(geom), lines_(geom.numLines())
+        : geom_(geom), lines_(geom.numLines()),
+          key_(geom.numLines(), 0), lru_(geom.numLines(), 0)
     {
         geom_.check();
     }
@@ -75,8 +89,9 @@ class CacheArray
     lookup(BlockAddr block)
     {
         auto [begin, end] = setRange(block);
+        const std::uint64_t key = block + 1;
         for (auto i = begin; i != end; ++i) {
-            if (lines_[i].valid && lines_[i].tag == block)
+            if (key_[i] == key)
                 return &lines_[i];
         }
         return nullptr;
@@ -97,14 +112,14 @@ class CacheArray
     victim(BlockAddr block)
     {
         auto [begin, end] = setRange(block);
-        LineT *lru = &lines_[begin];
+        std::uint64_t lru = begin;
         for (auto i = begin; i != end; ++i) {
-            if (!lines_[i].valid)
+            if (key_[i] == 0)
                 return &lines_[i];
-            if (lines_[i].lruStamp < lru->lruStamp)
-                lru = &lines_[i];
+            if (lru_[i] < lru_[lru])
+                lru = i;
         }
-        return lru;
+        return &lines_[lru];
     }
 
     /**
@@ -120,6 +135,9 @@ class CacheArray
         slot->tag = block;
         slot->valid = true;
         slot->lruStamp = ++stamp_;
+        const std::uint64_t i = indexOf(slot);
+        key_[i] = block + 1;
+        lru_[i] = slot->lruStamp;
     }
 
     /** Record an access for replacement purposes. */
@@ -127,6 +145,7 @@ class CacheArray
     touch(LineT *line)
     {
         line->lruStamp = ++stamp_;
+        lru_[indexOf(line)] = line->lruStamp;
     }
 
     /** Invalidate a line (slot becomes reusable). */
@@ -134,6 +153,9 @@ class CacheArray
     invalidate(LineT *line)
     {
         *line = LineT{};
+        const std::uint64_t i = indexOf(line);
+        key_[i] = 0;
+        lru_[i] = 0;
     }
 
     /** @return number of valid lines (walks the array; for stats). */
@@ -141,8 +163,8 @@ class CacheArray
     countValid() const
     {
         std::uint64_t n = 0;
-        for (const auto &l : lines_)
-            n += l.valid ? 1 : 0;
+        for (const std::uint64_t k : key_)
+            n += k ? 1 : 0;
         return n;
     }
 
@@ -163,6 +185,9 @@ class CacheArray
         auto [begin, end] = setRange(block);
         for (auto i = begin; i != end; ++i)
             fn(lines_[i]);
+        // The callback saw mutable lines; refresh this set's mirrors.
+        for (auto i = begin; i != end; ++i)
+            syncSlot(i);
     }
 
     /** Mutable iteration (e.g. bulk invalidation in tests). */
@@ -172,13 +197,24 @@ class CacheArray
     {
         for (auto &l : lines_)
             fn(l);
+        rebuildIndex();
     }
 
     const CacheGeometry &geometry() const { return geom_; }
 
+    /** Re-derive the lookup/LRU mirrors from lines_ after external
+     *  mutation (checkpoint restore writes lines_ directly). */
+    void
+    rebuildIndex()
+    {
+        for (std::uint64_t i = 0; i < lines_.size(); ++i)
+            syncSlot(i);
+    }
+
   private:
     /** Checkpoint layer restores slots index-exact (victim() choice
-     *  depends on slot order and lruStamp values). */
+     *  depends on slot order and lruStamp values); it must call
+     *  rebuildIndex() once the lines are in place. */
     friend struct CkptAccess;
 
     /** [begin, end) line indices of the set holding @p block. */
@@ -190,8 +226,25 @@ class CacheArray
         return {begin, begin + geom_.assoc};
     }
 
+    std::uint64_t
+    indexOf(const LineT *line) const
+    {
+        return static_cast<std::uint64_t>(line - lines_.data());
+    }
+
+    void
+    syncSlot(std::uint64_t i)
+    {
+        key_[i] = lines_[i].valid ? lines_[i].tag + 1 : 0;
+        lru_[i] = lines_[i].valid ? lines_[i].lruStamp : 0;
+    }
+
     CacheGeometry geom_;
     std::vector<LineT> lines_;
+    /** tag + 1 of valid lines, 0 otherwise (lookup/victim scan). */
+    std::vector<std::uint64_t> key_;
+    /** lruStamp mirror (victim scan). */
+    std::vector<std::uint64_t> lru_;
     std::uint64_t stamp_ = 0;
 };
 

@@ -32,6 +32,7 @@ enum class SimEventKind : std::uint8_t
     DirProcess,    ///< DirectorySlice at tile processes block
     MemDone,       ///< memory access done; msg is the Data reply
     WedgeCore,     ///< fault injection: wedge core `tile`
+    NetDeliver,    ///< ideal-network arrival (transport bypass)
 };
 
 /**
@@ -39,18 +40,36 @@ enum class SimEventKind : std::uint8_t
  * expressed as data plus an escape hatch (Opaque) holding a closure.
  * The System's executor switches on `kind` to re-dispatch into the
  * owning component; checkpoints refuse to serialize Opaque events.
+ *
+ * Ordering key: same-cycle events run sorted by (src, seq), where
+ * `src` names the scheduling source (tile id, or a virtual source for
+ * the network/system) and `seq` is that source's own monotonic
+ * counter. The key is assigned at schedule time by the source, never
+ * by the queue, so the canonical event order of a cycle is a pure
+ * function of machine state — independent of which engine (serial or
+ * tile-parallel) discovered the events, and stable across
+ * checkpoint/restore.
  */
 struct SimEvent
 {
     SimEventKind kind = SimEventKind::Opaque;
     CoreId tile = invalidCore; ///< owning component's tile
     BlockAddr block = 0;
+    std::int32_t src = -1;  ///< ordering key: scheduling source
+    std::uint64_t seq = 0;  ///< ordering key: per-source sequence
     Msg msg{};
     EventFn fn; ///< Opaque only
 
     SimEvent() = default;
     SimEvent(SimEventKind k, CoreId t, BlockAddr b) : kind(k), tile(t), block(b) {}
     SimEvent(SimEventKind k, Msg m) : kind(k), msg(std::move(m)) {}
+
+    /** Strict weak order of same-cycle events. */
+    static bool
+    keyLess(const SimEvent &a, const SimEvent &b)
+    {
+        return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+    }
 };
 
 /** Interface to the surrounding machine (clock, transport, mapping). */

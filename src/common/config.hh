@@ -216,6 +216,25 @@ struct MachineConfig
             CONSIM_FATAL("cores not divisible into groups");
         if (numMemCtrls < 1 || numMemCtrls > numCores())
             CONSIM_FATAL("bad number of memory controllers");
+        // Scale-out guard rails: several structures are sized for the
+        // paper's 16-core chip and fail subtly, not loudly, beyond it.
+        // Refuse such configs here with the specific item to fix.
+        if (coresPerGroup(sharing) > 16)
+            CONSIM_FATAL("sharing degree ", coresPerGroup(sharing),
+                         " exceeds 16: DirEntry::sharers and "
+                         "L2CacheLine::presence are 16-bit per-group "
+                         "core masks; widen them before scaling out");
+        if (numGroups() > 16)
+            CONSIM_FATAL(numGroups(), " L2 groups exceed 16: the "
+                         "directory's 24-bit per-VM block span "
+                         "(DirectoryStorage::vmSpanBits) and the "
+                         "group-contiguity tables assume at most the "
+                         "16-core chip's group count");
+        if (meshX < 2 || meshY < 2)
+            CONSIM_FATAL("mesh must be at least 2x2 (got ", meshX, "x",
+                         meshY, "): memory controllers sit on the four "
+                         "chip corners (System::mcTiles_), which "
+                         "degenerate on a 1-wide mesh");
     }
 };
 

@@ -1,9 +1,11 @@
 /**
  * @file
- * `consim.ckpt.v1` serializer: System::saveCheckpoint /
+ * `consim.ckpt.v2` serializer: System::saveCheckpoint /
  * System::restoreCheckpoint plus the protocol-message codec. See
  * checkpoint.hh for the document layout and the byte-identity
- * contract.
+ * contract. (v2 replaced the single event sequence counter with the
+ * per-source counters and per-event (src, seq) keys the parallel
+ * engine's deterministic merge is built on.)
  *
  * All component access goes through CkptAccess, the single friend
  * every stateful class declares. Conventions:
@@ -190,6 +192,9 @@ struct CkptAccess
             l.lruStamp = rec.at(2).asUint();
             extra(l, rec);
         }
+        // lines_ was written directly; re-derive the SoA mirrors that
+        // lookup()/victim() actually scan.
+        a.rebuildIndex();
     }
 
     static Value
@@ -216,40 +221,46 @@ struct CkptAccess
         struct Rec
         {
             Cycle when;
-            std::uint64_t seq;
             const SimEvent *ev;
         };
         std::vector<Rec> recs;
         s.events_.forEachPending(
-            s.now_,
-            [&](Cycle when, std::uint64_t seq, const SimEvent &ev) {
+            s.now_, [&](Cycle when, const SimEvent &ev) {
                 if (ev.kind == SimEventKind::Opaque)
                     throw SimError(
                         SimErrorKind::Invariant,
                         "cannot checkpoint: opaque event pending "
                         "(scheduled via the closure escape hatch)");
-                recs.push_back(Rec{when, seq, &ev});
+                recs.push_back(Rec{when, &ev});
             });
+        // Canonical (when, src, seq) order: the same machine state
+        // always serializes to the same text.
         std::sort(recs.begin(), recs.end(),
                   [](const Rec &a, const Rec &b) {
-                      return a.when != b.when ? a.when < b.when
-                                              : a.seq < b.seq;
+                      return a.when != b.when
+                                 ? a.when < b.when
+                                 : SimEvent::keyLess(*a.ev, *b.ev);
                   });
         Value pending = Value::array();
         for (const Rec &r : recs) {
             Value rec = Value::array();
             rec.push(cyclesJson(r.when));
-            rec.push(r.seq);
+            rec.push(r.ev->src);
+            rec.push(r.ev->seq);
             rec.push(static_cast<int>(r.ev->kind));
             rec.push(r.ev->tile);
             rec.push(static_cast<std::uint64_t>(r.ev->block));
             if (r.ev->kind == SimEventKind::Deliver ||
-                r.ev->kind == SimEventKind::MemDone)
+                r.ev->kind == SimEventKind::MemDone ||
+                r.ev->kind == SimEventKind::NetDeliver)
                 rec.push(msgToJson(r.ev->msg));
             pending.push(std::move(rec));
         }
+        Value seqs = Value::array();
+        for (std::uint64_t c : s.seqBySrc_)
+            seqs.push(c);
         Value v = Value::object();
-        v.set("seq", s.events_.seqCounter());
+        v.set("seq_by_src", std::move(seqs));
         v.set("executed", s.events_.executed());
         v.set("pending", std::move(pending));
         return v;
@@ -258,18 +269,23 @@ struct CkptAccess
     static void
     loadEvents(System &s, const Value &v)
     {
-        s.events_.setSeqCounter(get(v, "seq").asUint());
+        const Value &seqs = get(v, "seq_by_src");
+        CONSIM_ASSERT(seqs.size() == s.seqBySrc_.size(),
+                      "checkpoint: sequence-counter count mismatch");
+        for (std::size_t i = 0; i < s.seqBySrc_.size(); ++i)
+            s.seqBySrc_[i] = seqs.at(i).asUint();
         s.events_.setExecuted(get(v, "executed").asUint());
-        // Saved sorted by (when, seq), which restoreEvent requires.
         for (const Value &rec : get(v, "pending").items()) {
             SimEvent ev;
-            ev.kind = static_cast<SimEventKind>(asInt(rec.at(2)));
-            ev.tile = static_cast<CoreId>(asInt(rec.at(3)));
-            ev.block = rec.at(4).asUint();
-            if (rec.size() > 5)
-                ev.msg = msgFromJson(rec.at(5));
-            s.events_.restoreEvent(s.now_, rec.at(0).asUint(),
-                                   rec.at(1).asUint(), std::move(ev));
+            ev.src = static_cast<std::int32_t>(asInt(rec.at(1)));
+            ev.seq = rec.at(2).asUint();
+            ev.kind = static_cast<SimEventKind>(asInt(rec.at(3)));
+            ev.tile = static_cast<CoreId>(asInt(rec.at(4)));
+            ev.block = rec.at(5).asUint();
+            if (rec.size() > 6)
+                ev.msg = msgFromJson(rec.at(6));
+            s.events_.insertAbs(s.now_, rec.at(0).asUint(),
+                                std::move(ev));
         }
     }
 
@@ -864,11 +880,12 @@ struct CkptAccess
             const Footprint &fp = inst.footprint_;
             Value touched = Value::array();
             for (std::size_t i = 0; i < fp.touched_.size(); ++i) {
-                if (fp.touched_[i])
+                if (fp.touched_[i].load(std::memory_order_relaxed))
                     touched.push(static_cast<std::uint64_t>(i));
             }
             Value fpv = Value::object();
-            fpv.set("count", fp.count_);
+            fpv.set("count",
+                    fp.count_.load(std::memory_order_relaxed));
             fpv.set("touched", std::move(touched));
             Value e = Value::object();
             e.set("streams", std::move(streams));
@@ -909,15 +926,17 @@ struct CkptAccess
             }
             Footprint &fp = inst.footprint_;
             const Value &fpv = get(e, "footprint");
-            std::fill(fp.touched_.begin(), fp.touched_.end(), false);
+            for (auto &flag : fp.touched_)
+                flag.store(0, std::memory_order_relaxed);
             for (const Value &idx : get(fpv, "touched").items()) {
                 const std::uint64_t off = idx.asUint();
                 CONSIM_ASSERT(off < fp.touched_.size(),
                               "checkpoint: footprint index out of "
                               "range");
-                fp.touched_[off] = true;
+                fp.touched_[off].store(1, std::memory_order_relaxed);
             }
-            fp.count_ = get(fpv, "count").asUint();
+            fp.count_.store(get(fpv, "count").asUint(),
+                            std::memory_order_relaxed);
         }
     }
 
@@ -964,7 +983,7 @@ struct CkptAccess
         // and the sparse loaders rely on it.
         CONSIM_ASSERT(s.now_ == 0 && s.events_.empty(),
                       "restoreCheckpoint needs a fresh System");
-        // The clock must be set before events: restoreEvent checks
+        // The clock must be set before events: insertAbs checks
         // every due cycle against now.
         s.now_ = get(m, "cycle").asUint();
         loadEvents(s, get(m, "events"));
@@ -1004,7 +1023,7 @@ json::Value
 System::saveCheckpoint() const
 {
     json::Value doc = json::Value::object();
-    doc.set("schema", "consim.ckpt.v1");
+    doc.set("schema", "consim.ckpt.v2");
     doc.set("context", ckptCtx_);
     doc.set("machine", CkptAccess::saveMachine(*this));
     doc.set("vms", CkptAccess::saveVms(*this));
@@ -1016,8 +1035,10 @@ System::restoreCheckpoint(const json::Value &doc)
 {
     const json::Value *schema = doc.find("schema");
     CONSIM_ASSERT(schema != nullptr &&
-                      schema->str() == "consim.ckpt.v1",
-                  "not a consim.ckpt.v1 document");
+                      schema->str() == "consim.ckpt.v2",
+                  "not a consim.ckpt.v2 document (v1 checkpoints "
+                  "predate per-source event keys and cannot be "
+                  "resumed)");
     CkptAccess::loadMachine(*this, get(doc, "machine"));
     CkptAccess::loadVms(*this, get(doc, "vms"));
     // Operational knobs (watchdog, deadline, periodic snapshotting)

@@ -11,9 +11,17 @@
  * event with delay < ringCycles drops into bucket
  * `(now + delay) % ringCycles` in O(1). Rare longer delays (a backed
  * up memory controller, an oversized config) fall back to a binary
- * min-heap and are merged in seq order when their cycle arrives, so
- * ordering semantics are identical to the old priority queue: events
- * run in (when, seq) order, seq giving FIFO among same-cycle events.
+ * min-heap and are merged back when their cycle arrives.
+ *
+ * Ordering: events run in (when, src, seq) order — `src`/`seq` are
+ * the per-source key carried inside each SimEvent (see fabric.hh).
+ * runDue() gathers a cycle's due events into its bucket, sorts them
+ * once by key, and dispatches the whole batch in one tight loop, so
+ * ordering is a function of the keys alone (not of insertion order)
+ * and the dispatch loop amortizes the per-event bookkeeping. Sources
+ * with a single global key domain (the standalone `schedule`
+ * overloads used by tests) get FIFO semantics among same-cycle
+ * events, exactly like the old (when, schedule-order) queue.
  *
  * Events are typed SimEvents (see fabric.hh): plain data the
  * checkpoint layer can serialize, with an Opaque closure escape hatch
@@ -49,12 +57,27 @@ class CalendarQueue
      *  largest common delay (memLatency + margin). */
     static constexpr Cycle ringCycles = 256;
 
-    /** Schedule typed event @p ev to run @p delay cycles after @p now. */
+    /**
+     * Schedule typed event @p ev (whose src/seq key the caller has
+     * already assigned) to run @p delay cycles after @p now.
+     */
+    void
+    scheduleKeyed(Cycle now, Cycle delay, SimEvent ev)
+    {
+        CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
+        insert(now, now + delay, std::move(ev));
+    }
+
+    /**
+     * Schedule typed event @p ev, keying it from this queue's own
+     * auto counter (src stays -1). Standalone use only — a System
+     * assigns per-source keys itself and calls scheduleKeyed().
+     */
     void
     schedule(Cycle now, Cycle delay, SimEvent ev)
     {
-        CONSIM_ASSERT(delay >= 1, "zero-delay events are forbidden");
-        insertWithSeq(now, now + delay, seq_++, std::move(ev));
+        ev.seq = autoSeq_++;
+        scheduleKeyed(now, delay, std::move(ev));
     }
 
     /** Schedule a bare closure (wrapped as an Opaque event). */
@@ -67,46 +90,36 @@ class CalendarQueue
     }
 
     /**
-     * Run every event due at cycle @p now, in seq (FIFO) order,
+     * Run every event due at cycle @p now in (src, seq) order,
      * handing each to @p exec. Must be called once per cycle, cycles
      * ascending; events for a cycle that was skipped would otherwise
-     * fire `ringCycles` late.
+     * fire `ringCycles` late. Executors may schedule further events
+     * (delay >= 1 puts them past this bucket) but must not insert
+     * events due at @p now via insertAbs().
      */
     template <typename Exec>
     void
     runDue(Cycle now, Exec &&exec)
     {
         auto &bucket = ring_[now & mask_];
-        std::size_t i = 0;
-        // Merge the bucket (already seq-ascending: pushes are
-        // chronological and seq is global) with due overflow events.
-        while (true) {
-            const bool heapDue =
-                !overflow_.empty() && overflow_.front().when <= now;
-            if (heapDue) {
-                CONSIM_ASSERT(overflow_.front().when == now,
-                              "event missed its cycle");
-            }
-            if (i < bucket.size() &&
-                (!heapDue ||
-                 bucket[i].seq < overflow_.front().seq)) {
-                SimEvent ev = std::move(bucket[i].ev);
-                ++i;
-                --size_;
-                ++executed_;
-                exec(ev);
-            } else if (heapDue) {
-                std::pop_heap(overflow_.begin(), overflow_.end(),
-                              HeapEvent::later);
-                SimEvent ev = std::move(overflow_.back().ev);
-                overflow_.pop_back();
-                --size_;
-                ++executed_;
-                exec(ev);
-            } else {
-                break;
-            }
+        // Pull due overflow events into the bucket, then one sort
+        // puts the whole cycle into canonical key order.
+        while (!overflow_.empty() && overflow_.front().when <= now) {
+            CONSIM_ASSERT(overflow_.front().when == now,
+                          "event missed its cycle");
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          HeapEvent::later);
+            bucket.push_back(std::move(overflow_.back().ev));
+            overflow_.pop_back();
         }
+        if (bucket.size() > 1)
+            std::sort(bucket.begin(), bucket.end(), SimEvent::keyLess);
+        // Batched dispatch: size_/executed_ are updated once and the
+        // loop body is just the (inlined) executor call.
+        size_ -= bucket.size();
+        executed_ += bucket.size();
+        for (auto &e : bucket)
+            exec(e);
         bucket.clear();
     }
 
@@ -131,13 +144,13 @@ class CalendarQueue
      *  forward-progress watchdog diffs it across its interval). */
     std::uint64_t executed() const { return executed_; }
 
-    // --- checkpoint support ---
+    // --- checkpoint / scatter-gather support ---
 
     /**
-     * Walk every pending event as (when, seq, event). @p now must be
-     * the cycle runDue() would be called for next; the due cycle of
-     * ring events is recovered from it (bucket index b holds the
-     * unique cycle w in [now, now + ringCycles) with w % ring == b).
+     * Walk every pending event as (when, event). @p now must be the
+     * cycle runDue() would be called for next; the due cycle of ring
+     * events is recovered from it (bucket index b holds the unique
+     * cycle w in [now, now + ringCycles) with w % ring == b).
      */
     template <typename Fn>
     void
@@ -146,27 +159,45 @@ class CalendarQueue
         for (Cycle b = 0; b < ringCycles; ++b) {
             const Cycle when = now + ((b - now) & mask_);
             for (const auto &e : ring_[b])
-                fn(when, e.seq, e.ev);
+                fn(when, e);
         }
         for (const auto &e : overflow_)
-            fn(e.when, e.seq, e.ev);
+            fn(e.when, e.ev);
     }
 
     /**
-     * Re-insert a saved event. Events of one due cycle must be
-     * restored in ascending seq order (runDue's merge relies on it);
-     * restoring the whole set sorted by (when, seq) satisfies that.
+     * Move every pending event out as (when, event&&), leaving the
+     * queue empty (executed() is preserved). Same @p now contract as
+     * forEachPending().
      */
+    template <typename Fn>
     void
-    restoreEvent(Cycle now, Cycle when, std::uint64_t seq, SimEvent ev)
+    drainPending(Cycle now, Fn &&fn)
     {
-        CONSIM_ASSERT(when >= now, "restoring an overdue event");
-        insertWithSeq(now, when, seq, std::move(ev));
+        for (Cycle b = 0; b < ringCycles; ++b) {
+            const Cycle when = now + ((b - now) & mask_);
+            for (auto &e : ring_[b])
+                fn(when, std::move(e));
+            ring_[b].clear();
+        }
+        for (auto &e : overflow_)
+            fn(e.when, std::move(e.ev));
+        overflow_.clear();
+        size_ = 0;
     }
 
-    /** Event sequence counter (checkpointed for FIFO reproducibility). */
-    std::uint64_t seqCounter() const { return seq_; }
-    void setSeqCounter(std::uint64_t s) { seq_ = s; }
+    /**
+     * Insert an event due at an absolute cycle (>= @p now), its key
+     * already assigned: checkpoint restore and the parallel engine's
+     * scatter/merge. Any insertion order works — runDue() sorts.
+     */
+    void
+    insertAbs(Cycle now, Cycle when, SimEvent ev)
+    {
+        CONSIM_ASSERT(when >= now, "restoring an overdue event");
+        insert(now, when, std::move(ev));
+    }
+
     void setExecuted(std::uint64_t e) { executed_ = e; }
 
   private:
@@ -174,45 +205,37 @@ class CalendarQueue
     static_assert((ringCycles & mask_) == 0,
                   "ringCycles must be a power of two");
 
-    /** Ring entry: `when` is implied by the bucket index. */
-    struct RingEvent
-    {
-        std::uint64_t seq;
-        SimEvent ev;
-    };
-
     struct HeapEvent
     {
         Cycle when;
-        std::uint64_t seq;
         SimEvent ev;
 
         /** Min-heap comparator ("a due after b"). */
         static bool
         later(const HeapEvent &a, const HeapEvent &b)
         {
-            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return SimEvent::keyLess(b.ev, a.ev);
         }
     };
 
     void
-    insertWithSeq(Cycle now, Cycle when, std::uint64_t seq,
-                  SimEvent ev)
+    insert(Cycle now, Cycle when, SimEvent ev)
     {
         if (when - now < ringCycles) {
-            ring_[when & mask_].push_back(
-                RingEvent{seq, std::move(ev)});
+            ring_[when & mask_].push_back(std::move(ev));
         } else {
-            overflow_.push_back(HeapEvent{when, seq, std::move(ev)});
+            overflow_.push_back(HeapEvent{when, std::move(ev)});
             std::push_heap(overflow_.begin(), overflow_.end(),
                            HeapEvent::later);
         }
         ++size_;
     }
 
-    std::vector<RingEvent> ring_[ringCycles];
+    std::vector<SimEvent> ring_[ringCycles];
     std::vector<HeapEvent> overflow_; ///< min-heap via std heap ops
-    std::uint64_t seq_ = 0;
+    std::uint64_t autoSeq_ = 0; ///< key domain for standalone use
     std::size_t size_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -59,6 +59,15 @@ defaultCheckpointIntervalCycles()
     return envU64("CONSIM_CKPT", 0);
 }
 
+int
+defaultRunJobs()
+{
+    // Strict parse like CONSIM_JOBS: garbage is fatal, unset means
+    // serial. The count is clamped to the core count by the System.
+    const int jobs = envIntInRange("CONSIM_RUN_JOBS", 1, 4096, 0);
+    return jobs > 0 ? jobs : 1;
+}
+
 double
 RunResult::meanCyclesPerTxn(WorkloadKind kind) const
 {
@@ -340,6 +349,11 @@ armSystem(System &sys, const RunConfig &res)
         sys.setCycleDeadline(res.cycleDeadline);
     if (res.ckptEveryCycles != 0)
         sys.setCheckpointInterval(res.ckptEveryCycles);
+    // runJobs is resolved here, not in resolveConfig: it is a how-fast
+    // knob with no effect on results, so it must never leak into the
+    // checkpoint context (a resume may legally run with a different
+    // thread count than the original attempt).
+    sys.setRunJobs(res.runJobs ? res.runJobs : defaultRunJobs());
 }
 
 /** Experiment context embedded verbatim in periodic snapshots. */
@@ -497,8 +511,10 @@ RunResult
 resumeExperiment(const json::Value &ckpt)
 {
     const json::Value *schema = ckpt.find("schema");
-    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v1",
-                  "resume: not a consim.ckpt.v1 document");
+    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v2",
+                  "resume: not a consim.ckpt.v2 document (v1 snapshots "
+                  "predate per-source event keys and cannot be resumed "
+                  "deterministically)");
     const json::Value *ctxp = ckpt.find("context");
     CONSIM_ASSERT(ctxp && ctxp->find("config"),
                   "checkpoint has no experiment context (saved outside "

@@ -46,10 +46,16 @@ struct RunConfig
      *  SimError(Deadline) past this absolute cycle. 0 = none. */
     Cycle cycleDeadline = 0;
     /** Periodic checkpoint interval: keep a small ring of
-     *  `consim.ckpt.v1` snapshots every this many cycles and attach
+     *  `consim.ckpt.v2` snapshots every this many cycles and attach
      *  the most recent one to watchdog/deadline SimErrors. 0 = resolve
      *  from CONSIM_CKPT env, which defaults to off. */
     Cycle ckptEveryCycles = 0;
+    /** Worker threads for the tile-parallel event core (results are
+     *  byte-identical to serial for any value). 0 = resolve from
+     *  CONSIM_RUN_JOBS env, falling back to 1 (serial). Deliberately
+     *  NOT part of the run.v1 config echo or the checkpoint context:
+     *  it changes how a result is computed, never the result. */
+    int runJobs = 0;
 };
 
 /** Default warmup window (overridable via env CONSIM_WARMUP). */
@@ -63,6 +69,9 @@ Cycle defaultWatchdogIntervalCycles();
 
 /** Default checkpoint interval (CONSIM_CKPT env; 0 = off, the default). */
 Cycle defaultCheckpointIntervalCycles();
+
+/** Default run-jobs count (CONSIM_RUN_JOBS env; falls back to 1). */
+int defaultRunJobs();
 
 /** Metrics for one VM instance in one run. */
 struct VmResult
@@ -125,7 +134,7 @@ struct RunResult
 RunResult runExperiment(const RunConfig &cfg);
 
 /**
- * Recover the full RunConfig embedded in a `consim.ckpt.v1` document's
+ * Recover the full RunConfig embedded in a `consim.ckpt.v2` document's
  * experiment context, with the env-resolvable knobs (warmup, measure,
  * watchdog, checkpoint interval) restored to their as-configured
  * values — i.e. exactly the config originally passed to runExperiment,
@@ -135,7 +144,7 @@ RunResult runExperiment(const RunConfig &cfg);
 RunConfig configFromCheckpoint(const json::Value &ckpt);
 
 /**
- * Finish an interrupted run from a `consim.ckpt.v1` document produced
+ * Finish an interrupted run from a `consim.ckpt.v2` document produced
  * by runExperiment's periodic snapshotting: rebuild the System from
  * the embedded config, restore the machine state, and complete the
  * remaining warmup/measurement phases. Yields a RunResult — and hence

@@ -34,6 +34,8 @@
 namespace consim
 {
 
+class LockstepTeam;
+
 /** Chip-wide replication snapshot (paper Fig. 12). */
 struct ReplicationSnapshot
 {
@@ -92,19 +94,20 @@ class System : public Fabric
     System(const MachineConfig &cfg,
            std::vector<VirtualMachine *> vms,
            const std::vector<ThreadPlacement> &placements);
+    ~System() override;
 
     // --- Fabric interface ---
-    Cycle now() const override { return now_; }
+    /** Current cycle: the running tile lane's clock inside a
+     *  parallel window, the global clock otherwise. */
+    Cycle now() const override;
     void send(Msg m) override;
     void schedule(Cycle delay, EventFn fn) override;
     /** Typed events go straight into the calendar queue (the
-     *  fallback closure is dropped), keeping the queue serializable. */
-    void
-    scheduleEvent(SimEvent ev, Cycle delay, EventFn fallback) override
-    {
-        (void)fallback;
-        events_.schedule(now_, delay, std::move(ev));
-    }
+     *  fallback closure is dropped), keeping the queue serializable.
+     *  The event is keyed (src, seq) from its owning tile's
+     *  sequence counter. */
+    void scheduleEvent(SimEvent ev, Cycle delay,
+                       EventFn fallback) override;
     const MachineConfig &config() const override { return cfg_; }
     GroupId groupOfTile(CoreId tile) const override
     {
@@ -117,13 +120,7 @@ class System : public Fabric
     {
         return static_cast<VmId>(block >> vmSpanBits);
     }
-    Cycle memFaultExtraLatency() const override
-    {
-        return (memBurstArmed_ && now_ >= memBurstStart_ &&
-                now_ < memBurstEnd_)
-                   ? memBurstExtra_
-                   : 0;
-    }
+    Cycle memFaultExtraLatency() const override;
     void recordL2Access(VmId vm) override;
     void recordL2Miss(VmId vm, bool c2c, bool c2c_dirty) override;
     void recordL1Miss(VmId vm, Cycle latency) override;
@@ -137,6 +134,23 @@ class System : public Fabric
 
     /** Run for @p cycles cycles. */
     void run(Cycle cycles);
+
+    /**
+     * Worker threads for run(): 1 (the default) keeps the serial
+     * per-cycle loop; >1 enables the conservative-lookahead parallel
+     * engine, which partitions the chip into per-tile lanes, advances
+     * them in lock-step windows of windowCycles(), and exchanges
+     * cross-tile events only at window boundaries. Event keys
+     * (src, seq) make the merged order a pure function of machine
+     * state, so results are byte-identical to the serial engine.
+     * Clamped to [1, numCores]. Runs with a live drop-response fault
+     * or pending Opaque (closure) events fall back to serial.
+     */
+    void setRunJobs(int jobs);
+    int runJobs() const { return runJobs_; }
+
+    /** Lookahead window: the minimum cross-tile event latency. */
+    Cycle windowCycles() const { return window_; }
 
     /**
      * Tests: run until every queue drains or @p max_cycles elapse.
@@ -248,12 +262,13 @@ class System : public Fabric
      */
     json::Value diagJson(const std::string &reason) const;
 
-    // --- checkpoint / resume (`consim.ckpt.v1`) ---
+    // --- checkpoint / resume (`consim.ckpt.v2`) ---
 
     /**
      * Serialize the complete deterministic machine state (cycle,
-     * event queue, caches, transaction tables, NoC, RNG streams,
-     * stats registry) as a `consim.ckpt.v1` document. The embedded
+     * event queue with per-source ordering keys, caches, transaction
+     * tables, NoC, RNG streams, stats registry) as a
+     * `consim.ckpt.v2` document. The embedded
      * experiment context (setCheckpointContext) rides along so the
      * experiment layer can resume its warmup/measure loop. Throws
      * SimError(Invariant) if an Opaque event is pending.
@@ -300,6 +315,103 @@ class System : public Fabric
     /** Take a periodic snapshot into the ring. */
     void takeSnapshot();
 
+    // --- parallel engine (tile lanes) ---
+
+    /**
+     * Mesh ejection -> destination-unit handoff latency, applied in
+     * both engines: a packet ejected at cycle e is handled at
+     * e + netHandoffCycles. Modelling the NI->protocol handoff as a
+     * scheduled (NET-keyed) event is what lets the parallel engine
+     * replay the mesh lazily — the handoff bounds how far ahead of
+     * the mesh clock the tiles may run, so it must be >= the
+     * lookahead window.
+     */
+    static constexpr Cycle netHandoffCycles = 3;
+
+    /**
+     * One tile's private execution lane: its own clock, calendar
+     * queue, sequence counter for events sourced by this tile, and
+     * deferred side effects (cross-tile sends, mesh injections,
+     * shared-statistics deltas) the coordinator applies at window
+     * boundaries. Everything here is touched only by the lane's
+     * worker inside a window, only by the coordinator outside one.
+     */
+    struct TileLane
+    {
+        CoreId tile = 0;
+        Cycle now = 0;          ///< lane-local clock
+        std::uint64_t seq = 0;  ///< per-source counter for src==tile
+        CalendarQueue q;
+
+        /** Cross-tile event discovered mid-window; merged into the
+         *  destination lane at the next window boundary. */
+        struct Out
+        {
+            Cycle when;
+            SimEvent ev;
+        };
+        std::vector<Out> outbox;
+
+        /** Mesh injections logged for the coordinator's replay. */
+        std::vector<Msg> meshOut;
+        std::size_t meshOutHead = 0;
+
+        /** Deferred per-VM statistics (shared VmStats objects). */
+        struct VmDelta
+        {
+            std::uint64_t l2Accesses = 0;
+            std::uint64_t l2Misses = 0;
+            std::uint64_t c2cClean = 0;
+            std::uint64_t c2cDirty = 0;
+            std::uint64_t l1Misses = 0;
+            std::uint64_t transactions = 0;
+            std::uint64_t instructions = 0;
+            double missLatSum = 0.0;
+            std::uint64_t missLatCount = 0;
+        };
+        std::vector<VmDelta> vmDelta;
+
+        /** Deferred ideal-network (transport bypass) statistics. */
+        std::uint64_t netInjects = 0;
+        std::uint64_t netEjects = 0;
+        std::uint64_t netDataN = 0;
+        std::uint64_t netCtrlN = 0;
+        double netLatSum = 0.0;
+        double netDataSum = 0.0;
+        double netCtrlSum = 0.0;
+    };
+
+    /**
+     * The lane a worker thread is currently executing, or null on
+     * the coordinator / serial path. Fabric calls consult it so
+     * components need no notion of which engine is driving them:
+     * inside a parallel window, now() is the lane clock and every
+     * side effect lands in lane-local state; otherwise everything
+     * goes through the global structures exactly as before.
+     */
+    static thread_local TileLane *tlsLane_;
+
+    /** Derive the lookahead window from the machine config. */
+    Cycle computeWindow() const;
+    /** @return true when this run() may use the parallel engine. */
+    bool canRunParallel() const;
+    /** Build lanes_ / team_ on first parallel run(). */
+    void ensureLanes();
+    /** Tile whose lane executes @p ev. */
+    CoreId execTileOf(const SimEvent &ev) const;
+    /** Move pending global events into their lanes. */
+    void scatter();
+    /** Merge lanes back into global state (queue, seq, stats). */
+    void gather();
+    /** Replay the mesh serially up to (not including) @p target. */
+    void replayMeshTo(Cycle target);
+    /** Move window-boundary cross-tile events into their lanes. */
+    void mergeOutboxes();
+    /** Run one lane across the current window (worker threads). */
+    void laneRunWindow(TileLane &lane);
+    /** The parallel counterpart of run()'s chunked loop. */
+    void runParallel(Cycle cycles);
+
     /** Per-group bank lookup table with the modulo strength-reduced
      *  for power-of-two member counts (all standard sharing degrees). */
     struct GroupLut
@@ -332,6 +444,29 @@ class System : public Fabric
 
     Cycle now_ = 0;
     CalendarQueue events_;
+
+    /**
+     * Per-source sequence counters backing the (src, seq) event
+     * ordering keys: one per tile, then the network (netSrc_) and
+     * the system itself (sysSrc_). Both engines draw from the same
+     * counters in the same per-source order, which is what makes
+     * their event orders — and therefore their results — identical.
+     */
+    std::vector<std::uint64_t> seqBySrc_;
+    std::int32_t netSrc_ = 0;
+    std::int32_t sysSrc_ = 0;
+
+    // --- parallel-engine state ---
+    int runJobs_ = 1;
+    bool parallelActive_ = false; ///< lanes own the pending events
+    bool netBypass_ = false;      ///< ideal NoC modelled as events
+    Cycle window_ = 1;            ///< lookahead window width
+    Cycle netNow_ = 0;            ///< mesh replay position
+    Cycle netTickCycle_ = 0;      ///< cycle net_->tick() is running
+    Cycle windowStart_ = 0;       ///< current window [start, start+len)
+    Cycle windowLen_ = 0;
+    std::vector<std::unique_ptr<TileLane>> lanes_;
+    std::unique_ptr<LockstepTeam> team_;
 
     // --- hardening state ---
     FaultPlan faultPlan_;

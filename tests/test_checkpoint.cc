@@ -1,6 +1,6 @@
 /**
  * @file
- * Checkpoint/resume (`consim.ckpt.v1`) tests: resume byte-identity
+ * Checkpoint/resume (`consim.ckpt.v2`) tests: resume byte-identity
  * across every sharing degree and scheduling policy (including the
  * migration-boundary corner), watchdog-trip checkpoints under fault
  * injection, the sweep engine's resume-before-reseed retry ladder and

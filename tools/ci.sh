@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (full build + test suite), a checked-mode
-# pass (full suite with every runtime invariant checker enabled) plus
-# a fault-injection smoke over the whole catalog, an ASan+UBSan pass
-# over the whole tier-1 suite (memory safety of the registry, JSON
-# layer, and simulator core), plus a ThreadSanitizer pass over the
-# sweep engine's concurrency surface (thread pool + parallel sweep
-# determinism + event queue).
+# CI gate: tier-1 verify (full build + test suite), a parallel-run
+# determinism check (--run-jobs 4 must match serial byte-for-byte), a
+# checked-mode pass (full suite with every runtime invariant checker
+# enabled) plus a fault-injection smoke over the whole catalog, a
+# perf-regression smoke against the committed BENCH_*.json, an
+# ASan+UBSan pass over the whole tier-1 suite (memory safety of the
+# registry, JSON layer, and simulator core), plus a ThreadSanitizer
+# pass over the concurrency surface (thread pool + parallel sweep +
+# tile-parallel event core + event queue).
 #
 # Usage: tools/ci.sh [--skip-tsan] [--skip-asan] [--skip-checked]
+#                    [--skip-perf]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +18,13 @@ cd "$(dirname "$0")/.."
 skip_tsan=0
 skip_asan=0
 skip_checked=0
+skip_perf=0
 for arg in "$@"; do
     case "$arg" in
         --skip-tsan) skip_tsan=1 ;;
         --skip-asan) skip_asan=1 ;;
         --skip-checked) skip_checked=1 ;;
+        --skip-perf) skip_perf=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -29,6 +34,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "=== parallel-run determinism: --run-jobs 4 == serial ==="
+# The tile-parallel event core must reproduce the serial engine
+# byte-for-byte, envelope included (runJobs never enters the config
+# echo, so the documents are directly comparable).
+par_dir="$(mktemp -d)"
+trap 'rm -rf "$par_dir"' EXIT
+./build/tools/consim_run --mix "Mix 5" \
+    --warmup 300000 --measure 300000 \
+    --json "$par_dir/serial.json" >/dev/null
+./build/tools/consim_run --mix "Mix 5" \
+    --warmup 300000 --measure 300000 --run-jobs 4 \
+    --json "$par_dir/par.json" >/dev/null
+diff -u "$par_dir/serial.json" "$par_dir/par.json" || {
+    echo "parallel-run determinism: --run-jobs 4 diverged" >&2; exit 1; }
+echo "parallel-run determinism: envelopes byte-identical"
+
 echo "=== resume equivalence: interrupted+resumed == uninterrupted ==="
 # 2M simulated cycles, snapshot at 1M, deadline-trip at 1.1M, resume
 # from the snapshot: the result block of the resumed run must be
@@ -36,7 +57,7 @@ echo "=== resume equivalence: interrupted+resumed == uninterrupted ==="
 # differ — the tripped run carries the deadline knob — so compare from
 # the result object onward.)
 ckpt_dir="$(mktemp -d)"
-trap 'rm -rf "$ckpt_dir"' EXIT
+trap 'rm -rf "$ckpt_dir" "$par_dir"' EXIT
 ./build/tools/consim_run --vm tpcw --vm jbb \
     --warmup 1000000 --measure 1000000 --watchdog 200000 \
     --json "$ckpt_dir/full.json" >/dev/null
@@ -56,6 +77,30 @@ awk '/"result": \{/,0' "$ckpt_dir/resumed.json" >"$ckpt_dir/resumed.result"
 diff -u "$ckpt_dir/full.result" "$ckpt_dir/resumed.result" || {
     echo "resume equivalence: resumed result diverged" >&2; exit 1; }
 echo "resume equivalence: result blocks byte-identical"
+
+# Same contract with the tile-parallel engine on both sides: the
+# interrupted run snapshots from parallel windows (boundaries only),
+# and the resume itself runs parallel.
+if ./build/tools/consim_run --vm tpcw --vm jbb --run-jobs 4 \
+    --warmup 1000000 --measure 1000000 --watchdog 200000 \
+    --deadline 1100000 --ckpt-every 1000000 \
+    --ckpt-out "$ckpt_dir/trip-par.ckpt" >/dev/null 2>&1; then
+    echo "resume equivalence (parallel): deadline run unexpectedly succeeded" >&2
+    exit 1
+fi
+[[ -s "$ckpt_dir/trip-par.ckpt" ]] || {
+    echo "resume equivalence (parallel): no checkpoint written" >&2; exit 1; }
+diff -u "$ckpt_dir/trip.ckpt" "$ckpt_dir/trip-par.ckpt" || {
+    echo "resume equivalence (parallel): snapshot diverged from serial" >&2
+    exit 1; }
+./build/tools/consim_run --resume "$ckpt_dir/trip-par.ckpt" --run-jobs 4 \
+    --json "$ckpt_dir/resumed-par.json" >/dev/null
+awk '/"result": \{/,0' "$ckpt_dir/resumed-par.json" \
+    >"$ckpt_dir/resumed-par.result"
+diff -u "$ckpt_dir/full.result" "$ckpt_dir/resumed-par.result" || {
+    echo "resume equivalence (parallel): resumed result diverged" >&2
+    exit 1; }
+echo "resume equivalence (parallel): snapshots and results byte-identical"
 
 if [[ "$skip_checked" == 1 ]]; then
     echo "=== checked mode: skipped ==="
@@ -77,6 +122,36 @@ else
     echo "fault-injection smoke: all faults caught"
 fi
 
+if [[ "$skip_perf" == 1 ]]; then
+    echo "=== perf smoke: skipped ==="
+else
+    echo "=== perf smoke: throughput vs committed baseline ==="
+    # Single-sim throughput must stay within 15% of the most recent
+    # committed BENCH_*.json (wall-clock noise on shared runners is
+    # real, so the gate is deliberately loose — it catches order-of-
+    # magnitude regressions in the event core, not percent drift).
+    baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n1 || true)"
+    if [[ -z "$baseline" ]]; then
+        echo "perf smoke: no committed BENCH_*.json baseline; skipping"
+    else
+        ./build/bench/perf_smoke > "$ckpt_dir/perf.json"
+        base_cps="$(grep -o '"cycles_per_sec":[0-9]*' "$baseline" |
+            head -n1 | cut -d: -f2)"
+        new_cps="$(grep -o '"cycles_per_sec":[0-9]*' "$ckpt_dir/perf.json" |
+            head -n1 | cut -d: -f2)"
+        [[ -n "$base_cps" && -n "$new_cps" ]] || {
+            echo "perf smoke: cannot extract cycles_per_sec" >&2; exit 1; }
+        awk -v base="$base_cps" -v cur="$new_cps" 'BEGIN {
+            floor = base * 0.85;
+            printf "perf smoke: %s cycles/s vs baseline %s (floor %.0f)\n",
+                cur, base, floor;
+            exit (cur + 0 < floor) ? 1 : 0;
+        }' || {
+            echo "perf smoke: throughput dropped >15% vs $baseline" >&2
+            exit 1; }
+    fi
+fi
+
 if [[ "$skip_asan" == 1 ]]; then
     echo "=== asan+ubsan: skipped ==="
 else
@@ -91,11 +166,11 @@ if [[ "$skip_tsan" == 1 ]]; then
     exit 0
 fi
 
-echo "=== tsan: thread pool + parallel sweep determinism ==="
+echo "=== tsan: thread pool + parallel sweep + tile-parallel core ==="
 cmake -B build-tsan -S . -DCONSIM_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" \
-    --target test_determinism test_event_queue
+    --target test_determinism test_event_queue test_parallel_run
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'Determinism|CalendarQueue')
+    -R 'Determinism|CalendarQueue|ParallelRun')
 
 echo "=== ci.sh: all green ==="

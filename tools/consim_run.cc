@@ -25,14 +25,18 @@
  *     --deadline N             abort the point after N sim cycles
  *     --fault PLAN             inject faults, e.g.
  *                              "wedge:core=3,at=250000;drop:nth=800"
- *     --ckpt-every N           keep periodic consim.ckpt.v1 snapshots
+ *     --ckpt-every N           keep periodic consim.ckpt.v2 snapshots
  *                              every N cycles (0 disables; default
  *                              CONSIM_CKPT, off)
  *     --ckpt-out PATH          on failure, write the last pre-trip
  *                              snapshot to PATH (needs --ckpt-every)
- *     --resume PATH            resume a consim.ckpt.v1 snapshot; the
+ *     --resume PATH            resume a consim.ckpt.v2 snapshot; the
  *                              run config comes from the checkpoint
  *                              (exclusive with --mix/--vm/--seeds)
+ *     --run-jobs N             worker threads inside each simulation
+ *                              (tile-parallel event core; results are
+ *                              byte-identical to serial; default
+ *                              CONSIM_RUN_JOBS, 1)
  *     --csv                    machine-readable per-VM output
  *     --dump-stats             full component statistics dump
  *     --json PATH              write the consim.run.v1 JSON envelope
@@ -87,7 +91,8 @@ usage(const char *msg = nullptr)
         "       [--check off|basic|full] [--watchdog N] "
         "[--deadline N] [--fault PLAN]\n"
         "       [--ckpt-every N] [--ckpt-out PATH] [--resume PATH] "
-        "[--json PATH]\n";
+        "[--run-jobs N]\n"
+        "       [--json PATH]\n";
     std::exit(2);
 }
 
@@ -299,6 +304,9 @@ main(int argc, char **argv)
                 ::setenv("CONSIM_CKPT", "0", 1);
             else
                 cfg.ckptEveryCycles = n;
+        } else if (a == "--run-jobs") {
+            if (!parseIntInRange(next_arg(i), 1, 4096, cfg.runJobs))
+                usage("--run-jobs wants a count in 1..4096");
         } else if (a == "--ckpt-out") {
             ckpt_out = next_arg(i);
         } else if (a == "--resume") {
@@ -333,6 +341,13 @@ main(int argc, char **argv)
                   "(drop --dump-stats/--seeds)");
 
         consim::logging::setVerbose(false);
+
+        // runJobs never enters the checkpoint context, so thread the
+        // flag through the environment the resume driver resolves it
+        // from (a resume may use a different count than the original).
+        if (cfg.runJobs)
+            ::setenv("CONSIM_RUN_JOBS",
+                     std::to_string(cfg.runJobs).c_str(), 1);
 
         std::ifstream in(resume_path);
         if (!in) {
@@ -489,6 +504,7 @@ main(int argc, char **argv)
                                 : defaultWatchdogIntervalCycles());
     if (cfg.cycleDeadline != 0)
         sys.setCycleDeadline(cfg.cycleDeadline);
+    sys.setRunJobs(cfg.runJobs ? cfg.runJobs : defaultRunJobs());
     if (!cfg.faults.empty())
         sys.setFaultPlan(cfg.faults);
 
