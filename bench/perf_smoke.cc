@@ -20,7 +20,9 @@
  *    "host_cpus":N,"sim_cycles":...,"sim_wall_s":...,
  *    "cycles_per_sec":...,
  *    "run_jobs":[{"jobs":1,"wall_s":...,"cycles_per_sec":...,
- *                 "speedup_vs_serial":...},...],
+ *                 "speedup_vs_serial":...},...]
+ *      (or {"skipped":"single-cpu host"} when the host has fewer
+ *       than two CPUs and multi-worker timings would be noise),
  *    "sweep_configs":8,"sweep_serial_s":...,
  *    "sweep_parallel_s":...,"sweep_speedup":...,"jobs":N}
  */
@@ -106,6 +108,9 @@ main()
     // jobs=1 re-times the serial engine (the dispatch path, not the
     // lane machinery) so speedup_vs_serial starts from a fresh
     // same-process baseline rather than the cold-start run above.
+    // On a single-CPU host the multi-worker timings are pure
+    // scheduling noise, so the whole section is skipped and marked
+    // as such in the JSON.
     struct RunJobsPoint
     {
         int jobs;
@@ -113,9 +118,12 @@ main()
         double cps;
         double speedup;
     };
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool single_cpu = hw < 2;
     std::vector<RunJobsPoint> points;
     double base_wall = 0.0;
-    for (const int jobs : {1, 2, 4}) {
+    for (const int jobs : single_cpu ? std::vector<int>{}
+                                     : std::vector<int>{1, 2, 4}) {
         RunConfig cfg = single;
         cfg.runJobs = jobs;
         const auto s0 = std::chrono::steady_clock::now();
@@ -171,22 +179,27 @@ main()
     const double speedup =
         parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
-    const unsigned hw = std::thread::hardware_concurrency();
     std::printf(
         "{\"schema\":\"consim.bench.v1\",\"bench\":\"perf_smoke\","
         "\"host_cpus\":%u,\"sim_cycles\":%llu,"
-        "\"sim_wall_s\":%.3f,\"cycles_per_sec\":%.0f,\"run_jobs\":[",
+        "\"sim_wall_s\":%.3f,\"cycles_per_sec\":%.0f,\"run_jobs\":",
         hw ? hw : 1, static_cast<unsigned long long>(simulated),
         sim_wall, cps);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        std::printf("%s{\"jobs\":%d,\"wall_s\":%.3f,"
-                    "\"cycles_per_sec\":%.0f,"
-                    "\"speedup_vs_serial\":%.2f}",
-                    i ? "," : "", points[i].jobs, points[i].wall_s,
-                    points[i].cps, points[i].speedup);
+    if (single_cpu) {
+        std::printf("{\"skipped\":\"single-cpu host\"}");
+    } else {
+        std::printf("[");
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::printf("%s{\"jobs\":%d,\"wall_s\":%.3f,"
+                        "\"cycles_per_sec\":%.0f,"
+                        "\"speedup_vs_serial\":%.2f}",
+                        i ? "," : "", points[i].jobs, points[i].wall_s,
+                        points[i].cps, points[i].speedup);
+        }
+        std::printf("]");
     }
     std::printf(
-        "],\"sweep_configs\":%zu,\"sweep_serial_s\":%.3f,"
+        ",\"sweep_configs\":%zu,\"sweep_serial_s\":%.3f,"
         "\"sweep_parallel_s\":%.3f,\"sweep_speedup\":%.2f,"
         "\"jobs\":%d}\n",
         sweep.size(), serial_s, parallel_s, speedup, sweepJobs());

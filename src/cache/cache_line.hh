@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/coreset.hh"
 #include "common/types.hh"
 
 namespace consim
@@ -92,8 +93,8 @@ struct L2CacheLine : CacheLineBase
     L2State state = L2State::Invalid;
     bool dirty = false;          ///< modified relative to memory
     bool pinned = false;         ///< mid-eviction; not a victim candidate
-    std::uint16_t presence = 0;  ///< member-core L1 presence bitmask
-    std::int8_t ownerCore = -1;  ///< local index of L1 owner, -1 none
+    std::int16_t ownerCore = -1; ///< local index of L1 owner, -1 none
+    CoreSet presence;            ///< member-core L1 presence (local idx)
     VmId vm = invalidVm;         ///< owning virtual machine (for stats)
 };
 

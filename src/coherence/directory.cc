@@ -26,12 +26,6 @@ dirCacheGeometry(const MachineConfig &cfg)
     return g;
 }
 
-std::uint16_t
-bitOf(GroupId g)
-{
-    return static_cast<std::uint16_t>(1u << g);
-}
-
 } // namespace
 
 DirectorySlice::DirectorySlice(Fabric &fabric, CoreId tile,
@@ -144,8 +138,8 @@ DirectorySlice::processGetS(Txn &t, DirEntry &e)
       case L2State::Invalid:
         sendMemRead(t.req);
         e.state = L2State::Exclusive;
-        e.owner = static_cast<std::int8_t>(req);
-        e.sharers = bitOf(req);
+        e.owner = static_cast<std::int16_t>(req);
+        e.sharers = GroupSet::single(req);
         sendGrant(t, L2State::Exclusive, false);
         break;
       case L2State::Exclusive:
@@ -158,13 +152,14 @@ DirectorySlice::processGetS(Txn &t, DirEntry &e)
         ++stats_.forwards;
         t.fwdAckPending = true;
         e.state = L2State::Shared;
-        e.sharers = bitOf(owner) | bitOf(req);
+        e.sharers = GroupSet::single(owner);
+        e.sharers.set(req);
         e.owner = -1;
         sendGrant(t, L2State::Shared, false);
         break;
       }
       case L2State::Shared: {
-        CONSIM_ASSERT(!(e.sharers & bitOf(req)),
+        CONSIM_ASSERT(!e.sharers.test(req),
                       "sharer re-requesting GetS, block ", t.req.block);
         if (fab_.config().cleanForwarding) {
             const GroupId fwd = closestSharer(e.sharers, invalidGroup,
@@ -176,7 +171,7 @@ DirectorySlice::processGetS(Txn &t, DirEntry &e)
         } else {
             sendMemRead(t.req);
         }
-        e.sharers |= bitOf(req);
+        e.sharers.set(req);
         sendGrant(t, L2State::Shared, false);
         break;
       }
@@ -191,8 +186,8 @@ DirectorySlice::processGetM(Txn &t, DirEntry &e)
       case L2State::Invalid:
         sendMemRead(t.req);
         e.state = L2State::Modified;
-        e.owner = static_cast<std::int8_t>(req);
-        e.sharers = bitOf(req);
+        e.owner = static_cast<std::int16_t>(req);
+        e.sharers = GroupSet::single(req);
         sendGrant(t, L2State::Modified, false);
         break;
       case L2State::Exclusive:
@@ -205,20 +200,20 @@ DirectorySlice::processGetM(Txn &t, DirEntry &e)
         ++stats_.forwards;
         t.fwdAckPending = true;
         e.state = L2State::Modified;
-        e.owner = static_cast<std::int8_t>(req);
-        e.sharers = bitOf(req);
+        e.owner = static_cast<std::int16_t>(req);
+        e.sharers = GroupSet::single(req);
         sendGrant(t, L2State::Modified, false);
         break;
       }
       case L2State::Shared: {
-        const std::uint16_t others =
-            e.sharers & static_cast<std::uint16_t>(~bitOf(req));
-        const bool has_copy = (e.sharers & bitOf(req)) != 0;
-        if (others == 0) {
+        GroupSet others = e.sharers;
+        others.clear(req);
+        const bool has_copy = e.sharers.test(req);
+        if (others.none()) {
             // Requester is the sole sharer: silent data, pure grant.
             e.state = L2State::Modified;
-            e.owner = static_cast<std::int8_t>(req);
-            e.sharers = bitOf(req);
+            e.owner = static_cast<std::int16_t>(req);
+            e.sharers = GroupSet::single(req);
             sendGrant(t, L2State::Modified, true);
             break;
         }
@@ -231,16 +226,16 @@ DirectorySlice::processGetM(Txn &t, DirEntry &e)
             ++stats_.forwards;
             t.fwdAckPending = true;
         }
-        for (GroupId g = 0; g < 16; ++g) {
-            if (!(others & bitOf(g)) || g == fwd)
-                continue;
+        others.forEachSet([&](int g) {
+            if (g == fwd)
+                return;
             sendToBank(MsgType::Inv, g, t.req);
             ++stats_.invalidations;
             ++t.acksPending;
-        }
+        });
         e.state = L2State::Modified;
-        e.owner = static_cast<std::int8_t>(req);
-        e.sharers = bitOf(req);
+        e.owner = static_cast<std::int16_t>(req);
+        e.sharers = GroupSet::single(req);
         sendGrant(t, L2State::Modified, has_copy);
         break;
       }
@@ -260,11 +255,11 @@ DirectorySlice::processPut(Txn &t, DirEntry &e)
         if (is_put_m && t.req.dirtyData)
             sendMemWrite(t.req);
         e = DirEntry{};
-    } else if (e.state == L2State::Shared && (e.sharers & bitOf(g))) {
+    } else if (e.state == L2State::Shared && e.sharers.test(g)) {
         // A demoted owner's PutM degenerates to PutS; any dirty data
         // was already written back when the line was forwarded.
-        e.sharers &= static_cast<std::uint16_t>(~bitOf(g));
-        if (e.sharers == 0)
+        e.sharers.clear(g);
+        if (e.sharers.none())
             e = DirEntry{};
     }
     // Otherwise the Put is stale (the line moved on); just ack.
@@ -359,21 +354,21 @@ DirectorySlice::finishTxn(BlockAddr block)
 }
 
 GroupId
-DirectorySlice::closestSharer(std::uint16_t sharers, GroupId exclude,
+DirectorySlice::closestSharer(const GroupSet &sharers, GroupId exclude,
                               BlockAddr block, CoreId req_bank) const
 {
     GroupId best = invalidGroup;
     int best_dist = std::numeric_limits<int>::max();
-    for (GroupId g = 0; g < 16; ++g) {
-        if (!(sharers & bitOf(g)) || g == exclude)
-            continue;
+    sharers.forEachSet([&](int g) {
+        if (g == exclude)
+            return;
         const CoreId bank = fab_.bankTileFor(g, block);
         const int d = hopDistance(bank, req_bank, fab_.config().meshX);
         if (d < best_dist) {
             best_dist = d;
             best = g;
         }
-    }
+    });
     CONSIM_ASSERT(best != invalidGroup, "no sharer to pick");
     return best;
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * Global directory: SGI-Origin-style full-map directory tracking the
- * partition-level MESI state of every block, striped across the 16
+ * partition-level MESI state of every block, striped across the
  * tiles by block address (paper §IV-A). Each tile's DirectorySlice
  * serializes transactions per block (a blocking home) and owns a
  * directory cache; a directory-cache miss pays the off-chip latency
@@ -20,6 +20,7 @@
 #include "cache/cache_array.hh"
 #include "coherence/fabric.hh"
 #include "coherence/protocol.hh"
+#include "common/coreset.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
 
@@ -40,8 +41,8 @@ vmBaseBlock(VmId vm)
 struct DirEntry
 {
     L2State state = L2State::Invalid;
-    std::uint16_t sharers = 0; ///< bitmask over GroupIds
-    std::int8_t owner = -1;    ///< GroupId for E/M
+    std::int16_t owner = -1; ///< GroupId for E/M
+    GroupSet sharers;        ///< set of sharing GroupIds
 };
 
 /**
@@ -197,7 +198,7 @@ class DirectorySlice
     bool dirCacheAccess(BlockAddr block);
 
     /** Pick the sharer whose bank is closest to the requester. */
-    GroupId closestSharer(std::uint16_t sharers, GroupId exclude,
+    GroupId closestSharer(const GroupSet &sharers, GroupId exclude,
                           BlockAddr block, CoreId req_bank) const;
 
     void sendMemRead(const Msg &req);

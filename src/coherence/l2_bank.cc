@@ -199,17 +199,17 @@ L2Bank::grantLocal(const Msg &req, L2CacheLine *line)
                           line->state == L2State::Modified,
                       "write grant without partition ownership");
         // Invalidate every other member copy inside the partition.
-        for (int i = 0; i < groupSize_; ++i) {
-            if (i == req_idx || !(line->presence & bitOfIdx(i)))
-                continue;
+        line->presence.forEachSet([&](int i) {
+            if (i == req_idx)
+                return;
             sendL1(MsgType::L1Inv, members_[i], req.block, false);
             ++stats_.backInvals;
-        }
-        line->presence = bitOfIdx(req_idx);
-        line->ownerCore = static_cast<std::int8_t>(req_idx);
+        });
+        line->presence = CoreSet::single(req_idx);
+        line->ownerCore = static_cast<std::int16_t>(req_idx);
         line->state = L2State::Modified; // silent E->M upgrade
     } else {
-        line->presence |= bitOfIdx(req_idx);
+        line->presence.set(req_idx);
     }
     array_.touch(line);
 
@@ -322,7 +322,7 @@ L2Bank::onL1PutM(const Msg &m)
     if (L2CacheLine *line = array_.lookup(localOf(block))) {
         const int idx = idxOfCore(m.srcTile);
         line->dirty = true;
-        line->presence &= static_cast<std::uint16_t>(~bitOfIdx(idx));
+        line->presence.clear(idx);
         if (line->ownerCore == idx)
             line->ownerCore = -1;
         line_found = true;
@@ -401,10 +401,8 @@ L2Bank::handleExtractionData(BlockAddr txn_block)
         const bool is_write = t.req.type == MsgType::L1GetM;
         line->dirty = true;
         if (line->ownerCore >= 0) {
-            if (is_write) {
-                line->presence &= static_cast<std::uint16_t>(
-                    ~bitOfIdx(line->ownerCore));
-            }
+            if (is_write)
+                line->presence.clear(line->ownerCore);
             line->ownerCore = -1;
         }
         ++stats_.hits;
@@ -417,10 +415,8 @@ L2Bank::handleExtractionData(BlockAddr txn_block)
         CONSIM_ASSERT(line, "forward target vanished");
         line->dirty = true;
         if (line->ownerCore >= 0) {
-            if (t.req.type == MsgType::FwdGetM) {
-                line->presence &= static_cast<std::uint16_t>(
-                    ~bitOfIdx(line->ownerCore));
-            }
+            if (t.req.type == MsgType::FwdGetM)
+                line->presence.clear(line->ownerCore);
             line->ownerCore = -1;
         }
         const Msg fwd = t.req;
@@ -508,12 +504,10 @@ L2Bank::serveFwdFromLine(const Msg &m, L2CacheLine *line)
         line->dirty = false;
     } else {
         // FwdGetM: surrender the block entirely.
-        for (int i = 0; i < groupSize_; ++i) {
-            if (!(line->presence & bitOfIdx(i)))
-                continue;
+        line->presence.forEachSet([&](int i) {
             sendL1(MsgType::L1Inv, members_[i], m.block, false);
             ++stats_.backInvals;
-        }
+        });
         array_.invalidate(line);
     }
 }
@@ -558,12 +552,10 @@ L2Bank::onInv(const Msg &m)
         CONSIM_ASSERT(line, "Inv for absent block 0x", std::hex, block,
                       std::dec, " at tile ", tile_);
         CONSIM_ASSERT(line->ownerCore < 0, "Inv for owned line");
-        for (int i = 0; i < groupSize_; ++i) {
-            if (!(line->presence & bitOfIdx(i)))
-                continue;
+        line->presence.forEachSet([&](int i) {
             sendL1(MsgType::L1Inv, members_[i], block, false);
             ++stats_.backInvals;
-        }
+        });
         array_.invalidate(line);
     }
     Msg ack = makeMsg(MsgType::InvAck, block,
@@ -726,12 +718,10 @@ L2Bank::evictLineNow(L2CacheLine *line)
     CONSIM_ASSERT(line->valid && line->ownerCore < 0,
                   "evicting an owned line");
     const BlockAddr block = globalOf(line->tag);
-    for (int i = 0; i < groupSize_; ++i) {
-        if (!(line->presence & bitOfIdx(i)))
-            continue;
+    line->presence.forEachSet([&](int i) {
         sendL1(MsgType::L1Inv, members_[i], block, false);
         ++stats_.backInvals;
-    }
+    });
     const bool dirty = line->dirty;
     if (dirty)
         ++stats_.evictDirty;
@@ -816,13 +806,13 @@ L2Bank::checkInvariants() const
             return;
         // An owner must also be present.
         if (line.ownerCore >= 0) {
-            CONSIM_ASSERT(line.presence & bitOfIdx(line.ownerCore),
+            CONSIM_ASSERT(line.presence.test(line.ownerCore),
                           "owner without presence bit");
             CONSIM_ASSERT(line.state == L2State::Exclusive ||
                               line.state == L2State::Modified,
                           "L1 owner under a Shared partition line");
         }
-        CONSIM_ASSERT(popCount(line.presence) <= groupSize_,
+        CONSIM_ASSERT(line.presence.count() <= groupSize_,
                       "presence bits exceed group size");
         if (line.state == L2State::Shared)
             CONSIM_ASSERT(!line.dirty || true,

@@ -171,10 +171,6 @@ class L2Bank
     BlockAddr localOf(BlockAddr block) const;
     BlockAddr globalOf(BlockAddr local) const;
     int idxOfCore(CoreId core) const;
-    static std::uint16_t bitOfIdx(int idx)
-    {
-        return static_cast<std::uint16_t>(1u << idx);
-    }
 
     // --- message handlers ---
     void onL1Request(const Msg &m);

@@ -10,7 +10,7 @@
  *    forwards, L1Data/L1InvAck/L1WbData responses.
  *
  *  - Inter-group: an SGI-Origin-style full-map directory, striped
- *    across the 16 tiles by block address, tracks which partitions
+ *    across the tiles by block address, tracks which partitions
  *    hold each block (partition-granular MESI). The home forwards
  *    dirty requests to the owner partition and (optionally) clean
  *    requests to a sharer partition, producing the cache-to-cache

@@ -1,19 +1,26 @@
 /**
  * @file
- * Machine configuration for the consolidation CMP (paper Table III)
- * and the mapping from cores to L2 sharing groups.
+ * Machine configuration for the consolidation CMP and the mapping
+ * from cores to L2 sharing groups.
  *
- * The chip is a 4x4 mesh of tiles; each tile holds one in-order core,
- * private L0/L1 caches, one bank of its group's L2 partition, and one
- * slice of the global directory. The aggregate L2 is 16 MB regardless
- * of sharing degree:
+ * The chip is an X-by-Y mesh of tiles; each tile holds one in-order
+ * core, private L0/L1 caches, one bank of its group's L2 partition,
+ * and one slice of the global directory. The aggregate L2 capacity is
+ * fixed regardless of sharing degree: N cores in groups of K give
+ * N/K partitions of l2TotalBytes/(N/K) each.
+ *
+ * The default configuration is the paper's Table III machine — a
+ * 16-core 4x4 mesh with a 16 MB aggregate L2, whose five sharing
+ * degrees partition it as:
  *   - private:       16 groups x 1 MB
  *   - shared-2-way:   8 groups x 2 MB
  *   - shared-4-way:   4 groups x 4 MB
  *   - shared-8-way:   2 groups x 8 MB
  *   - fully shared:   1 group x 16 MB
- * Groups are geometrically contiguous on the mesh (pairs, quadrants,
- * halves) as depicted in Fig. 1 of the paper.
+ * Groups are geometrically contiguous rectangles on the mesh; at the
+ * 4x4 default these are exactly the pairs, quadrants, and halves
+ * depicted in Fig. 1 of the paper, and on larger meshes (8x4, 8x8,
+ * 16x8, ...) the same rule yields contiguous gx-by-gy blocks.
  */
 
 #ifndef CONSIM_COMMON_CONFIG_HH
@@ -21,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bitops.hh"
@@ -30,7 +38,14 @@
 namespace consim
 {
 
-/** Number of cores sharing one last-level-cache partition. */
+/**
+ * Number of cores sharing one last-level-cache partition.
+ *
+ * Parametric: any positive core count is a valid degree (construct
+ * one with sharingDegree(n)); the enumerators name the paper's five
+ * studied points. The int underlying type means arbitrary degrees
+ * round-trip through static_cast unchanged.
+ */
 enum class SharingDegree : int
 {
     Private = 1,
@@ -47,23 +62,24 @@ coresPerGroup(SharingDegree d)
     return static_cast<int>(d);
 }
 
-/** @return human-readable name, matching the paper's labels. */
+/** @return the degree with @p cores_per_group cores per partition. */
+constexpr SharingDegree
+sharingDegree(int cores_per_group)
+{
+    return static_cast<SharingDegree>(cores_per_group);
+}
+
+/** @return human-readable name, matching the paper's labels for the
+ *  five studied degrees and "shared-N-way" for any other N. */
 inline std::string
 toString(SharingDegree d)
 {
-    switch (d) {
-      case SharingDegree::Private:
+    const int n = coresPerGroup(d);
+    if (n == 1)
         return "private";
-      case SharingDegree::Shared2:
-        return "shared-2-way";
-      case SharingDegree::Shared4:
-        return "shared-4-way";
-      case SharingDegree::Shared8:
-        return "shared-8-way";
-      case SharingDegree::Shared16:
+    if (n == 16)
         return "fully-shared";
-    }
-    return "?";
+    return "shared-" + std::to_string(n) + "-way";
 }
 
 /** Hypervisor thread-to-core scheduling policy (paper §III-D). */
@@ -160,30 +176,55 @@ struct MachineConfig
         return l2TotalBytes / static_cast<std::uint64_t>(numGroups());
     }
 
-    /** @return the group a core belongs to (contiguous grouping). */
+    /**
+     * Shape of one contiguous group rectangle on the mesh: gx-by-gy
+     * tiles with gx*gy == coresPerGroup, gx | meshX, gy | meshY.
+     *
+     * Among the valid factorizations the widest shape no taller than
+     * it is wide wins (gx >= gy, smallest such gx); when every valid
+     * shape is taller than wide, the widest one wins. On the 4x4 mesh
+     * this reproduces the paper's Fig. 1 groupings exactly: degree 2
+     * picks 2x1 horizontal pairs, degree 4 the 2x2 quadrants, degree
+     * 8 the 4x2 halves, degree 16 the full chip.
+     *
+     * @return {gx, gy}, or {0, 0} when no tiling exists (validate()
+     * turns that into a fatal config error).
+     */
+    std::pair<int, int>
+    groupTileShape() const
+    {
+        const int cpg = coresPerGroup(sharing);
+        int best_gx = 0, best_gy = 0;
+        for (int gx = 1; gx <= cpg; ++gx) {
+            if (cpg % gx != 0)
+                continue;
+            const int gy = cpg / gx;
+            if (gx > meshX || gy > meshY || meshX % gx != 0 ||
+                meshY % gy != 0) {
+                continue;
+            }
+            best_gx = gx;
+            best_gy = gy;
+            if (gx >= gy)
+                break; // smallest gx with gx >= gy
+        }
+        return {best_gx, best_gy};
+    }
+
+    /** @return the group a core belongs to (contiguous rectangular
+     *  grouping; see groupTileShape()). */
     GroupId
     groupOfCore(CoreId core) const
     {
         CONSIM_ASSERT(core >= 0 && core < numCores(), "bad core ", core);
-        switch (sharing) {
-          case SharingDegree::Private:
-            return core;
-          case SharingDegree::Shared2:
-            // horizontally adjacent pairs
-            return core / 2;
-          case SharingDegree::Shared4: {
-            // 2x2 quadrants on the 4x4 mesh
-            const int x = core % meshX;
-            const int y = core / meshX;
-            return (y / 2) * 2 + (x / 2);
-          }
-          case SharingDegree::Shared8:
-            // top half / bottom half
-            return core / 8;
-          case SharingDegree::Shared16:
-            return 0;
-        }
-        return invalidGroup;
+        const auto [gx, gy] = groupTileShape();
+        CONSIM_ASSERT(gx > 0, "no contiguous ",
+                      coresPerGroup(sharing), "-core group tiling of a ",
+                      meshX, "x", meshY, " mesh (validate() rejects "
+                      "such configs)");
+        const int x = core % meshX;
+        const int y = core / meshX;
+        return (y / gy) * (meshX / gx) + (x / gx);
     }
 
     /** @return the member cores of a group, ascending. */
@@ -203,33 +244,40 @@ struct MachineConfig
     void
     validate() const
     {
-        if (!isPow2(l0Bytes) || !isPow2(l1Bytes) || !isPow2(l2TotalBytes))
-            CONSIM_FATAL("cache sizes must be powers of two");
-        if (meshX != 4 || meshY != 4) {
-            if (sharing != SharingDegree::Private &&
-                sharing != SharingDegree::Shared16) {
-                CONSIM_FATAL("contiguous grouping is defined for the "
-                             "4x4 mesh only");
-            }
-        }
-        if (numCores() % coresPerGroup(sharing) != 0)
+        if (!isPow2(l0Bytes) || !isPow2(l1Bytes))
+            CONSIM_FATAL("private cache sizes must be powers of two");
+        // The aggregate L2 is striped one bank per tile; every bank
+        // must hold a whole number of sets. Indexing is modulo-based
+        // throughout, so the total need not be a power of two (a
+        // 6x6 chip legitimately wants a 36-divisible aggregate).
+        const std::uint64_t bank_quantum =
+            static_cast<std::uint64_t>(numCores()) *
+            static_cast<std::uint64_t>(blockBytes) *
+            static_cast<std::uint64_t>(l2Assoc);
+        if (l2TotalBytes == 0 || l2TotalBytes % bank_quantum != 0)
+            CONSIM_FATAL("aggregate L2 (", l2TotalBytes, " bytes) must "
+                         "split into one bank per tile holding whole ",
+                         l2Assoc, "-way sets: want a multiple of ",
+                         bank_quantum, " bytes for a ", numCores(),
+                         "-core chip");
+        const int cpg = coresPerGroup(sharing);
+        if (cpg < 1 || cpg > numCores())
+            CONSIM_FATAL("sharing degree ", cpg, " out of range for a ",
+                         numCores(), "-core chip (want 1..", numCores(),
+                         ")");
+        if (numCores() % cpg != 0)
             CONSIM_FATAL("cores not divisible into groups");
-        if (numMemCtrls < 1 || numMemCtrls > numCores())
-            CONSIM_FATAL("bad number of memory controllers");
-        // Scale-out guard rails: several structures are sized for the
-        // paper's 16-core chip and fail subtly, not loudly, beyond it.
-        // Refuse such configs here with the specific item to fix.
-        if (coresPerGroup(sharing) > 16)
-            CONSIM_FATAL("sharing degree ", coresPerGroup(sharing),
-                         " exceeds 16: DirEntry::sharers and "
-                         "L2CacheLine::presence are 16-bit per-group "
-                         "core masks; widen them before scaling out");
-        if (numGroups() > 16)
-            CONSIM_FATAL(numGroups(), " L2 groups exceed 16: the "
-                         "directory's 24-bit per-VM block span "
-                         "(DirectoryStorage::vmSpanBits) and the "
-                         "group-contiguity tables assume at most the "
-                         "16-core chip's group count");
+        if (groupTileShape().first == 0)
+            CONSIM_FATAL("no contiguous grouping: ", cpg,
+                         "-core groups do not tile a ", meshX, "x",
+                         meshY, " mesh as gx-by-gy rectangles (need "
+                         "gx*gy == ", cpg, " with gx dividing ", meshX,
+                         " and gy dividing ", meshY, "); pick a degree "
+                         "whose factors divide the mesh dimensions");
+        if (numMemCtrls < 1 || numMemCtrls > 4)
+            CONSIM_FATAL("bad number of memory controllers (",
+                         numMemCtrls, "): controllers sit at distinct "
+                         "mesh corners, so 1..4 are supported");
         if (meshX < 2 || meshY < 2)
             CONSIM_FATAL("mesh must be at least 2x2 (got ", meshX, "x",
                          meshY, "): memory controllers sit on the four "

@@ -3,11 +3,14 @@
  * Fundamental scalar types and chip-wide constants for the consim
  * server-consolidation CMP simulator.
  *
- * The machine modelled throughout the library follows Table III of
- * Enright Jerger et al., "An Evaluation of Server Consolidation
- * Workloads for Multi-Core Designs" (IISWC 2007): a 16-core CMP on a
- * 4x4 mesh with private L0/L1 caches and a 16 MB aggregate L2 whose
- * sharing degree is configurable.
+ * The machine modelled throughout the library is a parametric tiled
+ * CMP: an X-by-Y mesh of cores with private L0/L1 caches and a
+ * shared-capacity L2 whose sharing degree is configurable. The
+ * default configuration follows Table III of Enright Jerger et al.,
+ * "An Evaluation of Server Consolidation Workloads for Multi-Core
+ * Designs" (IISWC 2007) — a 16-core CMP on a 4x4 mesh with a 16 MB
+ * aggregate L2 — but core count, mesh geometry, and group size scale
+ * beyond it (see MachineConfig).
  */
 
 #ifndef CONSIM_COMMON_TYPES_HH

@@ -1,6 +1,6 @@
 /**
  * @file
- * `consim.ckpt.v2` serializer: System::saveCheckpoint /
+ * `consim.ckpt.v3` serializer: System::saveCheckpoint /
  * System::restoreCheckpoint plus the protocol-message codec. See
  * checkpoint.hh for the document layout and the byte-identity
  * contract. (v2 replaced the single event sequence counter with the
@@ -83,6 +83,27 @@ Value
 cyclesJson(Cycle c)
 {
     return Value(static_cast<std::uint64_t>(c));
+}
+
+/** Sharer/presence sets serialize as trimmed little-endian word
+ *  arrays, so the document layout is independent of machine width. */
+Value
+coreSetJson(const CoreSet &s)
+{
+    Value v = Value::array();
+    for (const std::uint64_t w : s.words())
+        v.push(w);
+    return v;
+}
+
+CoreSet
+coreSetFromJson(const Value &v)
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(v.size());
+    for (const Value &w : v.items())
+        words.push_back(w.asUint());
+    return CoreSet::fromWords(words);
 }
 
 } // namespace
@@ -399,7 +420,7 @@ struct CkptAccess
             rec.push(static_cast<int>(l.state));
             rec.push(l.dirty);
             rec.push(l.pinned);
-            rec.push(static_cast<unsigned>(l.presence));
+            rec.push(coreSetJson(l.presence));
             rec.push(static_cast<int>(l.ownerCore));
             rec.push(l.vm);
         });
@@ -412,9 +433,8 @@ struct CkptAccess
             l.state = static_cast<L2State>(asInt(rec.at(3)));
             l.dirty = rec.at(4).boolean();
             l.pinned = rec.at(5).boolean();
-            l.presence =
-                static_cast<std::uint16_t>(rec.at(6).asUint());
-            l.ownerCore = static_cast<std::int8_t>(asInt(rec.at(7)));
+            l.presence = coreSetFromJson(rec.at(6));
+            l.ownerCore = static_cast<std::int16_t>(asInt(rec.at(7)));
             l.vm = static_cast<VmId>(asInt(rec.at(8)));
         });
     }
@@ -599,13 +619,13 @@ struct CkptAccess
         Value v = Value::array();
         // forEach walks (vm, offset) ascending: deterministic order.
         st.forEach([&](BlockAddr block, const DirEntry &e) {
-            if (e.state == L2State::Invalid && e.sharers == 0 &&
+            if (e.state == L2State::Invalid && e.sharers.none() &&
                 e.owner == -1)
                 return;
             Value rec = Value::array();
             rec.push(static_cast<std::uint64_t>(block));
             rec.push(static_cast<int>(e.state));
-            rec.push(static_cast<unsigned>(e.sharers));
+            rec.push(coreSetJson(e.sharers));
             rec.push(static_cast<int>(e.owner));
             v.push(std::move(rec));
         });
@@ -620,9 +640,8 @@ struct CkptAccess
         for (const Value &rec : v.items()) {
             DirEntry e;
             e.state = static_cast<L2State>(asInt(rec.at(1)));
-            e.sharers =
-                static_cast<std::uint16_t>(rec.at(2).asUint());
-            e.owner = static_cast<std::int8_t>(asInt(rec.at(3)));
+            e.sharers = coreSetFromJson(rec.at(2));
+            e.owner = static_cast<std::int16_t>(asInt(rec.at(3)));
             st.entry(rec.at(0).asUint()) = e;
         }
     }
@@ -946,6 +965,13 @@ struct CkptAccess
     saveMachine(const System &s)
     {
         Value m = Value::object();
+        // Mesh geometry is in the document (not just the context) so
+        // a restore can sanity-check the rebuilt machine's shape
+        // against the snapshot before walking any per-tile arrays.
+        Value mesh = Value::array();
+        mesh.push(s.cfg_.meshX);
+        mesh.push(s.cfg_.meshY);
+        m.set("mesh", std::move(mesh));
         m.set("cycle", cyclesJson(s.now_));
         m.set("events", saveEvents(s));
         Value cores = Value::array();
@@ -983,6 +1009,15 @@ struct CkptAccess
         // and the sparse loaders rely on it.
         CONSIM_ASSERT(s.now_ == 0 && s.events_.empty(),
                       "restoreCheckpoint needs a fresh System");
+        const Value &mesh = get(m, "mesh");
+        CONSIM_ASSERT(static_cast<int>(asInt(mesh.at(0))) ==
+                              s.cfg_.meshX &&
+                          static_cast<int>(asInt(mesh.at(1))) ==
+                              s.cfg_.meshY,
+                      "checkpoint: mesh geometry mismatch (snapshot ",
+                      asInt(mesh.at(0)), "x", asInt(mesh.at(1)),
+                      ", machine ", s.cfg_.meshX, "x", s.cfg_.meshY,
+                      ")");
         // The clock must be set before events: insertAbs checks
         // every due cycle against now.
         s.now_ = get(m, "cycle").asUint();
@@ -1023,7 +1058,7 @@ json::Value
 System::saveCheckpoint() const
 {
     json::Value doc = json::Value::object();
-    doc.set("schema", "consim.ckpt.v2");
+    doc.set("schema", "consim.ckpt.v3");
     doc.set("context", ckptCtx_);
     doc.set("machine", CkptAccess::saveMachine(*this));
     doc.set("vms", CkptAccess::saveVms(*this));
@@ -1035,10 +1070,14 @@ System::restoreCheckpoint(const json::Value &doc)
 {
     const json::Value *schema = doc.find("schema");
     CONSIM_ASSERT(schema != nullptr &&
-                      schema->str() == "consim.ckpt.v2",
-                  "not a consim.ckpt.v2 document (v1 checkpoints "
-                  "predate per-source event keys and cannot be "
-                  "resumed)");
+                      schema->str() == "consim.ckpt.v3",
+                  "not a consim.ckpt.v3 document (v1 checkpoints "
+                  "predate per-source event keys; v2 checkpoints "
+                  "encode sharer/presence state as fixed 16-bit "
+                  "masks, which the parametric scale model replaced "
+                  "with variable-width word arrays — neither can be "
+                  "restored; re-run the original configuration to "
+                  "take a fresh snapshot)");
     CkptAccess::loadMachine(*this, get(doc, "machine"));
     CkptAccess::loadVms(*this, get(doc, "vms"));
     // Operational knobs (watchdog, deadline, periodic snapshotting)

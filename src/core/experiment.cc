@@ -188,10 +188,9 @@ machineFromCtx(const json::Value &v)
     m.l2Assoc = ctxInt(v, "l2_assoc");
     m.l2Latency = ctxInt(v, "l2_latency");
     const int sharing = ctxInt(v, "sharing");
-    CONSIM_ASSERT(sharing == 1 || sharing == 2 || sharing == 4 ||
-                      sharing == 8 || sharing == 16,
+    CONSIM_ASSERT(sharing >= 1 && sharing <= m.meshX * m.meshY,
                   "checkpoint context: bad sharing degree ", sharing);
-    m.sharing = static_cast<SharingDegree>(sharing);
+    m.sharing = sharingDegree(sharing);
     m.memLatency = ctxInt(v, "mem_latency");
     m.numMemCtrls = ctxInt(v, "num_mem_ctrls");
     m.memIssueInterval = ctxInt(v, "mem_issue_interval");
@@ -221,6 +220,10 @@ configCtxJson(const RunConfig &res, const RunConfig &raw)
     for (WorkloadKind k : res.workloads)
         wl.push(static_cast<int>(k));
     v.set("workloads", std::move(wl));
+    auto vt = json::Value::array();
+    for (int t : res.vmThreads)
+        vt.push(t);
+    v.set("vm_threads", std::move(vt));
     v.set("policy", static_cast<int>(res.policy));
     v.set("seed", res.seed);
     v.set("warmup_cycles", res.warmupCycles);
@@ -252,6 +255,8 @@ configFromCtx(const json::Value &v)
                       "checkpoint context: bad workload kind ", k);
         cfg.workloads.push_back(static_cast<WorkloadKind>(k));
     }
+    for (const auto &t : ctxGet(v, "vm_threads").items())
+        cfg.vmThreads.push_back(static_cast<int>(t.number()));
     const int pol = ctxInt(v, "policy");
     CONSIM_ASSERT(pol >= 0 && pol <= 3,
                   "checkpoint context: bad scheduling policy ", pol);
@@ -304,14 +309,21 @@ ExperimentRig
 buildRig(const RunConfig &cfg)
 {
     ExperimentRig rig;
+    CONSIM_ASSERT(cfg.vmThreads.empty() ||
+                      cfg.vmThreads.size() == cfg.workloads.size(),
+                  "vmThreads must be empty or give one entry per VM (",
+                  cfg.vmThreads.size(), " entries for ",
+                  cfg.workloads.size(), " VMs)");
     std::vector<int> threads_per_vm;
     for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
         const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        const int nthreads =
+            i < cfg.vmThreads.size() ? cfg.vmThreads[i] : 0;
         rig.storage.push_back(std::make_unique<VirtualMachine>(
             prof, static_cast<VmId>(i),
-            cfg.seed * 1000003ull + i * 7919ull));
+            cfg.seed * 1000003ull + i * 7919ull, nthreads));
         rig.vms.push_back(rig.storage.back().get());
-        threads_per_vm.push_back(prof.numThreads);
+        threads_per_vm.push_back(rig.storage.back()->numThreads());
     }
     rig.placements = scheduleThreads(cfg.machine, threads_per_vm,
                                      cfg.policy, cfg.seed);
@@ -511,10 +523,14 @@ RunResult
 resumeExperiment(const json::Value &ckpt)
 {
     const json::Value *schema = ckpt.find("schema");
-    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v2",
-                  "resume: not a consim.ckpt.v2 document (v1 snapshots "
-                  "predate per-source event keys and cannot be resumed "
-                  "deterministically)");
+    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v3",
+                  "resume: not a consim.ckpt.v3 document (v1 snapshots "
+                  "predate per-source event keys; v2 snapshots encode "
+                  "sharer/presence state as fixed 16-bit masks, which "
+                  "the parametric scale model replaced with "
+                  "variable-width word arrays — neither can be resumed; "
+                  "re-run the original configuration to take a fresh "
+                  "snapshot)");
     const json::Value *ctxp = ckpt.find("context");
     CONSIM_ASSERT(ctxp && ctxp->find("config"),
                   "checkpoint has no experiment context (saved outside "
@@ -649,6 +665,7 @@ mixConfig(const Mix &mix, SchedPolicy policy, SharingDegree sharing)
     RunConfig cfg;
     cfg.machine.sharing = sharing;
     cfg.workloads = mix.vms;
+    cfg.vmThreads = mix.threads;
     cfg.policy = policy;
     return cfg;
 }

@@ -28,6 +28,11 @@ struct RunConfig
 {
     MachineConfig machine;
     std::vector<WorkloadKind> workloads; ///< one entry per VM
+    /** Per-VM thread-count overrides for heterogeneous mixes. Empty =
+     *  profile defaults for every VM; otherwise one entry per VM,
+     *  where 0 keeps that VM's profile default. Echoed in the run.v1
+     *  config only when non-empty (envelope byte-stability). */
+    std::vector<int> vmThreads;
     SchedPolicy policy = SchedPolicy::Affinity;
     std::uint64_t seed = 1;
     Cycle warmupCycles = 0;  ///< 0 = library default
@@ -46,7 +51,7 @@ struct RunConfig
      *  SimError(Deadline) past this absolute cycle. 0 = none. */
     Cycle cycleDeadline = 0;
     /** Periodic checkpoint interval: keep a small ring of
-     *  `consim.ckpt.v2` snapshots every this many cycles and attach
+     *  `consim.ckpt.v3` snapshots every this many cycles and attach
      *  the most recent one to watchdog/deadline SimErrors. 0 = resolve
      *  from CONSIM_CKPT env, which defaults to off. */
     Cycle ckptEveryCycles = 0;
@@ -134,7 +139,7 @@ struct RunResult
 RunResult runExperiment(const RunConfig &cfg);
 
 /**
- * Recover the full RunConfig embedded in a `consim.ckpt.v2` document's
+ * Recover the full RunConfig embedded in a `consim.ckpt.v3` document's
  * experiment context, with the env-resolvable knobs (warmup, measure,
  * watchdog, checkpoint interval) restored to their as-configured
  * values — i.e. exactly the config originally passed to runExperiment,
@@ -144,7 +149,7 @@ RunResult runExperiment(const RunConfig &cfg);
 RunConfig configFromCheckpoint(const json::Value &ckpt);
 
 /**
- * Finish an interrupted run from a `consim.ckpt.v2` document produced
+ * Finish an interrupted run from a `consim.ckpt.v3` document produced
  * by runExperiment's periodic snapshotting: rebuild the System from
  * the embedded config, restore the machine state, and complete the
  * remaining warmup/measurement phases. Yields a RunResult — and hence

@@ -22,6 +22,10 @@ struct Mix
 {
     std::string name;
     std::vector<WorkloadKind> vms;
+    /** Per-VM thread counts for heterogeneous consolidation (e.g.
+     *  2/4/8-thread VMs on a scaled-out chip). Empty = every VM runs
+     *  its profile's default; a 0 entry = that VM's default. */
+    std::vector<int> threads;
 
     /** @return instance count of a workload in this mix. */
     int count(WorkloadKind k) const;

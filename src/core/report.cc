@@ -146,6 +146,14 @@ toJson(const RunConfig &cfg)
     for (const auto kind : cfg.workloads)
         workloads.push(toString(kind));
     v.set("workloads", std::move(workloads));
+    // Heterogeneous thread counts are echoed only when configured,
+    // keeping the default envelope byte-stable across versions.
+    if (!cfg.vmThreads.empty()) {
+        auto vm_threads = json::Value::array();
+        for (const int t : cfg.vmThreads)
+            vm_threads.push(t);
+        v.set("vm_threads", std::move(vm_threads));
+    }
     v.set("policy", toString(cfg.policy));
     v.set("seed", cfg.seed);
     v.set("warmup_cycles", cfg.warmupCycles);

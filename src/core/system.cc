@@ -26,7 +26,7 @@ System::System(const MachineConfig &cfg,
                           vms_[i]->id() == static_cast<VmId>(i),
                       "VM ids must be dense and ordered");
         dirStorage_.registerVm(vms_[i]->id(),
-                               vms_[i]->profile().totalBlocks());
+                               vms_[i]->totalBlocks());
     }
 
     groupOf_.resize(n);
@@ -944,8 +944,8 @@ System::checkGlobalCoherence() const
     // and in what state.
     struct Copy
     {
-        std::uint16_t groups = 0;    // partitions with a valid line
-        std::uint16_t dirtyish = 0;  // partitions with E/M or dirty
+        GroupSet groups;   // partitions with a valid line
+        GroupSet dirtyish; // partitions with E/M or dirty
     };
     std::unordered_map<BlockAddr, Copy> copies;
     for (CoreId t = 0; t < cfg_.numCores(); ++t) {
@@ -955,13 +955,12 @@ System::checkGlobalCoherence() const
                 if (!line.valid)
                     return;
                 auto &c = copies[block];
-                CONSIM_ASSERT(!(c.groups & (1u << g)),
+                CONSIM_ASSERT(!c.groups.test(g),
                               "two copies of block in one partition");
-                c.groups |= static_cast<std::uint16_t>(1u << g);
+                c.groups.set(g);
                 if (line.state == L2State::Exclusive ||
                     line.state == L2State::Modified || line.dirty) {
-                    c.dirtyish |=
-                        static_cast<std::uint16_t>(1u << g);
+                    c.dirtyish.set(g);
                 }
             });
     }
@@ -969,32 +968,32 @@ System::checkGlobalCoherence() const
     // Directory agreement in both directions.
     dirStorage_.forEach([&](BlockAddr block, const DirEntry &e) {
         auto it = copies.find(block);
-        const std::uint16_t held =
-            it == copies.end() ? 0 : it->second.groups;
+        static const GroupSet no_copies;
+        const GroupSet &held =
+            it == copies.end() ? no_copies : it->second.groups;
         switch (e.state) {
           case L2State::Invalid:
-            CONSIM_ASSERT(held == 0,
+            CONSIM_ASSERT(held.none(),
                           "cached block directory thinks invalid: 0x",
                           std::hex, block);
             break;
           case L2State::Shared:
-            CONSIM_ASSERT(e.sharers != 0, "S entry with no sharers");
+            CONSIM_ASSERT(e.sharers.any(), "S entry with no sharers");
             CONSIM_ASSERT(held == e.sharers,
                           "sharer mismatch for block 0x", std::hex,
-                          block, " dir=", e.sharers, " held=", held);
+                          block);
             break;
           case L2State::Exclusive:
           case L2State::Modified:
             CONSIM_ASSERT(e.owner >= 0, "owned entry without owner");
-            CONSIM_ASSERT(held ==
-                              static_cast<std::uint16_t>(1u << e.owner),
+            CONSIM_ASSERT(held.isExactly(e.owner),
                           "owner mismatch for block 0x", std::hex,
                           block);
             break;
         }
         // Only owned lines may be dirty or exclusive in a cache.
         if (it != copies.end() && e.state == L2State::Shared) {
-            CONSIM_ASSERT(it->second.dirtyish == 0,
+            CONSIM_ASSERT(it->second.dirtyish.none(),
                           "dirty/exclusive cache line under a Shared "
                           "directory entry, block 0x",
                           std::hex, block);
@@ -1184,14 +1183,13 @@ System::auditSharerState() const
     // cache copies legitimately disagree mid-protocol); the rest must
     // agree exactly. checkGlobalCoherence() remains the stronger
     // quiesced-only variant.
-    std::unordered_map<BlockAddr, std::uint16_t> held;
+    std::unordered_map<BlockAddr, GroupSet> held;
     for (CoreId t = 0; t < cfg_.numCores(); ++t) {
         const GroupId g = groupOf_[t];
         banks_[t]->forEachLine(
             [&](BlockAddr block, const L2CacheLine &line) {
                 if (line.valid)
-                    held[block] |=
-                        static_cast<std::uint16_t>(1u << g);
+                    held[block].set(g);
             });
     }
 
@@ -1207,35 +1205,38 @@ System::auditSharerState() const
 
     dirStorage_.forEach([&](BlockAddr block, const DirEntry &e) {
         const auto it = held.find(block);
-        const std::uint16_t copies =
-            it == held.end() ? 0 : it->second;
-        if (e.state == L2State::Invalid && copies == 0)
+        static const GroupSet no_copies;
+        const GroupSet &copies =
+            it == held.end() ? no_copies : it->second;
+        if (e.state == L2State::Invalid && copies.none())
             return; // fast path: the overwhelming majority
         if (!quiet(block))
             return;
         switch (e.state) {
           case L2State::Invalid:
             CONSIM_CHECK_FAIL("sharer audit: block 0x", std::hex,
-                              block, std::dec, " cached (mask ",
-                              copies, ") but directory says Invalid");
+                              block, std::dec, " cached in ",
+                              copies.count(), " partition(s) but "
+                              "directory says Invalid");
             break;
           case L2State::Shared:
             if (copies != e.sharers) {
                 CONSIM_CHECK_FAIL("sharer audit: block 0x", std::hex,
                                   block, std::dec,
-                                  " sharer mismatch (dir=", e.sharers,
-                                  " held=", copies, ")");
+                                  " sharer mismatch (dir=",
+                                  e.sharers.count(), " groups, held=",
+                                  copies.count(), " groups)");
             }
             break;
           case L2State::Exclusive:
           case L2State::Modified:
-            if (e.owner < 0 ||
-                copies != static_cast<std::uint16_t>(1u << e.owner)) {
+            if (e.owner < 0 || !copies.isExactly(e.owner)) {
                 CONSIM_CHECK_FAIL("sharer audit: block 0x", std::hex,
                                   block, std::dec,
                                   " owner mismatch (dir owner=",
                                   static_cast<int>(e.owner),
-                                  " held=", copies, ")");
+                                  " held=", copies.count(),
+                                  " groups)");
             }
             break;
         }

@@ -1,6 +1,6 @@
 /**
  * @file
- * System: the whole 16-core CMP. Owns the cores, private caches, L2
+ * System: the whole tiled CMP. Owns the cores, private caches, L2
  * banks, directory slices, memory controllers, and the interconnect;
  * implements the Fabric interface the components talk through; binds
  * VM threads to cores per a schedule; and drives the global clock.
@@ -262,13 +262,13 @@ class System : public Fabric
      */
     json::Value diagJson(const std::string &reason) const;
 
-    // --- checkpoint / resume (`consim.ckpt.v2`) ---
+    // --- checkpoint / resume (`consim.ckpt.v3`) ---
 
     /**
      * Serialize the complete deterministic machine state (cycle,
      * event queue with per-source ordering keys, caches, transaction
      * tables, NoC, RNG streams, stats registry) as a
-     * `consim.ckpt.v2` document. The embedded
+     * `consim.ckpt.v3` document. The embedded
      * experiment context (setCheckpointContext) rides along so the
      * experiment layer can resume its warmup/measure loop. Throws
      * SimError(Invariant) if an Opaque event is pending.

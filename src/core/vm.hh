@@ -1,7 +1,9 @@
 /**
  * @file
  * Virtual machine abstraction: one consolidated workload instance
- * with a private address window, four threads, and its own metrics.
+ * with a private address window, its own thread count (the profile's
+ * default, typically four, or a per-VM heterogeneous override), and
+ * its own metrics.
  * The paper's methodology (§IV-A) isolates workloads through VMs with
  * disjoint physical memory; consim realizes that with per-VM block
  * address windows, so no data is ever shared across workloads.
@@ -24,13 +26,15 @@ class VirtualMachine
 {
   public:
     /**
-     * @param profile workload behaviour model
-     * @param vm      VM id (selects the address window)
-     * @param seed    instance seed
+     * @param profile     workload behaviour model
+     * @param vm          VM id (selects the address window)
+     * @param seed        instance seed
+     * @param num_threads thread-count override for heterogeneous
+     *                    mixes (0 = the profile's default)
      */
     VirtualMachine(const WorkloadProfile &profile, VmId vm,
-                   std::uint64_t seed)
-        : instance_(profile, vm, seed), id_(vm),
+                   std::uint64_t seed, int num_threads = 0)
+        : instance_(profile, vm, seed, num_threads), id_(vm),
           statsGroup_(indexedName("vm", vm))
     {
         stats_.registerIn(statsGroup_);
@@ -39,6 +43,10 @@ class VirtualMachine
     VmId id() const { return id_; }
     const WorkloadProfile &profile() const { return instance_.profile(); }
     WorkloadInstance &instance() { return instance_; }
+    int numThreads() const { return instance_.numThreads(); }
+
+    /** Distinct blocks this VM can touch (thread-count aware). */
+    std::uint64_t totalBlocks() const { return instance_.totalBlocks(); }
 
     VmStats &vmStats() { return stats_; }
     const VmStats &vmStats() const { return stats_; }

@@ -17,13 +17,18 @@ SyntheticStream::SyntheticStream(const WorkloadProfile &profile,
                                  0x9e3779b97f4a7c15ull)),
       footprint_(footprint)
 {
-    CONSIM_ASSERT(prof_.totalBlocks() < (1ull << vmSpanBits),
-                  "profile footprint exceeds the VM address window");
     sharedRoBase_ = 0;
     migratoryBase_ = prof_.sharedRoBlocks;
     privateBase_ = migratoryBase_ + prof_.migratoryBlocks +
                    static_cast<std::uint64_t>(thread_idx) *
                        prof_.privateBlocksPerThread;
+    // Per-stream window fit: a thread-count override may place this
+    // thread's private region beyond the profile-default footprint,
+    // so check the stream's own extent, not the profile's.
+    CONSIM_ASSERT(privateBase_ + prof_.privateBlocksPerThread <
+                      (1ull << vmSpanBits),
+                  "thread ", thread_idx, " private region exceeds the "
+                  "VM address window");
     // Threads of one VM share data, so they share window schedules.
     hotSharedPos_ = 0;
     hotPrivatePos_ = 0;
@@ -124,11 +129,22 @@ SyntheticStream::next()
 }
 
 WorkloadInstance::WorkloadInstance(const WorkloadProfile &profile,
-                                   VmId vm, std::uint64_t seed)
-    : prof_(profile), vm_(vm), footprint_(profile.totalBlocks())
+                                   VmId vm, std::uint64_t seed,
+                                   int num_threads)
+    : prof_(profile), vm_(vm),
+      numThreads_(num_threads > 0 ? num_threads : profile.numThreads),
+      footprint_(prof_.sharedRoBlocks + prof_.migratoryBlocks +
+                 static_cast<std::uint64_t>(
+                     num_threads > 0 ? num_threads
+                                     : profile.numThreads) *
+                     prof_.privateBlocksPerThread)
 {
-    streams_.reserve(prof_.numThreads);
-    for (int t = 0; t < prof_.numThreads; ++t) {
+    CONSIM_ASSERT(totalBlocks() < (1ull << vmSpanBits),
+                  "instance footprint (", totalBlocks(), " blocks, ",
+                  numThreads_, " threads) exceeds the VM address "
+                  "window");
+    streams_.reserve(numThreads_);
+    for (int t = 0; t < numThreads_; ++t) {
         streams_.push_back(std::make_unique<SyntheticStream>(
             prof_, vm_, t, seed, &footprint_));
     }

@@ -129,16 +129,30 @@ class WorkloadInstance
 {
   public:
     /**
-     * @param profile workload model
-     * @param vm      VM id (address window)
-     * @param seed    instance seed; thread streams derive from it
+     * @param profile     workload model
+     * @param vm          VM id (address window)
+     * @param seed        instance seed; thread streams derive from it
+     * @param num_threads thread-count override for heterogeneous VM
+     *                    mixes (0 = the profile's default). Streams
+     *                    and the private-region footprint scale with
+     *                    it; the shared regions are per-VM and do not.
      */
     WorkloadInstance(const WorkloadProfile &profile, VmId vm,
-                     std::uint64_t seed);
+                     std::uint64_t seed, int num_threads = 0);
 
     const WorkloadProfile &profile() const { return prof_; }
     VmId vm() const { return vm_; }
-    int numThreads() const { return prof_.numThreads; }
+    int numThreads() const { return numThreads_; }
+
+    /** Distinct blocks this instance can touch: the profile's shared
+     *  regions plus one private region per actual thread. */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return prof_.sharedRoBlocks + prof_.migratoryBlocks +
+               static_cast<std::uint64_t>(numThreads_) *
+                   prof_.privateBlocksPerThread;
+    }
 
     /** @return the stream for a thread index. */
     SyntheticStream &thread(int idx) { return *streams_.at(idx); }
@@ -154,6 +168,7 @@ class WorkloadInstance
 
     const WorkloadProfile &prof_;
     VmId vm_;
+    int numThreads_;
     Footprint footprint_;
     std::vector<std::unique_ptr<SyntheticStream>> streams_;
 };

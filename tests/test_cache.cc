@@ -86,13 +86,14 @@ TEST(CacheArray, InstallResetsDerivedState)
     CacheArray<L2CacheLine> c(geo(4096, 2));
     auto *slot = c.victim(7);
     c.install(slot, 7);
-    slot->presence = 0xf;
+    for (int i = 0; i < 4; ++i)
+        slot->presence.set(i);
     slot->dirty = true;
     slot->state = L2State::Modified;
     // Evict and reinstall another block in the same slot.
     c.invalidate(slot);
     c.install(slot, 7 + 32 * 2); // same set
-    EXPECT_EQ(slot->presence, 0);
+    EXPECT_TRUE(slot->presence.none());
     EXPECT_FALSE(slot->dirty);
     EXPECT_EQ(slot->state, L2State::Invalid);
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Checkpoint/resume (`consim.ckpt.v2`) tests: resume byte-identity
+ * Checkpoint/resume (`consim.ckpt.v3`) tests: resume byte-identity
  * across every sharing degree and scheduling policy (including the
  * migration-boundary corner), watchdog-trip checkpoints under fault
  * injection, the sweep engine's resume-before-reseed retry ladder and
@@ -129,6 +129,50 @@ TEST(CheckpointResume, ByteIdenticalUnderMigration)
     // taken before the swap, so the resume must redo it with the
     // pre-swap RNG state carried in the context.
     expectResumeByteIdentity(cfg, 23'000, 11'000);
+}
+
+TEST(CheckpointResume, ByteIdenticalAt64Cores)
+{
+    // The scale model's word-array snapshots (CoreSets instead of the
+    // old fixed 16-bit masks) must uphold the same byte-identity
+    // contract beyond the paper's chip: 64 cores, 8-way sharing.
+    RunConfig cfg = smallConfig(SharingDegree::Shared8,
+                                SchedPolicy::Affinity);
+    cfg.machine.meshX = 8;
+    cfg.machine.meshY = 8;
+    expectResumeByteIdentity(cfg, 20'000, 6'000);
+}
+
+TEST(CheckpointResume, HeterogeneousVmThreadsSurviveTheContext)
+{
+    // vm_threads rides in the checkpoint context: the resumed rig
+    // must rebuild the same 2/4/8-thread VMs, and configFromCheckpoint
+    // must echo the override (checked inside the helper via the
+    // config-echo dump comparison).
+    RunConfig cfg = smallConfig(SharingDegree::Shared4,
+                                SchedPolicy::Affinity);
+    cfg.machine.meshX = 8;
+    cfg.machine.meshY = 4;
+    cfg.workloads = {WorkloadKind::SpecJbb, WorkloadKind::TpcW,
+                     WorkloadKind::TpcH};
+    cfg.vmThreads = {2, 4, 8};
+    expectResumeByteIdentity(cfg, 20'000, 6'000);
+}
+
+TEST(CheckpointSchemaDeathTest, OldSnapshotsRefusedWithExplanation)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // Pre-scale-model snapshots encode sharers as fixed 16-bit masks
+    // and cannot be widened faithfully; the refusal must say so
+    // rather than die decoding the machine section.
+    json::Value v2 = json::Value::object();
+    v2.set("schema", "consim.ckpt.v2");
+    EXPECT_DEATH(resumeExperiment(v2), "fixed 16-bit masks");
+    json::Value v1 = json::Value::object();
+    v1.set("schema", "consim.ckpt.v1");
+    EXPECT_DEATH(resumeExperiment(v1), "re-run the original");
+    EXPECT_DEATH(resumeExperiment(json::Value::object()),
+                 "not a consim.ckpt.v3 document");
 }
 
 // ---------------------------------------------------------------- //

@@ -102,7 +102,10 @@ TEST_F(DirectoryUnit, GetSFromOwnerStateForwards)
 
     const auto &e = store_.entry(10);
     EXPECT_EQ(e.state, L2State::Shared);
-    EXPECT_EQ(e.sharers, 0b110); // groups 1 and 2
+    GroupSet expect;
+    expect.set(1);
+    expect.set(2);
+    EXPECT_EQ(e.sharers, expect); // groups 1 and 2
 }
 
 TEST_F(DirectoryUnit, DirtyFwdAckTriggersSharingWriteback)

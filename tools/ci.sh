@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verify (full build + test suite), a parallel-run
 # determinism check (--run-jobs 4 must match serial byte-for-byte), a
-# checked-mode pass (full suite with every runtime invariant checker
+# scale-out smoke (32-core/8-VM parallel determinism and
+# checkpoint-resume byte-identity), a checked-mode pass (full suite with every runtime invariant checker
 # enabled) plus a fault-injection smoke over the whole catalog, a
 # perf-regression smoke against the committed BENCH_*.json, an
 # ASan+UBSan pass over the whole tier-1 suite (memory safety of the
@@ -101,6 +102,40 @@ diff -u "$ckpt_dir/full.result" "$ckpt_dir/resumed-par.result" || {
     echo "resume equivalence (parallel): resumed result diverged" >&2
     exit 1; }
 echo "resume equivalence (parallel): snapshots and results byte-identical"
+
+echo "=== scale-out smoke: 32-core chip, 8 VMs ==="
+# The parametric scale model must uphold the same two contracts beyond
+# the paper's 16-core chip: the tile-parallel engine reproduces serial
+# byte-for-byte, and an interrupted+resumed run matches uninterrupted.
+scale_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir" "$par_dir" "$scale_dir"' EXIT
+scale_args=(--mesh 8x4 --sharing 8
+    --vm jbb --vm tpcw --vm tpch --vm web
+    --vm jbb --vm tpcw --vm tpch --vm web
+    --warmup 600000 --measure 600000 --watchdog 200000)
+./build/tools/consim_run "${scale_args[@]}" \
+    --json "$scale_dir/serial.json" >/dev/null
+./build/tools/consim_run "${scale_args[@]}" --run-jobs 4 \
+    --json "$scale_dir/par.json" >/dev/null
+diff -u "$scale_dir/serial.json" "$scale_dir/par.json" || {
+    echo "scale-out smoke: --run-jobs 4 diverged at 32 cores" >&2
+    exit 1; }
+if ./build/tools/consim_run "${scale_args[@]}" \
+    --deadline 700000 --ckpt-every 600000 \
+    --ckpt-out "$scale_dir/trip.ckpt" >/dev/null 2>&1; then
+    echo "scale-out smoke: deadline run unexpectedly succeeded" >&2
+    exit 1
+fi
+[[ -s "$scale_dir/trip.ckpt" ]] || {
+    echo "scale-out smoke: no checkpoint written" >&2; exit 1; }
+./build/tools/consim_run --resume "$scale_dir/trip.ckpt" \
+    --json "$scale_dir/resumed.json" >/dev/null
+awk '/"result": \{/,0' "$scale_dir/serial.json" >"$scale_dir/serial.result"
+awk '/"result": \{/,0' "$scale_dir/resumed.json" >"$scale_dir/resumed.result"
+diff -u "$scale_dir/serial.result" "$scale_dir/resumed.result" || {
+    echo "scale-out smoke: resumed result diverged at 32 cores" >&2
+    exit 1; }
+echo "scale-out smoke: 32-core parallel + resume byte-identical"
 
 if [[ "$skip_checked" == 1 ]]; then
     echo "=== checked mode: skipped ==="

@@ -10,7 +10,18 @@
  *     --mix "Mix 5"            Table IV mix (exclusive with --vm)
  *     --vm tpcw --vm tpch ...  explicit VM list (jbb|tpcw|tpch|web)
  *     --policy rr|affinity|aff-rr|random       (default affinity)
- *     --sharing 1|2|4|8|16                     (default 4)
+ *     --sharing N              cores per L2 group (default 4; any
+ *                              count that tiles the mesh into
+ *                              contiguous rectangles)
+ *     --mesh XxY               chip geometry (default 4x4; e.g. 8x4,
+ *                              8x8, 16x8)
+ *     --vm-threads N,N,...     per-VM thread counts for heterogeneous
+ *                              mixes (0 = profile default; one entry
+ *                              per VM)
+ *     --l2 BYTES               aggregate L2 capacity (default 16MB;
+ *                              must split into whole sets per bank —
+ *                              non-pow2 meshes want a matching
+ *                              multiple, e.g. 36-divisible on 6x6)
  *     --warmup N --measure N   cycles          (default library)
  *     --seed N                                 (default 1)
  *     --seeds N                average N seeds (seed..seed+N-1), run
@@ -25,12 +36,12 @@
  *     --deadline N             abort the point after N sim cycles
  *     --fault PLAN             inject faults, e.g.
  *                              "wedge:core=3,at=250000;drop:nth=800"
- *     --ckpt-every N           keep periodic consim.ckpt.v2 snapshots
+ *     --ckpt-every N           keep periodic consim.ckpt.v3 snapshots
  *                              every N cycles (0 disables; default
  *                              CONSIM_CKPT, off)
  *     --ckpt-out PATH          on failure, write the last pre-trip
  *                              snapshot to PATH (needs --ckpt-every)
- *     --resume PATH            resume a consim.ckpt.v2 snapshot; the
+ *     --resume PATH            resume a consim.ckpt.v3 snapshot; the
  *                              run config comes from the checkpoint
  *                              (exclusive with --mix/--vm/--seeds)
  *     --run-jobs N             worker threads inside each simulation
@@ -84,6 +95,7 @@ usage(const char *msg = nullptr)
     std::cerr <<
         "usage: consim_run [--mix NAME | --vm KIND...] "
         "[--policy P] [--sharing N]\n"
+        "       [--mesh XxY] [--vm-threads N,N,...] [--l2 BYTES]\n"
         "       [--warmup N] [--measure N] [--seed N] [--seeds N] "
         "[--migrate N]\n"
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
@@ -169,23 +181,52 @@ parsePolicy(const std::string &s)
 SharingDegree
 parseSharing(const std::string &s)
 {
+    // Any positive degree parses; MachineConfig::validate() rejects
+    // counts that do not divide the configured chip into contiguous
+    // rectangular groups.
     int n = 0;
-    if (!parseIntInRange(s, 1, 16, n))
-        usage("sharing degree must be 1|2|4|8|16");
-    switch (n) {
-      case 1:
-        return SharingDegree::Private;
-      case 2:
-        return SharingDegree::Shared2;
-      case 4:
-        return SharingDegree::Shared4;
-      case 8:
-        return SharingDegree::Shared8;
-      case 16:
-        return SharingDegree::Shared16;
-      default:
-        usage("sharing degree must be 1|2|4|8|16");
+    if (!parseIntInRange(s, 1, 65536, n))
+        usage("sharing degree must be a positive core count");
+    return sharingDegree(n);
+}
+
+/** Parse "XxY" mesh geometry (e.g. "8x4"). */
+void
+parseMesh(const std::string &s, MachineConfig &m)
+{
+    const auto sep = s.find_first_of("xX");
+    int mx = 0, my = 0;
+    if (sep == std::string::npos ||
+        !parseIntInRange(s.substr(0, sep), 2, 256, mx) ||
+        !parseIntInRange(s.substr(sep + 1), 2, 256, my))
+        usage("--mesh wants COLSxROWS with each dimension in 2..256, "
+              "e.g. 8x4");
+    m.meshX = mx;
+    m.meshY = my;
+}
+
+/** Parse a comma list of per-VM thread counts ("2,4,8,0"). */
+std::vector<int>
+parseVmThreads(const std::string &s)
+{
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string item =
+            s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+        int n = 0;
+        if (!parseIntInRange(item, 0, 4096, n))
+            usage("--vm-threads wants a comma list of per-VM thread "
+                  "counts (0 = that VM's profile default), e.g. "
+                  "2,4,8,0");
+        out.push_back(n);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
     }
+    return out;
 }
 
 /** Per-VM metrics report shared by the run and resume paths. */
@@ -266,6 +307,15 @@ main(int argc, char **argv)
             cfg.policy = parsePolicy(next_arg(i));
         } else if (a == "--sharing") {
             cfg.machine.sharing = parseSharing(next_arg(i));
+        } else if (a == "--mesh") {
+            parseMesh(next_arg(i), cfg.machine);
+        } else if (a == "--vm-threads") {
+            cfg.vmThreads = parseVmThreads(next_arg(i));
+        } else if (a == "--l2") {
+            // Non-pow2 meshes need a matching aggregate (validate()
+            // wants a whole number of sets per bank, e.g. 36-divisible
+            // on a 6x6 chip), so the size must be settable here.
+            cfg.machine.l2TotalBytes = parseCount(a, next_arg(i));
         } else if (a == "--warmup") {
             cfg.warmupCycles = parseCount(a, next_arg(i));
         } else if (a == "--measure") {
@@ -383,10 +433,16 @@ main(int argc, char **argv)
     if (!mix_name.empty()) {
         if (!cfg.workloads.empty())
             usage("--mix and --vm are exclusive");
-        cfg.workloads = Mix::byName(mix_name).vms;
+        const Mix &mix = Mix::byName(mix_name);
+        cfg.workloads = mix.vms;
+        if (cfg.vmThreads.empty())
+            cfg.vmThreads = mix.threads;
     }
     if (cfg.workloads.empty())
         usage("no workloads given (use --mix or --vm)");
+    if (!cfg.vmThreads.empty() &&
+        cfg.vmThreads.size() != cfg.workloads.size())
+        usage("--vm-threads wants exactly one entry per VM");
 
     consim::logging::setVerbose(false);
 
