@@ -123,6 +123,42 @@ class CacheArray
     }
 
     /**
+     * Way-restricted victim(): the slot a fill of @p block would
+     * claim when only the ways whose bit is set in @p way_mask may be
+     * used (QoS way partitioning). With every way allowed this makes
+     * the same choice as victim(); the mask must cover at least one
+     * way.
+     */
+    LineT *
+    victimInWays(BlockAddr block, std::uint64_t way_mask)
+    {
+        auto [begin, end] = setRange(block);
+        std::uint64_t lru = end;
+        int way = 0;
+        for (auto i = begin; i != end; ++i, ++way) {
+            if (!((way_mask >> way) & 1))
+                continue;
+            if (key_[i] == 0)
+                return &lines_[i];
+            if (lru == end || lru_[i] < lru_[lru])
+                lru = i;
+        }
+        CONSIM_ASSERT(lru != end,
+                      "victimInWays: empty way mask for set of block ",
+                      block);
+        return &lines_[lru];
+    }
+
+    /** @return the way index (0..assoc-1) a line of @p block's set
+     *  occupies (QoS way-mask audits). */
+    int
+    wayOf(BlockAddr block, const LineT *line) const
+    {
+        return static_cast<int>(indexOf(line) -
+                                setRange(block).first);
+    }
+
+    /**
      * Claim a (previously vacated) slot for a block. The caller must
      * have handled eviction of the old contents. Resets the line to a
      * default-constructed LineT with tag/valid/LRU set.

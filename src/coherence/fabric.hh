@@ -130,6 +130,28 @@ class Fabric
      */
     virtual Cycle memFaultExtraLatency() const { return 0; }
 
+    // --- per-VM QoS hooks (defaults = no enforcement, so mock
+    // --- fabrics and QoS-off runs behave exactly as before) ---
+
+    /**
+     * L2 way-partitioning mask for @p vm: bit i set = way i may hold
+     * the VM's fills. All-ones (the default) disables partitioning;
+     * masks only govern victim selection and fills, never invalidate
+     * resident lines (CAT semantics). The System recomputes the
+     * protected slice at dynamic-repartition epochs, so callers must
+     * re-query per fill rather than cache the mask.
+     */
+    virtual std::uint64_t
+    qosWayMask(VmId vm) const
+    {
+        (void)vm;
+        return ~0ull;
+    }
+
+    /** A memory-controller access by @p vm was deferred to the next
+     *  token window (bandwidth throttling). */
+    virtual void qosRecordThrottleStall(VmId vm) { (void)vm; }
+
     // --- per-VM statistic hooks (driven by the controllers) ---
 
     /** An access reached the VM's last-level cache. */

@@ -667,9 +667,22 @@ L2Bank::installAndFinish(BlockAddr block)
     CONSIM_ASSERT(it != active_.end(), "install without txn");
     BankTxn &t = it->second;
 
-    L2CacheLine *slot = array_.victim(localOf(block));
+    // Fills honour the owning VM's QoS way mask (all-ones when
+    // partitioning is off, where victim() is the identical choice).
+    const std::uint64_t mask = fab_.qosWayMask(fab_.vmOfBlock(block));
+    L2CacheLine *slot =
+        mask == ~0ull ? array_.victim(localOf(block))
+                      : array_.victimInWays(localOf(block), mask);
     CONSIM_ASSERT(slot && !slot->valid,
                   "no free slot at install time");
+    if (CONSIM_CHECK_ACTIVE(Full)) {
+        const int way = array_.wayOf(localOf(block), slot);
+        if (!((mask >> way) & 1))
+            CONSIM_CHECK_FAIL("QoS way-mask violation: fill of block ",
+                              block, " (vm ", fab_.vmOfBlock(block),
+                              ") landed in way ", way,
+                              " outside mask ", mask);
+    }
     array_.install(slot, localOf(block));
     slot->state = t.grantMsg.grantState;
     slot->dirty = t.grantMsg.grantState == L2State::Modified &&
@@ -688,10 +701,16 @@ L2CacheLine *
 L2Bank::pickVictim(BlockAddr block)
 {
     // Scan the set ourselves: the generic victim() cannot see pins or
-    // per-block operation state.
+    // per-block operation state. Only ways the owning VM's QoS mask
+    // allows are candidates (the mask is all-ones when off).
     const BlockAddr local = localOf(block);
+    const std::uint64_t mask = fab_.qosWayMask(fab_.vmOfBlock(block));
     L2CacheLine *best = nullptr;
+    int way = -1;
     array_.forEachInSet(local, [&](L2CacheLine &line) {
+        ++way;
+        if (!((mask >> way) & 1))
+            return;
         if (line.pinned)
             return;
         if (!line.valid) {

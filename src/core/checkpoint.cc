@@ -1,6 +1,6 @@
 /**
  * @file
- * `consim.ckpt.v3` serializer: System::saveCheckpoint /
+ * `consim.ckpt.v4` serializer: System::saveCheckpoint /
  * System::restoreCheckpoint plus the protocol-message codec. See
  * checkpoint.hh for the document layout and the byte-identity
  * contract. (v2 replaced the single event sequence counter with the
@@ -654,6 +654,21 @@ struct CkptAccess
         Value v = Value::object();
         v.set("next_free", cyclesJson(mc.nextFree_));
         v.set("outstanding", mc.outstanding_);
+        // QoS token buckets (v4): per-VM [window, tokens, issued].
+        // The configuration itself (caps, refill) is reinstalled by
+        // the experiment layer before restore; only the mutable
+        // bucket state rides in the snapshot.
+        if (!mc.buckets_.empty()) {
+            Value bs = Value::array();
+            for (const auto &b : mc.buckets_) {
+                Value e = Value::array();
+                e.push(b.window);
+                e.push(b.tokens);
+                e.push(b.issued);
+                bs.push(std::move(e));
+            }
+            v.set("buckets", std::move(bs));
+        }
         return v;
     }
 
@@ -663,6 +678,21 @@ struct CkptAccess
         mc.nextFree_ = get(v, "next_free").asUint();
         mc.outstanding_ =
             static_cast<int>(asInt(get(v, "outstanding")));
+        if (const Value *bs = v.find("buckets")) {
+            CONSIM_ASSERT(bs->size() == mc.buckets_.size(),
+                          "checkpoint: MC token-bucket count "
+                          "mismatch (snapshot ", bs->size(),
+                          ", machine ", mc.buckets_.size(),
+                          " — was the QoS config reinstalled before "
+                          "restore?)");
+            for (std::size_t i = 0; i < mc.buckets_.size(); ++i) {
+                const Value &e = bs->at(i);
+                auto &b = mc.buckets_[i];
+                b.window = e.at(0).asUint();
+                b.tokens = e.at(1).asUint();
+                b.issued = e.at(2).asUint();
+            }
+        }
     }
 
     // --- interconnect ---
@@ -997,6 +1027,16 @@ struct CkptAccess
         m.set("dir_entries", saveDirEntries(s.dirStorage_));
         m.set("net", saveNet(s));
         m.set("faults", saveFaults(s));
+        // QoS runtime state (v4): the dynamic repartitioner's way
+        // allocation and miss-curve samples. Emitted only when QoS is
+        // active so QoS-free snapshots keep their exact prior shape.
+        if (s.qos_.enabled()) {
+            Value q = Value::object();
+            q.set("dyn_ways", s.qosDynWays_);
+            q.set("last_miss_total", s.qosLastMissTotal_);
+            q.set("prev_delta", s.qosPrevDelta_);
+            m.set("qos", std::move(q));
+        }
         m.set("stats", s.statsRoot_.saveState());
         return m;
     }
@@ -1050,6 +1090,17 @@ struct CkptAccess
         loadDirEntries(s.dirStorage_, get(m, "dir_entries"));
         loadNet(s, get(m, "net"));
         loadFaults(s, get(m, "faults"));
+        if (const Value *q = m.find("qos")) {
+            CONSIM_ASSERT(s.qos_.enabled(),
+                          "checkpoint carries QoS runtime state but "
+                          "the rebuilt machine has QoS off — "
+                          "reinstall the QoS config before restore");
+            s.qosDynWays_ =
+                static_cast<int>(asInt(get(*q, "dyn_ways")));
+            s.qosLastMissTotal_ =
+                get(*q, "last_miss_total").asUint();
+            s.qosPrevDelta_ = get(*q, "prev_delta").asUint();
+        }
         s.statsRoot_.restoreState(get(m, "stats"));
     }
 };
@@ -1058,7 +1109,7 @@ json::Value
 System::saveCheckpoint() const
 {
     json::Value doc = json::Value::object();
-    doc.set("schema", "consim.ckpt.v3");
+    doc.set("schema", "consim.ckpt.v4");
     doc.set("context", ckptCtx_);
     doc.set("machine", CkptAccess::saveMachine(*this));
     doc.set("vms", CkptAccess::saveVms(*this));
@@ -1070,12 +1121,15 @@ System::restoreCheckpoint(const json::Value &doc)
 {
     const json::Value *schema = doc.find("schema");
     CONSIM_ASSERT(schema != nullptr &&
-                      schema->str() == "consim.ckpt.v3",
-                  "not a consim.ckpt.v3 document (v1 checkpoints "
+                      schema->str() == "consim.ckpt.v4",
+                  "not a consim.ckpt.v4 document (v1 checkpoints "
                   "predate per-source event keys; v2 checkpoints "
                   "encode sharer/presence state as fixed 16-bit "
                   "masks, which the parametric scale model replaced "
-                  "with variable-width word arrays — neither can be "
+                  "with variable-width word arrays; v3 snapshots "
+                  "lack the QoS runtime state — per-VM memory-"
+                  "controller token buckets and the dynamic "
+                  "repartitioner's way allocation — so none can be "
                   "restored; re-run the original configuration to "
                   "take a fresh snapshot)");
     CkptAccess::loadMachine(*this, get(doc, "machine"));

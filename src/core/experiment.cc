@@ -233,6 +233,7 @@ configCtxJson(const RunConfig &res, const RunConfig &raw)
     v.set("cycle_deadline", res.cycleDeadline);
     v.set("ckpt_every_cycles", res.ckptEveryCycles);
     v.set("faults", res.faults.spec());
+    v.set("qos", res.qos.spec());
     // The as-configured (pre-env-resolution) values of the four
     // resolvable knobs, so a resume can echo the original config
     // verbatim in its consim.run.v1 envelope while still running
@@ -251,7 +252,7 @@ configFromCtx(const json::Value &v)
     cfg.machine = machineFromCtx(ctxGet(v, "machine"));
     for (const auto &w : ctxGet(v, "workloads").items()) {
         const int k = static_cast<int>(w.number());
-        CONSIM_ASSERT(k >= 0 && k <= 3,
+        CONSIM_ASSERT(k >= 0 && k <= 4,
                       "checkpoint context: bad workload kind ", k);
         cfg.workloads.push_back(static_cast<WorkloadKind>(k));
     }
@@ -276,6 +277,13 @@ configFromCtx(const json::Value &v)
         const bool ok = FaultPlan::parse(spec, cfg.faults, &err);
         CONSIM_ASSERT(ok, "checkpoint context: bad fault spec '", spec,
                       "': ", err);
+    }
+    {
+        const std::string qspec = ctxGet(v, "qos").str();
+        std::string err;
+        const bool ok = QosConfig::parse(qspec, cfg.qos, &err);
+        CONSIM_ASSERT(ok, "checkpoint context: bad qos spec '",
+                      qspec, "': ", err);
     }
     return cfg;
 }
@@ -448,6 +456,7 @@ extractResult(System &sys, const std::vector<VirtualMachine *> &vms,
         r.l2Misses = counter("l2_misses");
         r.c2cClean = counter("c2c_clean");
         r.c2cDirty = counter("c2c_dirty");
+        r.mcThrottleStalls = counter("mc_throttle_stalls");
         r.distinctBlocks = vm->distinctBlocks();
         r.cyclesPerTransaction =
             r.transactions
@@ -491,6 +500,8 @@ runExperiment(const RunConfig &cfg)
     ExperimentRig rig = buildRig(res);
     System sys(res.machine, rig.vms, rig.placements);
     armSystem(sys, res);
+    if (res.qos.enabled())
+        sys.setQosConfig(res.qos);
     if (!res.faults.empty())
         sys.setFaultPlan(res.faults);
     Rng mig_rng(res.seed ^ 0xd15ea5e);
@@ -523,14 +534,16 @@ RunResult
 resumeExperiment(const json::Value &ckpt)
 {
     const json::Value *schema = ckpt.find("schema");
-    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v3",
-                  "resume: not a consim.ckpt.v3 document (v1 snapshots "
+    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v4",
+                  "resume: not a consim.ckpt.v4 document (v1 snapshots "
                   "predate per-source event keys; v2 snapshots encode "
                   "sharer/presence state as fixed 16-bit masks, which "
                   "the parametric scale model replaced with "
-                  "variable-width word arrays — neither can be resumed; "
-                  "re-run the original configuration to take a fresh "
-                  "snapshot)");
+                  "variable-width word arrays; v3 snapshots lack the "
+                  "QoS runtime state — per-VM memory-controller token "
+                  "buckets and the dynamic repartitioner's way "
+                  "allocation — so none can be restored; re-run the "
+                  "original configuration to take a fresh snapshot)");
     const json::Value *ctxp = ckpt.find("context");
     CONSIM_ASSERT(ctxp && ctxp->find("config"),
                   "checkpoint has no experiment context (saved outside "
@@ -543,6 +556,12 @@ resumeExperiment(const json::Value &ckpt)
 
     ExperimentRig rig = buildRig(res);
     System sys(res.machine, rig.vms, rig.placements);
+    // The QoS config must be reinstalled before restore: the loaders
+    // check the MC token-bucket layout and the dynamic repartitioner
+    // state against an already-configured machine, then overwrite the
+    // mutable parts (dyn_ways, miss-curve samples, buckets).
+    if (res.qos.enabled())
+        sys.setQosConfig(res.qos);
     sys.restoreCheckpoint(ckpt);
     // Re-arm operational knobs against the restored clock. The fault
     // plan is deliberately NOT re-armed: one-shot faults that already
@@ -617,11 +636,13 @@ averageRunResults(std::vector<RunResult> runs)
             a.l2Misses += v.l2Misses;
             a.c2cClean += v.c2cClean;
             a.c2cDirty += v.c2cDirty;
+            a.mcThrottleStalls += v.mcThrottleStalls;
             a.cyclesPerTransaction += v.cyclesPerTransaction;
             a.missRate += v.missRate;
             a.avgMissLatency += v.avgMissLatency;
             a.c2cFraction += v.c2cFraction;
             a.c2cDirtyShare += v.c2cDirtyShare;
+            a.slowdownVsIsolated += v.slowdownVsIsolated;
         }
         acc.netAvgLatency += b.netAvgLatency;
         packets += static_cast<double>(b.netPackets);
@@ -633,6 +654,7 @@ averageRunResults(std::vector<RunResult> runs)
         v.avgMissLatency /= n;
         v.c2cFraction /= n;
         v.c2cDirtyShare /= n;
+        v.slowdownVsIsolated /= n;
     }
     acc.netAvgLatency /= n;
     acc.netPackets = static_cast<std::uint64_t>(packets / n + 0.5);

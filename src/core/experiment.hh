@@ -17,6 +17,7 @@
 #include "common/json.hh"
 #include "core/fault.hh"
 #include "core/mix.hh"
+#include "core/qos.hh"
 #include "core/system.hh"
 #include "workload/profile.hh"
 
@@ -43,6 +44,10 @@ struct RunConfig
     Cycle migrationIntervalCycles = 0;
     /** Deterministic fault injection (hardening tests; empty = none). */
     FaultPlan faults;
+    /** Per-VM QoS / isolation config (mode off = no QoS, the
+     *  default). Echoed in the run.v1 config only when enabled
+     *  (envelope byte-stability). */
+    QosConfig qos;
     /** Forward-progress watchdog check interval. 0 = resolve from
      *  CONSIM_WATCHDOG env, falling back to 1,000,000 cycles;
      *  CONSIM_WATCHDOG=0 disables. */
@@ -51,7 +56,7 @@ struct RunConfig
      *  SimError(Deadline) past this absolute cycle. 0 = none. */
     Cycle cycleDeadline = 0;
     /** Periodic checkpoint interval: keep a small ring of
-     *  `consim.ckpt.v3` snapshots every this many cycles and attach
+     *  `consim.ckpt.v4` snapshots every this many cycles and attach
      *  the most recent one to watchdog/deadline SimErrors. 0 = resolve
      *  from CONSIM_CKPT env, which defaults to off. */
     Cycle ckptEveryCycles = 0;
@@ -90,12 +95,20 @@ struct VmResult
     std::uint64_t c2cClean = 0;
     std::uint64_t c2cDirty = 0;
     std::uint64_t distinctBlocks = 0;
+    /** Memory reads delayed by QoS token-bucket throttling (0 when
+     *  QoS is off; reported in run.v1 only when nonzero). */
+    std::uint64_t mcThrottleStalls = 0;
 
     double cyclesPerTransaction = 0.0;
     double missRate = 0.0;       ///< VM-level LLC miss rate
     double avgMissLatency = 0.0; ///< L1-miss latency (cycles)
     double c2cFraction = 0.0;    ///< of LLC misses
     double c2cDirtyShare = 0.0;  ///< of c2c transfers
+    /** cyclesPerTransaction relative to the same workload running
+     *  alone on the machine (filled by callers that measure an
+     *  isolated baseline, e.g. bench/fig15_isolation; 0 = not
+     *  computed; reported in run.v1 only when nonzero). */
+    double slowdownVsIsolated = 0.0;
 };
 
 /**
@@ -139,7 +152,7 @@ struct RunResult
 RunResult runExperiment(const RunConfig &cfg);
 
 /**
- * Recover the full RunConfig embedded in a `consim.ckpt.v3` document's
+ * Recover the full RunConfig embedded in a `consim.ckpt.v4` document's
  * experiment context, with the env-resolvable knobs (warmup, measure,
  * watchdog, checkpoint interval) restored to their as-configured
  * values — i.e. exactly the config originally passed to runExperiment,
@@ -149,7 +162,7 @@ RunResult runExperiment(const RunConfig &cfg);
 RunConfig configFromCheckpoint(const json::Value &ckpt);
 
 /**
- * Finish an interrupted run from a `consim.ckpt.v3` document produced
+ * Finish an interrupted run from a `consim.ckpt.v4` document produced
  * by runExperiment's periodic snapshotting: rebuild the System from
  * the embedded config, restore the machine state, and complete the
  * remaining warmup/measurement phases. Yields a RunResult — and hence

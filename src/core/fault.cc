@@ -31,41 +31,70 @@ split(const std::string &s, char sep)
     return out;
 }
 
+constexpr const char *catalog =
+    "wedge:core=C,at=CYCLE | drop:nth=N | "
+    "memburst:at=CYCLE,len=CYCLES,extra=CYCLES";
+
 bool
 fail(std::string *err, const std::string &msg)
 {
     if (err)
-        *err = msg;
+        *err = msg + " (valid: " + std::string(catalog) + ")";
     return false;
 }
 
-/** Parse "key=value" pairs after the kind keyword. */
+/**
+ * Parse "key=value" pairs after the kind keyword. Each kind accepts
+ * exactly its own parameter set — a key from another kind's grammar
+ * is an error, not a silent no-op — and every listed key is
+ * mandatory.
+ */
 bool
-parseParams(const std::vector<std::string> &kvs, std::size_t from,
-            FaultEvent &e, std::string *err)
+parseParams(const std::vector<std::string> &kvs,
+            const std::vector<std::string> &wanted, FaultEvent &e,
+            std::string *err)
 {
-    for (std::size_t i = from; i < kvs.size(); ++i) {
-        const auto eq = kvs[i].find('=');
+    std::vector<bool> seen(wanted.size(), false);
+    const std::string kind = toString(e.kind);
+    for (const std::string &kv : kvs) {
+        const auto eq = kv.find('=');
         if (eq == std::string::npos)
-            return fail(err, "expected key=value, got '" + kvs[i] + "'");
-        const std::string key = kvs[i].substr(0, eq);
-        const std::string val = kvs[i].substr(eq + 1);
+            return fail(err, kind + ": expected key=value, got '" +
+                                 kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        std::size_t which = wanted.size();
+        for (std::size_t i = 0; i < wanted.size(); ++i) {
+            if (wanted[i] == key) {
+                which = i;
+                break;
+            }
+        }
+        if (which == wanted.size())
+            return fail(err, kind + " does not take parameter '" +
+                                 key + "'");
+        if (seen[which])
+            return fail(err, kind + ": duplicate parameter '" + key +
+                                 "'");
+        seen[which] = true;
         std::uint64_t v = 0;
         if (!parseU64(val, v))
             return fail(err, "bad number '" + val + "' for " + key);
-        if (key == "core") {
+        if (key == "core")
             e.core = static_cast<CoreId>(v);
-        } else if (key == "at") {
+        else if (key == "at")
             e.at = v;
-        } else if (key == "nth") {
+        else if (key == "nth")
             e.nth = v;
-        } else if (key == "len") {
+        else if (key == "len")
             e.len = v;
-        } else if (key == "extra") {
+        else if (key == "extra")
             e.extra = v;
-        } else {
-            return fail(err, "unknown fault parameter '" + key + "'");
-        }
+    }
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+        if (!seen[i])
+            return fail(err, kind + ": missing parameter '" +
+                                 wanted[i] + "'");
     }
     return true;
 }
@@ -120,26 +149,26 @@ FaultPlan::parse(const std::string &text, FaultPlan &out,
         FaultEvent e;
         if (kind == "wedge") {
             e.kind = FaultKind::WedgeCore;
-            if (!parseParams(params, 0, e, err))
+            if (!parseParams(params, {"core", "at"}, e, err))
                 return false;
             if (e.core < 0)
                 return fail(err, "wedge: bad core");
         } else if (kind == "drop") {
             e.kind = FaultKind::DropResponse;
-            if (!parseParams(params, 0, e, err))
+            if (!parseParams(params, {"nth"}, e, err))
                 return false;
             if (e.nth == 0)
                 return fail(err, "drop: nth must be >= 1");
         } else if (kind == "memburst") {
             e.kind = FaultKind::MemBurst;
-            if (!parseParams(params, 0, e, err))
+            if (!parseParams(params, {"at", "len", "extra"}, e, err))
                 return false;
             if (e.len == 0 || e.extra == 0)
                 return fail(err,
                             "memburst: len and extra must be >= 1");
         } else {
-            return fail(err, "unknown fault kind '" + kind +
-                                 "' (wedge|drop|memburst)");
+            return fail(err,
+                        "unknown fault kind '" + kind + "'");
         }
         plan.events.push_back(e);
     }

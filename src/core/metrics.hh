@@ -25,6 +25,7 @@ struct VmStats
     stats::Counter l2Misses;    ///< LLC misses seen by the VM
     stats::Counter c2cClean;    ///< misses served by a clean transfer
     stats::Counter c2cDirty;    ///< misses served by a dirty transfer
+    stats::Counter mcThrottleStalls; ///< reads delayed by QoS tokens
     stats::Average missLatency; ///< L1-miss latency (cycles)
 
     /** Register every member into @p g (hierarchical registry). */
@@ -38,6 +39,7 @@ struct VmStats
         g.add("l2_misses", &l2Misses);
         g.add("c2c_clean", &c2cClean);
         g.add("c2c_dirty", &c2cDirty);
+        g.add("mc_throttle_stalls", &mcThrottleStalls);
         g.add("miss_latency", &missLatency);
     }
 
@@ -82,6 +84,7 @@ struct VmStats
         l2Misses.reset();
         c2cClean.reset();
         c2cDirty.reset();
+        mcThrottleStalls.reset();
         missLatency.reset();
     }
 };

@@ -1,0 +1,173 @@
+#include "core/qos.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/parse.hh"
+
+namespace consim
+{
+
+namespace
+{
+
+/** Split @p s on @p sep, dropping empty pieces and whitespace. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+constexpr const char *grammar =
+    "off | static:vm=V,ways=W[,vcs=N][,tokens=T][,refill=R] | "
+    "dynamic:vm=V,ways=W[,vcs=N][,tokens=T][,refill=R][,epoch=E]";
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg + " (valid: " + grammar + ")";
+    return false;
+}
+
+} // namespace
+
+const char *
+toString(QosMode m)
+{
+    switch (m) {
+      case QosMode::Off:
+        return "off";
+      case QosMode::Static:
+        return "static";
+      case QosMode::Dynamic:
+        return "dynamic";
+    }
+    return "?";
+}
+
+bool
+QosConfig::parse(const std::string &text, QosConfig &out,
+                 std::string *err)
+{
+    QosConfig q;
+    const auto colon = text.find(':');
+    std::string mode;
+    for (const char c : text.substr(0, colon)) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            mode.push_back(c);
+    }
+    if (mode == "off") {
+        if (colon != std::string::npos)
+            return fail(err, "qos mode 'off' takes no parameters");
+        out = q;
+        return true;
+    }
+    if (mode == "static") {
+        q.mode = QosMode::Static;
+    } else if (mode == "dynamic") {
+        q.mode = QosMode::Dynamic;
+    } else {
+        return fail(err, "unknown qos mode '" + mode +
+                             "' (off|static|dynamic)");
+    }
+    const std::vector<std::string> kvs =
+        colon == std::string::npos
+            ? std::vector<std::string>{}
+            : split(text.substr(colon + 1), ',');
+    bool have_vm = false, have_ways = false;
+    for (const std::string &kv : kvs) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            return fail(err, "expected key=value, got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        std::uint64_t v = 0;
+        if (!parseU64(val, v))
+            return fail(err, "bad number '" + val + "' for " + key);
+        if (key == "vm") {
+            q.protectedVm = static_cast<VmId>(v);
+            have_vm = true;
+        } else if (key == "ways") {
+            q.protectedWays = static_cast<int>(v);
+            have_ways = true;
+        } else if (key == "vcs") {
+            q.reservedVcs = static_cast<int>(v);
+        } else if (key == "tokens") {
+            q.mcTokens = v;
+        } else if (key == "refill") {
+            q.mcRefillCycles = v;
+        } else if (key == "epoch") {
+            if (q.mode != QosMode::Dynamic)
+                return fail(err, "epoch is only valid in dynamic mode");
+            q.epochCycles = v;
+        } else {
+            return fail(err, "unknown qos parameter '" + key + "'");
+        }
+    }
+    if (!have_vm)
+        return fail(err, std::string(toString(q.mode)) +
+                             ": vm is required");
+    if (!have_ways)
+        return fail(err, std::string(toString(q.mode)) +
+                             ": ways is required");
+    if (q.protectedWays < 1)
+        return fail(err, "ways must be >= 1");
+    if (q.reservedVcs < 0)
+        return fail(err, "vcs must be >= 0");
+    if (q.mcTokens < 1)
+        return fail(err, "tokens must be >= 1");
+    if (q.mcRefillCycles < 1)
+        return fail(err, "refill must be >= 1");
+    if (q.mode == QosMode::Dynamic && q.epochCycles < 1)
+        return fail(err, "epoch must be >= 1");
+    out = q;
+    return true;
+}
+
+std::string
+QosConfig::spec() const
+{
+    if (mode == QosMode::Off)
+        return "off";
+    std::ostringstream os;
+    os << toString(mode) << ":vm=" << protectedVm
+       << ",ways=" << protectedWays << ",vcs=" << reservedVcs
+       << ",tokens=" << mcTokens << ",refill=" << mcRefillCycles;
+    if (mode == QosMode::Dynamic)
+        os << ",epoch=" << epochCycles;
+    return os.str();
+}
+
+json::Value
+QosConfig::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("mode", toString(mode));
+    if (mode == QosMode::Off)
+        return v;
+    v.set("protected_vm", protectedVm);
+    v.set("protected_ways", protectedWays);
+    v.set("reserved_vcs", reservedVcs);
+    v.set("mc_tokens", mcTokens);
+    v.set("mc_refill_cycles", mcRefillCycles);
+    if (mode == QosMode::Dynamic)
+        v.set("epoch_cycles", epochCycles);
+    return v;
+}
+
+} // namespace consim

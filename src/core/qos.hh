@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-VM quality-of-service (performance isolation) configuration.
+ *
+ * The consolidation study characterizes interference but offers only
+ * the sharing degree as a knob; this layer adds enforcement at the
+ * three shared resources a noisy neighbour can monopolize:
+ *
+ *   L2 ways — the protected VM owns an exclusive slice of every L2
+ *             set (CAT-style way partitioning: masks govern fills and
+ *             victim selection only; lines already resident stay
+ *             valid wherever they are).
+ *   NoC VCs — per-vnet virtual channels are reserved for the
+ *             protected VM's packets, which also win switch
+ *             allocation first (with a deterministic periodic yield
+ *             cycle so unprotected traffic keeps forward progress).
+ *   MC b/w  — unprotected VMs draw read tokens from a per-controller
+ *             bucket refilled every window; an empty bucket defers
+ *             the access to the next window boundary.
+ *
+ * Mode `dynamic` additionally re-sizes the protected way slice at
+ * epoch boundaries from the stats registry's per-VM miss counters
+ * (grow-only, from the configured floor toward assoc-1), so the
+ * partition adapts to observed pressure.
+ *
+ * Spec grammar (CLI `--qos` / env `CONSIM_QOS` / checkpoint context):
+ *   off
+ *   static:vm=V,ways=W[,vcs=N][,tokens=T][,refill=R]
+ *   dynamic:vm=V,ways=W[,vcs=N][,tokens=T][,refill=R][,epoch=E]
+ * e.g. "static:vm=0,ways=6,vcs=1,tokens=8,refill=64"
+ */
+
+#ifndef CONSIM_CORE_QOS_HH
+#define CONSIM_CORE_QOS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace consim
+{
+
+/** QoS enforcement mode. */
+enum class QosMode
+{
+    Off,     ///< no enforcement (the paper's machine)
+    Static,  ///< fixed way/VC/token allocations
+    Dynamic, ///< static allocations + epoch way repartitioner
+};
+
+/** @return the grammar keyword for a mode. */
+const char *toString(QosMode m);
+
+/** Per-VM isolation knobs for one simulation point. */
+struct QosConfig
+{
+    QosMode mode = QosMode::Off;
+
+    /** The VM whose performance the mechanisms protect. */
+    VmId protectedVm = 0;
+    /** L2 ways per set reserved for the protected VM (the dynamic
+     *  repartitioner's floor). Must leave at least one way for the
+     *  other VMs, so valid values are 1..assoc-1. */
+    int protectedWays = 4;
+    /** Virtual channels per vnet reserved for protected packets
+     *  (0 = no reservation; must leave one VC per vnet shared). */
+    int reservedVcs = 1;
+    /** Memory-controller read tokens an unprotected VM may spend per
+     *  refill window, per controller. */
+    std::uint64_t mcTokens = 8;
+    /** Token-bucket refill window (cycles). */
+    Cycle mcRefillCycles = 64;
+    /** Dynamic mode: repartition at absolute multiples of this many
+     *  cycles (ignored in static mode). */
+    Cycle epochCycles = 100'000;
+
+    bool enabled() const { return mode != QosMode::Off; }
+
+    /**
+     * Parse the spec grammar. On failure returns false and, when
+     * @p err is non-null, stores a human-readable reason that names
+     * the valid catalog (same style as FaultPlan::parse).
+     */
+    static bool parse(const std::string &text, QosConfig &out,
+                      std::string *err = nullptr);
+
+    /** @return the config in grammar form (round-trips parse). */
+    std::string spec() const;
+
+    /** @return JSON object for the run.v1 config echo. */
+    json::Value toJson() const;
+};
+
+} // namespace consim
+
+#endif // CONSIM_CORE_QOS_HH

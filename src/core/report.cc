@@ -129,6 +129,11 @@ toJson(const MachineConfig &m)
     v.set("l2_latency", m.l2Latency);
     v.set("sharing", toString(m.sharing));
     v.set("mem_latency", m.memLatency);
+    // Echoed only when it departs the default, keeping the baseline
+    // envelope byte-stable (the isolation experiments raise it to
+    // model bandwidth-constrained consolidation nodes).
+    if (m.memIssueInterval != MachineConfig{}.memIssueInterval)
+        v.set("mem_issue_interval", m.memIssueInterval);
     v.set("num_mem_ctrls", m.numMemCtrls);
     v.set("dir_cache_enabled", m.dirCacheEnabled);
     v.set("clean_forwarding", m.cleanForwarding);
@@ -163,6 +168,8 @@ toJson(const RunConfig &cfg)
     // envelope byte-stable across versions.
     if (!cfg.faults.empty())
         v.set("faults", cfg.faults.toJson());
+    if (cfg.qos.enabled())
+        v.set("qos", cfg.qos.toJson());
     if (cfg.watchdogIntervalCycles != 0)
         v.set("watchdog_interval_cycles", cfg.watchdogIntervalCycles);
     if (cfg.cycleDeadline != 0)
@@ -183,11 +190,17 @@ toJson(const VmResult &r)
     v.set("c2c_clean", r.c2cClean);
     v.set("c2c_dirty", r.c2cDirty);
     v.set("distinct_blocks", r.distinctBlocks);
+    // QoS/isolation metrics are echoed only when nonzero, keeping the
+    // QoS-free envelope byte-stable across versions.
+    if (r.mcThrottleStalls != 0)
+        v.set("mc_throttle_stalls", r.mcThrottleStalls);
     v.set("cycles_per_transaction", r.cyclesPerTransaction);
     v.set("miss_rate", r.missRate);
     v.set("avg_miss_latency", r.avgMissLatency);
     v.set("c2c_fraction", r.c2cFraction);
     v.set("c2c_dirty_share", r.c2cDirtyShare);
+    if (r.slowdownVsIsolated != 0.0)
+        v.set("slowdown_vs_isolated", r.slowdownVsIsolated);
     return v;
 }
 

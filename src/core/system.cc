@@ -150,6 +150,103 @@ System::memFaultExtraLatency() const
 }
 
 void
+System::setQosConfig(const QosConfig &qos)
+{
+    if (qos.enabled()) {
+        CONSIM_ASSERT(qos.protectedVm >= 0 &&
+                          qos.protectedVm <
+                              static_cast<VmId>(vms_.size()),
+                      "QoS protects VM ", qos.protectedVm,
+                      " but the mix has ", vms_.size(), " VMs");
+        CONSIM_ASSERT(qos.protectedWays >= 1 &&
+                          qos.protectedWays < cfg_.l2Assoc,
+                      "QoS ways must leave the other VMs at least "
+                      "one way (ways=", qos.protectedWays,
+                      " assoc=", cfg_.l2Assoc, ")");
+        CONSIM_ASSERT(cfg_.l2Assoc <= 64,
+                      "QoS way masks support at most 64 ways");
+        CONSIM_ASSERT(qos.reservedVcs >= 0 &&
+                          qos.reservedVcs < cfg_.vcsPerVnet,
+                      "QoS must leave at least one shared VC per "
+                      "vnet (vcs=", qos.reservedVcs,
+                      " vcsPerVnet=", cfg_.vcsPerVnet, ")");
+    }
+    qos_ = qos;
+    qosDynWays_ = qos.enabled() ? qos.protectedWays : 0;
+    qosLastMissTotal_ = 0;
+    qosPrevDelta_ = 0;
+    net_->setQos(qos.enabled() ? qos.protectedVm : invalidVm,
+                 qos.enabled() ? qos.reservedVcs : 0);
+    for (auto &mc : mcs_) {
+        mc->setQos(qos.protectedVm, static_cast<int>(vms_.size()),
+                   qos.enabled() ? qos.mcTokens : 0,
+                   qos.mcRefillCycles);
+    }
+}
+
+std::uint64_t
+System::qosWayMask(VmId vm) const
+{
+    if (!qos_.enabled())
+        return ~0ull;
+    // CAT-style exclusive partition: the protected VM fills only the
+    // low qosDynWays_ ways of every set; everyone else fills only the
+    // remaining high ways. Existing lines stay valid wherever they
+    // are — the mask governs fills and victim choice, not lookups.
+    const std::uint64_t all =
+        cfg_.l2Assoc >= 64 ? ~0ull
+                           : ((1ull << cfg_.l2Assoc) - 1);
+    const std::uint64_t prot = (1ull << qosDynWays_) - 1;
+    return vm == qos_.protectedVm ? prot : (all & ~prot);
+}
+
+void
+System::qosRecordThrottleStall(VmId vm)
+{
+    if (vm < 0 || vm >= static_cast<VmId>(vms_.size()))
+        return;
+    if (TileLane *lane = tlsLane_)
+        ++lane->vmDelta[vm].mcThrottleStalls;
+    else
+        ++vms_[vm]->vmStats().mcThrottleStalls;
+}
+
+void
+System::qosRepartition()
+{
+    if (qos_.mode != QosMode::Dynamic)
+        return;
+    // Miss-curve sample: how many LLC misses did the protected VM
+    // take this epoch, and did the last way granted help?
+    const std::uint64_t total =
+        vms_[qos_.protectedVm]->vmStats().l2Misses.value();
+    const std::uint64_t delta = total - qosLastMissTotal_;
+
+    // Occupancy gate: granting another way is pointless (and unfair)
+    // while the protected VM is not close to filling its current
+    // allocation somewhere on chip.
+    const OccupancySnapshot occ = occupancySnapshot();
+    double share = 0.0;
+    for (GroupId g = 0; g < cfg_.numGroups(); ++g)
+        share = std::max(share, occ.share(g, qos_.protectedVm));
+    const double allocFrac = static_cast<double>(qosDynWays_) /
+                             static_cast<double>(cfg_.l2Assoc);
+
+    if (delta == 0 && qosDynWays_ > qos_.protectedWays) {
+        // The VM stopped missing: hand a way back (never below the
+        // configured floor).
+        --qosDynWays_;
+    } else if (qosDynWays_ < cfg_.l2Assoc - 1 && delta > 0 &&
+               delta >= qosPrevDelta_ && share >= 0.8 * allocFrac) {
+        // Still missing at least as hard as last epoch and actually
+        // using the space it has: grow the partition.
+        ++qosDynWays_;
+    }
+    qosPrevDelta_ = delta;
+    qosLastMissTotal_ = total;
+}
+
+void
 System::send(Msg m)
 {
     TileLane *const lane = tlsLane_;
@@ -457,8 +554,9 @@ System::run(Cycle cycles)
         return;
     }
     const Cycle end = now_ + cycles;
+    const Cycle qosEpoch = qosEpochInterval();
     if (watchdogInterval_ == 0 && deadline_ == 0 &&
-        ckptInterval_ == 0) {
+        ckptInterval_ == 0 && qosEpoch == 0) {
         // Fast path: the per-cycle loop carries no hardening checks.
         while (now_ < end)
             tick();
@@ -466,6 +564,12 @@ System::run(Cycle cycles)
     }
     while (now_ < end) {
         Cycle chunkEnd = end;
+        // Epochs are absolute multiples of the interval, so a resumed
+        // run lands on the same boundaries as the original.
+        const Cycle epochAt =
+            qosEpoch ? (now_ / qosEpoch + 1) * qosEpoch : 0;
+        if (qosEpoch != 0)
+            chunkEnd = std::min(chunkEnd, epochAt);
         if (watchdogInterval_ != 0)
             chunkEnd = std::min(chunkEnd, nextWatchdogCheck_);
         if (deadline_ != 0)
@@ -474,6 +578,10 @@ System::run(Cycle cycles)
             chunkEnd = std::min(chunkEnd, nextCkpt_);
         while (now_ < chunkEnd)
             tick();
+        // Repartition before the snapshot so a checkpoint taken at a
+        // shared boundary captures the post-epoch allocation.
+        if (qosEpoch != 0 && now_ >= epochAt)
+            qosRepartition();
         // Snapshot before the deadline check: a run tripping at its
         // deadline then carries a checkpoint taken at that very
         // cycle, so a resume loses no work.
@@ -692,6 +800,7 @@ System::gather()
             s.l1Misses += d.l1Misses;
             s.transactions += d.transactions;
             s.instructions += d.instructions;
+            s.mcThrottleStalls += d.mcThrottleStalls;
             if (d.missLatCount) {
                 s.missLatency.restore(
                     s.missLatency.sum() + d.missLatSum,
@@ -719,11 +828,16 @@ System::runParallel(Cycle cycles)
     const Cycle end = now_ + cycles;
     ensureLanes();
     while (now_ < end) {
-        // Service points (snapshots, deadline, watchdog) need the
-        // coherent global state, so windows are clamped to land on
-        // them exactly — the same cycles the serial chunk loop
-        // services, which keeps snapshots byte-identical.
+        // Service points (snapshots, deadline, watchdog, QoS epochs)
+        // need the coherent global state, so windows are clamped to
+        // land on them exactly — the same cycles the serial chunk
+        // loop services, which keeps snapshots byte-identical.
         Cycle service = end;
+        const Cycle qosEpoch = qosEpochInterval();
+        const Cycle epochAt =
+            qosEpoch ? (now_ / qosEpoch + 1) * qosEpoch : 0;
+        if (qosEpoch != 0)
+            service = std::min(service, epochAt);
         if (watchdogInterval_ != 0)
             service = std::min(service, nextWatchdogCheck_);
         if (deadline_ != 0)
@@ -747,6 +861,8 @@ System::runParallel(Cycle cycles)
             mergeOutboxes();
         }
         gather();
+        if (qosEpoch != 0 && now_ >= epochAt)
+            qosRepartition();
         if (ckptInterval_ != 0 && now_ >= nextCkpt_) {
             takeSnapshot();
             nextCkpt_ = now_ + ckptInterval_;
@@ -823,6 +939,10 @@ void
 System::resetStats()
 {
     statsRoot_.resetAll();
+    // Re-baseline the dynamic repartitioner's miss-curve samples:
+    // the counters it diffs just went back to zero.
+    qosLastMissTotal_ = 0;
+    qosPrevDelta_ = 0;
 }
 
 bool
@@ -1296,6 +1416,55 @@ System::diagJson(const std::string &reason) const
     v.set("directories", std::move(dirs));
 
     v.set("net", net_->diagJson());
+
+    // Per-VM L2 occupancy (valid lines chip-wide): which VM holds
+    // the shared cache when a run hangs or trips its deadline.
+    {
+        std::vector<std::uint64_t> linesPerVm(vms_.size(), 0);
+        for (const auto &b : banks_) {
+            b->forEachLine(
+                [&](BlockAddr block, const L2CacheLine &line) {
+                    if (!line.valid)
+                        return;
+                    const VmId vm = vmOfBlock(block);
+                    if (vm >= 0 &&
+                        vm < static_cast<VmId>(vms_.size()))
+                        ++linesPerVm[vm];
+                });
+        }
+        auto occ = json::Value::array();
+        for (std::size_t vm = 0; vm < linesPerVm.size(); ++vm) {
+            auto e = json::Value::object();
+            e.set("vm", static_cast<int>(vm));
+            e.set("l2_lines", linesPerVm[vm]);
+            occ.push(std::move(e));
+        }
+        v.set("vm_l2_occupancy", std::move(occ));
+    }
+
+    // Memory-controller queue depth: outstanding reads plus how far
+    // ahead of the clock each channel is booked.
+    {
+        auto mcs = json::Value::array();
+        for (const auto &mc : mcs_) {
+            auto e = json::Value::object();
+            e.set("tile", mc->tile());
+            e.set("outstanding", mc->outstandingReads());
+            e.set("next_free_delta",
+                  mc->nextFree() > now_ ? mc->nextFree() - now_
+                                        : 0);
+            mcs.push(std::move(e));
+        }
+        v.set("mem_controllers", std::move(mcs));
+    }
+
+    if (qos_.enabled()) {
+        auto q = json::Value::object();
+        q.set("mode", toString(qos_.mode));
+        q.set("protected_vm", qos_.protectedVm);
+        q.set("dyn_ways", qosDynWays_);
+        v.set("qos", std::move(q));
+    }
 
     if (!faultPlan_.empty())
         v.set("faults", faultPlan_.toJson());

@@ -20,6 +20,7 @@
 
 #include "core/event_queue.hh"
 #include "core/fault.hh"
+#include "core/qos.hh"
 
 #include "coherence/directory.hh"
 #include "coherence/fabric.hh"
@@ -121,6 +122,8 @@ class System : public Fabric
         return static_cast<VmId>(block >> vmSpanBits);
     }
     Cycle memFaultExtraLatency() const override;
+    std::uint64_t qosWayMask(VmId vm) const override;
+    void qosRecordThrottleStall(VmId vm) override;
     void recordL2Access(VmId vm) override;
     void recordL2Miss(VmId vm, bool c2c, bool c2c_dirty) override;
     void recordL1Miss(VmId vm, Cycle latency) override;
@@ -243,6 +246,27 @@ class System : public Fabric
     /** Age limit for the stuck-transaction audit (default 20000). */
     void setStuckTxnLimit(Cycle limit) { stuckLimit_ = limit; }
 
+    // --- per-VM QoS (isolation) ---
+
+    /**
+     * Install the per-VM QoS configuration (call before running).
+     * Static mode partitions the shared resources once: the protected
+     * VM gets `protectedWays` exclusive L2 ways per set, `reservedVcs`
+     * reserved VCs per vnet with priority switch allocation, and
+     * every other VM's memory reads are token-bucket throttled at the
+     * controllers. Dynamic mode starts from the same partition and
+     * re-sizes the protected way allocation at every `epochCycles`
+     * boundary from the observed miss/occupancy curves. Validated
+     * against the machine config (ways vs associativity, VCs vs
+     * vcsPerVnet, VM id range); throws SimError on mismatch.
+     */
+    void setQosConfig(const QosConfig &qos);
+    const QosConfig &qosConfig() const { return qos_; }
+
+    /** Current protected-VM way allocation (== protectedWays in
+     *  static mode; moves at epoch boundaries in dynamic mode). */
+    int qosDynWays() const { return qosDynWays_; }
+
     /**
      * Window-boundary audit (run under CONSIM_CHECK=full): NoC
      * credit/flit conservation, stuck-transaction (leaked MSHR
@@ -262,13 +286,13 @@ class System : public Fabric
      */
     json::Value diagJson(const std::string &reason) const;
 
-    // --- checkpoint / resume (`consim.ckpt.v3`) ---
+    // --- checkpoint / resume (`consim.ckpt.v4`) ---
 
     /**
      * Serialize the complete deterministic machine state (cycle,
      * event queue with per-source ordering keys, caches, transaction
      * tables, NoC, RNG streams, stats registry) as a
-     * `consim.ckpt.v3` document. The embedded
+     * `consim.ckpt.v4` document. The embedded
      * experiment context (setCheckpointContext) rides along so the
      * experiment layer can resume its warmup/measure loop. Throws
      * SimError(Invariant) if an Opaque event is pending.
@@ -366,6 +390,7 @@ class System : public Fabric
             std::uint64_t l1Misses = 0;
             std::uint64_t transactions = 0;
             std::uint64_t instructions = 0;
+            std::uint64_t mcThrottleStalls = 0;
             double missLatSum = 0.0;
             std::uint64_t missLatCount = 0;
         };
@@ -425,6 +450,14 @@ class System : public Fabric
     void deliver(const Msg &m);
     void watchdogCheck();
     void auditSharerState() const;
+
+    /** Dynamic-QoS epoch length (0 when no epochs are needed). */
+    Cycle qosEpochInterval() const
+    {
+        return qos_.mode == QosMode::Dynamic ? qos_.epochCycles : 0;
+    }
+    /** Re-size the protected way allocation at an epoch boundary. */
+    void qosRepartition();
 
     MachineConfig cfg_;
     std::vector<VirtualMachine *> vms_;
@@ -490,6 +523,13 @@ class System : public Fabric
     Cycle memBurstStart_ = 0;
     Cycle memBurstEnd_ = 0;
     Cycle memBurstExtra_ = 0;
+
+    // --- QoS state ---
+    QosConfig qos_;
+    int qosDynWays_ = 0;       ///< current protected way count
+    /** Epoch-boundary miss-curve samples (dynamic repartitioner). */
+    std::uint64_t qosLastMissTotal_ = 0; ///< protected-VM L2 misses
+    std::uint64_t qosPrevDelta_ = 0;     ///< last epoch's miss delta
 
     // --- checkpoint state ---
     Cycle ckptInterval_ = 0;      ///< 0 = periodic snapshots off

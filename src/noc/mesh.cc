@@ -73,6 +73,13 @@ Mesh::tick(Cycle now)
         r->tickAllocate(now);
 }
 
+void
+Mesh::setQos(VmId protected_vm, int reserved_vcs)
+{
+    for (auto &r : routers_)
+        r->setQos(protected_vm, reserved_vcs);
+}
+
 bool
 Mesh::idle() const
 {

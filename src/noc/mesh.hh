@@ -41,6 +41,9 @@ class Mesh : public Network
     /** Non-idle router credit maps + NI queue depths (diag dump). */
     json::Value diagJson() const override;
 
+    /** Propagate QoS VC reservation/priority to every router. */
+    void setQos(VmId protected_vm, int reserved_vcs) override;
+
     /** @return router at a tile (tests/diagnostics). */
     Router &router(CoreId tile) { return *routers_.at(tile); }
 

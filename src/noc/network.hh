@@ -90,6 +90,19 @@ class Network
         return json::Value::object();
     }
 
+    /**
+     * Per-VM QoS: reserve @p reserved_vcs VCs per vnet for
+     * @p protected_vm and arbitrate its packets first. The ideal
+     * network has unlimited bandwidth, so there is nothing to
+     * enforce and the base implementation ignores it.
+     */
+    virtual void
+    setQos(VmId protected_vm, int reserved_vcs)
+    {
+        (void)protected_vm;
+        (void)reserved_vcs;
+    }
+
     /** Monotonic inject/eject packet counts (never reset; the
      *  watchdog and conservation audits diff these, so they must
      *  survive resetStats). */

@@ -29,7 +29,8 @@ NetworkInterface::tick(Cycle now)
             continue;
         const int len = params_.flitsOf(q.front().type);
         int vc = 0;
-        if (!router_->canAccept(PortLocal, vnet, len, &vc))
+        if (!router_->canAccept(PortLocal, vnet, len, q.front().vm,
+                                &vc))
             continue;
         router_->reserve(PortLocal, vc, len);
         RouterPacket pkt;

@@ -23,10 +23,40 @@ Router::setNeighbor(int port, Router *r)
     neighbor_[port] = r;
 }
 
-bool
-Router::canAccept(int in_port, int vnet, int len, int *vc_out) const
+void
+Router::setQos(VmId protected_vm, int reserved_vcs)
 {
-    for (int i = 0; i < params_.vcsPerVnet; ++i) {
+    CONSIM_ASSERT(reserved_vcs >= 0 &&
+                      reserved_vcs < params_.vcsPerVnet,
+                  "QoS must leave at least one shared VC per vnet "
+                  "(reserved ", reserved_vcs, " of ",
+                  params_.vcsPerVnet, ")");
+    qosProtectedVm_ = protected_vm;
+    qosReservedVcs_ = reserved_vcs;
+}
+
+bool
+Router::canAccept(int in_port, int vnet, int len, VmId vm,
+                  int *vc_out) const
+{
+    // Unprotected traffic is confined to the low (shared) VCs of its
+    // vnet; protected traffic prefers its reserved high VCs and falls
+    // back to the shared ones. With no reservation this is exactly
+    // the original first-fit scan.
+    const int shared = params_.vcsPerVnet - qosReservedVcs_;
+    const bool prot =
+        qosReservedVcs_ > 0 && vm == qosProtectedVm_;
+    if (prot) {
+        for (int i = shared; i < params_.vcsPerVnet; ++i) {
+            const int vc = vcIndex(vnet, i);
+            if (in(in_port, vc).freeFlits >= len) {
+                if (vc_out)
+                    *vc_out = vc;
+                return true;
+            }
+        }
+    }
+    for (int i = 0; i < shared; ++i) {
         const int vc = vcIndex(vnet, i);
         if (in(in_port, vc).freeFlits >= len) {
             if (vc_out)
@@ -86,10 +116,23 @@ Router::tickAllocate(Cycle now)
 {
     if (buffered_ == 0)
         return;
-    const int total = NumPorts * params_.totalVcs();
     bool inPortUsed[NumPorts] = {};
+    // With QoS active the protected VM's packets get first claim on
+    // the switch, except on a deterministic yield cycle (every
+    // fourth) that degrades to plain round-robin so unprotected
+    // traffic cannot starve behind a saturating protected stream.
+    if (qosReservedVcs_ > 0 && (now & 3) != 3)
+        allocatePass(now, inPortUsed, /*protected_only=*/true);
+    allocatePass(now, inPortUsed, /*protected_only=*/false);
+}
+
+void
+Router::allocatePass(Cycle now, bool inPortUsed[NumPorts],
+                     bool protected_only)
+{
+    const int total = NumPorts * params_.totalVcs();
     // Round-robin over input VCs for fairness; one grant per input
-    // port and one per output port per cycle.
+    // port and one per output port per cycle (shared across passes).
     for (int k = 0; k < total; ++k) {
         const int idx = (rrInput_ + k) % total;
         const int port = idx / params_.totalVcs();
@@ -98,6 +141,8 @@ Router::tickAllocate(Cycle now)
         if (ivc.q.empty() || inPortUsed[port])
             continue;
         RouterPacket &pkt = ivc.q.front();
+        if (protected_only && pkt.msg.vm != qosProtectedVm_)
+            continue;
         if (pkt.readyCycle > now)
             continue;
         auto &out = outputs_[pkt.outPort];
@@ -112,7 +157,7 @@ Router::tickAllocate(Cycle now)
                           pkt.msg.dstTile);
             const int vnet = vnetOf(pkt.msg.type);
             if (!next->canAccept(oppositePort(pkt.outPort), vnet,
-                                 pkt.lenFlits, &downVc)) {
+                                 pkt.lenFlits, pkt.msg.vm, &downVc)) {
                 continue; // back-pressure: retry next cycle
             }
             next->reserve(oppositePort(pkt.outPort), downVc,

@@ -80,12 +80,23 @@ class Router
     void setEjector(EjectFn fn) { eject_ = std::move(fn); }
 
     /**
-     * Ask whether input @p in_port can accept a packet of @p len
-     * flits on virtual network @p vnet.
-     * @param vc_out receives the chosen VC index on success.
-     * @return true when a VC with sufficient space exists.
+     * Enable per-VM QoS: the top @p reserved_vcs VCs of every vnet
+     * only accept packets of @p protected_vm, which also win switch
+     * allocation first (with a deterministic yield cycle every fourth
+     * cycle so unprotected traffic keeps forward progress). Zero
+     * restores the default shared behaviour exactly.
      */
-    bool canAccept(int in_port, int vnet, int len, int *vc_out) const;
+    void setQos(VmId protected_vm, int reserved_vcs);
+
+    /**
+     * Ask whether input @p in_port can accept a packet of @p len
+     * flits on virtual network @p vnet, sent on behalf of VM @p vm
+     * (reserved VCs only admit the protected VM's packets).
+     * @param vc_out receives the chosen VC index on success.
+     * @return true when an admissible VC with sufficient space exists.
+     */
+    bool canAccept(int in_port, int vnet, int len, VmId vm,
+                   int *vc_out) const;
 
     /** Reserve @p len flits of space in the chosen VC. */
     void reserve(int in_port, int vc, int len);
@@ -168,6 +179,11 @@ class Router
         return inputs_[port * params_.totalVcs() + vc];
     }
 
+    /** One switch-allocation sweep; @p protected_only restricts
+     *  grants to the QoS-protected VM's packets (priority pass). */
+    void allocatePass(Cycle now, bool inPortUsed[NumPorts],
+                      bool protected_only);
+
     CoreId tile_;
     NocParams params_;
     NetworkStats *stats_;
@@ -178,6 +194,8 @@ class Router
     int rrInput_ = 0;                   ///< SA fairness pointer
     int buffered_ = 0;                  ///< packets across input VCs
     int busyOutputs_ = 0;               ///< outputs mid-transmission
+    VmId qosProtectedVm_ = invalidVm;   ///< QoS: protected VM (config)
+    int qosReservedVcs_ = 0;            ///< QoS: reserved VCs per vnet
 };
 
 } // namespace consim

@@ -17,6 +17,8 @@ toString(WorkloadKind k)
         return "SPECjbb";
       case WorkloadKind::SpecWeb:
         return "SPECweb";
+      case WorkloadKind::Bully:
+        return "Bully";
     }
     return "?";
 }
@@ -173,6 +175,46 @@ makeSpecWeb()
     return p;
 }
 
+/**
+ * Bully: a synthetic antagonist, not a paper workload. Streams
+ * through a huge private region with almost no reuse (tiny hot set,
+ * full-region slide segment) and minimal compute per reference, so it
+ * floods the shared L2 with fills and the memory controllers with
+ * reads. Used by the QoS/isolation experiments as the noisy neighbour
+ * that the protected VM must be insulated from.
+ */
+WorkloadProfile
+makeBully()
+{
+    WorkloadProfile p;
+    p.kind = WorkloadKind::Bully;
+    p.name = "Bully";
+    p.sharedRoBlocks = 1'000;
+    p.migratoryBlocks = 100;
+    p.privateBlocksPerThread = 1'000'000; // ~64 MB per thread
+    p.pSharedRo = 0.02;
+    p.pMigratory = 0.0;
+    p.hotFraction = 0.10;  // 90% of refs stream the cold tail
+    p.veryHotFraction = 0.5;
+    p.hotSharedBlocks = 64;
+    p.slideStepShared = 16;
+    p.hotPrivateBlocks = 256;
+    p.slideStepPrivate = 256; // full-window slide: no carry-over
+    p.hotSlidePeriod = 1'000;
+    p.activeSharedSegment = 1'000;
+    p.activePrivateSegment = 0; // slide over the whole region
+    p.privateWriteFraction = 0.35;
+    p.migratoryWriteFraction = 0.5;
+    p.computeMin = 1; // memory-bound: barely any compute
+    p.computeMax = 1;
+    p.refsPerTransaction = 1'000;
+    p.paperC2cAll = 0.0; // synthetic: no paper targets
+    p.paperC2cClean = 0.0;
+    p.paperC2cDirty = 0.0;
+    p.paperBlocks = 0;
+    return p;
+}
+
 } // namespace
 
 const WorkloadProfile &
@@ -191,6 +233,10 @@ WorkloadProfile::get(WorkloadKind k)
         return jbb;
       case WorkloadKind::SpecWeb:
         return web;
+      case WorkloadKind::Bully: {
+        static const WorkloadProfile bully = makeBully();
+        return bully;
+      }
     }
     CONSIM_PANIC("bad workload kind");
 }

@@ -34,13 +34,18 @@
 namespace consim
 {
 
-/** The four consolidated workloads. */
+/** The four consolidated workloads, plus a synthetic antagonist. */
 enum class WorkloadKind
 {
     TpcW,
     TpcH,
     SpecJbb,
     SpecWeb,
+    /** Deterministic "bully" VM for isolation studies: an LLC-
+     *  streaming, high-bandwidth antagonist that thrashes shared
+     *  cache and saturates the memory controllers. Not one of the
+     *  paper's workloads — excluded from all(). */
+    Bully,
 };
 
 /** @return the paper's name for a workload. */
@@ -109,7 +114,8 @@ struct WorkloadProfile
     /** @return canonical profile for a workload. */
     static const WorkloadProfile &get(WorkloadKind k);
 
-    /** @return all four profiles in paper order. */
+    /** @return all four paper profiles in paper order (the Bully
+     *  antagonist is deliberately excluded). */
     static const std::vector<WorkloadProfile> &all();
 };
 

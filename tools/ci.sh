@@ -137,6 +137,50 @@ diff -u "$scale_dir/serial.result" "$scale_dir/resumed.result" || {
     exit 1; }
 echo "scale-out smoke: 32-core parallel + resume byte-identical"
 
+echo "=== isolation smoke: protected VM vs bullies, QoS bound ==="
+# A protected SPECjbb VM against three 4-thread bully antagonists on a
+# bandwidth-constrained 2 MB-LLC node (the fig15 scenario, shrunk).
+# QoS (way partition + reserved VC + MC token buckets) must cut the
+# protected VM's cycles/transaction by a real margin, and the throttle
+# stalls must land on the bullies (mc_throttle_stalls present only in
+# the QoS envelope, and only on bully VMs).
+iso_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir" "$par_dir" "$scale_dir" "$iso_dir"' EXIT
+# Fully-shared LLC: with the default 4-core groups the bullies never
+# touch the protected VM's bank and the way restriction is pure loss.
+iso_args=(--vm jbb --vm bully --vm bully --vm bully
+    --vm-threads 0,4,4,4 --sharing 16 --l2 2097152 --mem-issue 96
+    --warmup 300000 --measure 600000 --watchdog 200000)
+iso_qos="static:vm=0,ways=2,vcs=1,tokens=1,refill=2048"
+./build/tools/consim_run "${iso_args[@]}" \
+    --json "$iso_dir/noqos.json" >/dev/null
+./build/tools/consim_run "${iso_args[@]}" --qos "$iso_qos" \
+    --json "$iso_dir/qos.json" >/dev/null
+cpt() {
+    grep -o '"cycles_per_transaction": *[0-9.e+]*' "$1" |
+        head -n1 | sed 's/.*: *//'
+}
+noqos_cpt="$(cpt "$iso_dir/noqos.json")"
+qos_cpt="$(cpt "$iso_dir/qos.json")"
+[[ -n "$noqos_cpt" && -n "$qos_cpt" ]] || {
+    echo "isolation smoke: cannot extract cycles_per_transaction" >&2
+    exit 1; }
+awk -v noqos="$noqos_cpt" -v qos="$qos_cpt" 'BEGIN {
+    bound = noqos * 0.95;
+    printf "isolation smoke: protected cy/txn %s (QoS) vs %s (no QoS," \
+           " bound %.0f)\n", qos, noqos, bound;
+    exit (qos + 0 < bound) ? 0 : 1;
+}' || {
+    echo "isolation smoke: QoS failed to protect the VM" >&2; exit 1; }
+grep -q '"mc_throttle_stalls"' "$iso_dir/qos.json" || {
+    echo "isolation smoke: no throttle stalls reported under QoS" >&2
+    exit 1; }
+if grep -q '"mc_throttle_stalls"' "$iso_dir/noqos.json"; then
+    echo "isolation smoke: throttle stalls leaked into no-QoS envelope" >&2
+    exit 1
+fi
+echo "isolation smoke: QoS bound holds, stalls land on the bullies"
+
 if [[ "$skip_checked" == 1 ]]; then
     echo "=== checked mode: skipped ==="
 else
@@ -204,8 +248,16 @@ fi
 echo "=== tsan: thread pool + parallel sweep + tile-parallel core ==="
 cmake -B build-tsan -S . -DCONSIM_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" \
-    --target test_determinism test_event_queue test_parallel_run
+    --target test_determinism test_event_queue test_parallel_run \
+    consim_run
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
     -R 'Determinism|CalendarQueue|ParallelRun')
+
+# The QoS hot paths (way-mask victim scans, VC reservation, MC token
+# buckets, the epoch repartitioner) must be race-free under the
+# tile-parallel engine: one isolation run with workers on.
+./build-tsan/tools/consim_run "${iso_args[@]}" --qos "$iso_qos" \
+    --run-jobs 4 >/dev/null
+echo "tsan: isolation run clean under --run-jobs 4"
 
 echo "=== ci.sh: all green ==="

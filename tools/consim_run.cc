@@ -8,7 +8,8 @@
  * Usage:
  *   consim_run [options]
  *     --mix "Mix 5"            Table IV mix (exclusive with --vm)
- *     --vm tpcw --vm tpch ...  explicit VM list (jbb|tpcw|tpch|web)
+ *     --vm tpcw --vm tpch ...  explicit VM list
+ *                              (jbb|tpcw|tpch|web|bully)
  *     --policy rr|affinity|aff-rr|random       (default affinity)
  *     --sharing N              cores per L2 group (default 4; any
  *                              count that tiles the mesh into
@@ -22,6 +23,10 @@
  *                              must split into whole sets per bank —
  *                              non-pow2 meshes want a matching
  *                              multiple, e.g. 36-divisible on 6x6)
+ *     --mem-issue N            min cycles between memory-controller
+ *                              accepts (default 4; raise to model a
+ *                              bandwidth-constrained node, e.g. the
+ *                              isolation experiments use 96)
  *     --warmup N --measure N   cycles          (default library)
  *     --seed N                                 (default 1)
  *     --seeds N                average N seeds (seed..seed+N-1), run
@@ -36,12 +41,16 @@
  *     --deadline N             abort the point after N sim cycles
  *     --fault PLAN             inject faults, e.g.
  *                              "wedge:core=3,at=250000;drop:nth=800"
- *     --ckpt-every N           keep periodic consim.ckpt.v3 snapshots
+ *     --qos SPEC               per-VM QoS / isolation, e.g.
+ *                              "static:vm=0,ways=4,vcs=1,tokens=8" or
+ *                              "dynamic:vm=0,ways=4,epoch=100000"
+ *                              (also via the CONSIM_QOS env var)
+ *     --ckpt-every N           keep periodic consim.ckpt.v4 snapshots
  *                              every N cycles (0 disables; default
  *                              CONSIM_CKPT, off)
  *     --ckpt-out PATH          on failure, write the last pre-trip
  *                              snapshot to PATH (needs --ckpt-every)
- *     --resume PATH            resume a consim.ckpt.v3 snapshot; the
+ *     --resume PATH            resume a consim.ckpt.v4 snapshot; the
  *                              run config comes from the checkpoint
  *                              (exclusive with --mix/--vm/--seeds)
  *     --run-jobs N             worker threads inside each simulation
@@ -95,13 +104,14 @@ usage(const char *msg = nullptr)
     std::cerr <<
         "usage: consim_run [--mix NAME | --vm KIND...] "
         "[--policy P] [--sharing N]\n"
-        "       [--mesh XxY] [--vm-threads N,N,...] [--l2 BYTES]\n"
+        "       [--mesh XxY] [--vm-threads N,N,...] [--l2 BYTES] "
+        "[--mem-issue N]\n"
         "       [--warmup N] [--measure N] [--seed N] [--seeds N] "
         "[--migrate N]\n"
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
         "[--csv] [--dump-stats]\n"
         "       [--check off|basic|full] [--watchdog N] "
-        "[--deadline N] [--fault PLAN]\n"
+        "[--deadline N] [--fault PLAN] [--qos SPEC]\n"
         "       [--ckpt-every N] [--ckpt-out PATH] [--resume PATH] "
         "[--run-jobs N]\n"
         "       [--json PATH]\n";
@@ -161,7 +171,9 @@ parseKind(const std::string &s)
         return WorkloadKind::TpcH;
     if (s == "web")
         return WorkloadKind::SpecWeb;
-    usage("unknown workload kind (jbb|tpcw|tpch|web)");
+    if (s == "bully")
+        return WorkloadKind::Bully;
+    usage("unknown workload kind (jbb|tpcw|tpch|web|bully)");
 }
 
 SchedPolicy
@@ -290,6 +302,13 @@ main(int argc, char **argv)
     std::string resume_path;
     if (const char *env = std::getenv("CONSIM_JSON"))
         json_path = env;
+    if (const char *env = std::getenv("CONSIM_QOS")) {
+        // Env fallback resolved before the flags, so an explicit
+        // --qos wins. Malformed specs are fatal, never silently off.
+        std::string err;
+        if (!QosConfig::parse(env, cfg.qos, &err))
+            usage(("bad CONSIM_QOS spec: " + err).c_str());
+    }
 
     auto next_arg = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -316,6 +335,11 @@ main(int argc, char **argv)
             // wants a whole number of sets per bank, e.g. 36-divisible
             // on a 6x6 chip), so the size must be settable here.
             cfg.machine.l2TotalBytes = parseCount(a, next_arg(i));
+        } else if (a == "--mem-issue") {
+            // Bandwidth-constrained consolidation nodes (the QoS
+            // isolation experiments) raise this past the default 4.
+            cfg.machine.memIssueInterval =
+                static_cast<int>(parseCount(a, next_arg(i)));
         } else if (a == "--warmup") {
             cfg.warmupCycles = parseCount(a, next_arg(i));
         } else if (a == "--measure") {
@@ -346,6 +370,10 @@ main(int argc, char **argv)
             std::string err;
             if (!FaultPlan::parse(next_arg(i), cfg.faults, &err))
                 usage(("bad --fault plan: " + err).c_str());
+        } else if (a == "--qos") {
+            std::string err;
+            if (!QosConfig::parse(next_arg(i), cfg.qos, &err))
+                usage(("bad --qos spec: " + err).c_str());
         } else if (a == "--ckpt-every") {
             const std::uint64_t n = parseCount(a, next_arg(i));
             // In RunConfig, 0 means "library default", so an explicit
@@ -563,6 +591,8 @@ main(int argc, char **argv)
     sys.setRunJobs(cfg.runJobs ? cfg.runJobs : defaultRunJobs());
     if (!cfg.faults.empty())
         sys.setFaultPlan(cfg.faults);
+    if (cfg.qos.enabled())
+        sys.setQosConfig(cfg.qos);
 
     const Cycle warmup =
         cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
