@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the bench.v1 emitters: wall-clock timing with
+ * repeat/median smoothing and host metadata for the envelope.
+ *
+ * Perf numbers from shared or single-CPU runners are noisy; every
+ * bench that feeds the CI perf gate times its hot section
+ * best-of-N/median (the simulator is deterministic, so repeats only
+ * differ in wall time) and records enough host context (CPU count,
+ * CPU model, 1-minute load average) that a regression report can be
+ * told apart from a busy host.
+ */
+
+#ifndef CONSIM_BENCH_BENCH_UTIL_HH
+#define CONSIM_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace consim::benchutil
+{
+
+inline double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+/**
+ * Run @p fn @p reps times and return the median wall-clock seconds.
+ * The simulator is deterministic, so the repeats compute identical
+ * results and the spread is pure host noise; the median is robust to
+ * one slow outlier (page cache, scheduler preemption).
+ */
+template <typename Fn>
+double
+medianWall(int reps, Fn &&fn)
+{
+    std::vector<double> walls;
+    walls.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        walls.push_back(
+            seconds(std::chrono::steady_clock::now() - t0));
+    }
+    std::sort(walls.begin(), walls.end());
+    return walls[walls.size() / 2];
+}
+
+/** First "model name" line from /proc/cpuinfo ("unknown" elsewhere),
+ *  sanitized for embedding in a JSON string. */
+inline std::string
+cpuModel()
+{
+    std::string model = "unknown";
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto key = line.find("model name");
+        if (key != 0)
+            continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        auto start = line.find_first_not_of(" \t", colon + 1);
+        if (start == std::string::npos)
+            break;
+        model = line.substr(start);
+        break;
+    }
+    for (char &c : model) {
+        if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+    }
+    return model;
+}
+
+/** 1-minute load average, or -1 when the host cannot report one. */
+inline double
+loadAvg1m()
+{
+    double loads[1] = {-1.0};
+    if (getloadavg(loads, 1) < 1)
+        return -1.0;
+    return loads[0];
+}
+
+/** Emit the shared host-metadata fields (no surrounding braces):
+ *  "host_cpus":N,"cpu_model":"...","loadavg_1m":X */
+inline void
+printHostMeta()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("\"host_cpus\":%u,\"cpu_model\":\"%s\","
+                "\"loadavg_1m\":%.2f",
+                hw ? hw : 1, cpuModel().c_str(), loadAvg1m());
+}
+
+} // namespace consim::benchutil
+
+#endif // CONSIM_BENCH_BENCH_UTIL_HH

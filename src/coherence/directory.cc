@@ -33,6 +33,13 @@ DirectorySlice::DirectorySlice(Fabric &fabric, CoreId tile,
     : fab_(fabric), tile_(tile), store_(store),
       dirCache_(dirCacheGeometry(fabric.config()))
 {
+    // Pre-size from the machine so the transaction table and wait
+    // pool never grow mid-run (the zero-allocation steady-state
+    // contract); a home slice can have every core's request queued.
+    const auto n = std::max<std::size_t>(
+        128, static_cast<std::size_t>(fabric.config().numCores()));
+    active_.reserve(n);
+    waiting_.reserve(n, 2 * n);
     stats_.registerIn(statsGroup_);
 }
 
@@ -66,9 +73,9 @@ void
 DirectorySlice::startTxn(Msg m)
 {
     const BlockAddr block = m.block;
-    if (active_.count(block)) {
+    if (active_.contains(block)) {
         ++stats_.queuedRequests;
-        waiting_[block].push_back(std::move(m));
+        waiting_.pushBack(block, std::move(m));
         return;
     }
     Txn &t = active_[block];
@@ -109,9 +116,9 @@ DirectorySlice::dirCacheAccess(BlockAddr block)
 void
 DirectorySlice::process(BlockAddr block)
 {
-    auto it = active_.find(block);
-    CONSIM_ASSERT(it != active_.end(), "process() for inactive block");
-    Txn &t = it->second;
+    Txn *tp = active_.find(block);
+    CONSIM_ASSERT(tp, "process() for inactive block");
+    Txn &t = *tp;
     DirEntry &e = store_.entry(block);
 
     switch (t.req.type) {
@@ -139,7 +146,7 @@ DirectorySlice::processGetS(Txn &t, DirEntry &e)
         sendMemRead(t.req);
         e.state = L2State::Exclusive;
         e.owner = static_cast<std::int16_t>(req);
-        e.sharers = GroupSet::single(req);
+        e.sharers.assignSingle(req);
         sendGrant(t, L2State::Exclusive, false);
         break;
       case L2State::Exclusive:
@@ -152,7 +159,7 @@ DirectorySlice::processGetS(Txn &t, DirEntry &e)
         ++stats_.forwards;
         t.fwdAckPending = true;
         e.state = L2State::Shared;
-        e.sharers = GroupSet::single(owner);
+        e.sharers.assignSingle(owner);
         e.sharers.set(req);
         e.owner = -1;
         sendGrant(t, L2State::Shared, false);
@@ -187,7 +194,7 @@ DirectorySlice::processGetM(Txn &t, DirEntry &e)
         sendMemRead(t.req);
         e.state = L2State::Modified;
         e.owner = static_cast<std::int16_t>(req);
-        e.sharers = GroupSet::single(req);
+        e.sharers.assignSingle(req);
         sendGrant(t, L2State::Modified, false);
         break;
       case L2State::Exclusive:
@@ -201,32 +208,34 @@ DirectorySlice::processGetM(Txn &t, DirEntry &e)
         t.fwdAckPending = true;
         e.state = L2State::Modified;
         e.owner = static_cast<std::int16_t>(req);
-        e.sharers = GroupSet::single(req);
+        e.sharers.assignSingle(req);
         sendGrant(t, L2State::Modified, false);
         break;
       }
       case L2State::Shared: {
-        GroupSet others = e.sharers;
-        others.clear(req);
+        // Work on the sharer set in place (a deep copy would churn
+        // the spill vector at >64 groups); the requester's bit is
+        // re-established at the end.
         const bool has_copy = e.sharers.test(req);
-        if (others.none()) {
+        e.sharers.clear(req);
+        if (e.sharers.none()) {
             // Requester is the sole sharer: silent data, pure grant.
             e.state = L2State::Modified;
             e.owner = static_cast<std::int16_t>(req);
-            e.sharers = GroupSet::single(req);
+            e.sharers.assignSingle(req);
             sendGrant(t, L2State::Modified, true);
             break;
         }
         GroupId fwd = invalidGroup;
         if (!has_copy) {
             // One sharer forwards data and invalidates itself.
-            fwd = closestSharer(others, invalidGroup, t.req.block,
+            fwd = closestSharer(e.sharers, invalidGroup, t.req.block,
                                 t.req.reqBankTile);
             sendToBank(MsgType::FwdGetM, fwd, t.req);
             ++stats_.forwards;
             t.fwdAckPending = true;
         }
-        others.forEachSet([&](int g) {
+        e.sharers.forEachSet([&](int g) {
             if (g == fwd)
                 return;
             sendToBank(MsgType::Inv, g, t.req);
@@ -235,7 +244,7 @@ DirectorySlice::processGetM(Txn &t, DirEntry &e)
         });
         e.state = L2State::Modified;
         e.owner = static_cast<std::int16_t>(req);
-        e.sharers = GroupSet::single(req);
+        e.sharers.assignSingle(req);
         sendGrant(t, L2State::Modified, has_copy);
         break;
       }
@@ -251,16 +260,22 @@ DirectorySlice::processPut(Txn &t, DirEntry &e)
         (e.state == L2State::Exclusive || e.state == L2State::Modified) &&
         static_cast<GroupId>(e.owner) == g;
 
+    // Clearing in place (rather than e = DirEntry{}) keeps the
+    // sharer set's spilled storage for the block's next use.
     if (is_owner) {
         if (is_put_m && t.req.dirtyData)
             sendMemWrite(t.req);
-        e = DirEntry{};
+        e.state = L2State::Invalid;
+        e.owner = -1;
+        e.sharers.reset();
     } else if (e.state == L2State::Shared && e.sharers.test(g)) {
         // A demoted owner's PutM degenerates to PutS; any dirty data
         // was already written back when the line was forwarded.
         e.sharers.clear(g);
-        if (e.sharers.none())
-            e = DirEntry{};
+        if (e.sharers.none()) {
+            e.state = L2State::Invalid;
+            e.owner = -1;
+        }
     }
     // Otherwise the Put is stale (the line moved on); just ack.
 
@@ -280,10 +295,9 @@ DirectorySlice::processPut(Txn &t, DirEntry &e)
 void
 DirectorySlice::onInvAck(const Msg &m)
 {
-    auto it = active_.find(m.block);
-    CONSIM_ASSERT(it != active_.end(), "InvAck for inactive block ",
-                  m.block);
-    Txn &t = it->second;
+    Txn *tp = active_.find(m.block);
+    CONSIM_ASSERT(tp, "InvAck for inactive block ", m.block);
+    Txn &t = *tp;
     CONSIM_ASSERT(t.acksPending > 0, "unexpected InvAck, block ",
                   m.block);
     --t.acksPending;
@@ -293,10 +307,9 @@ DirectorySlice::onInvAck(const Msg &m)
 void
 DirectorySlice::onFwdAck(const Msg &m)
 {
-    auto it = active_.find(m.block);
-    CONSIM_ASSERT(it != active_.end(), "FwdAck for inactive block ",
-                  m.block);
-    Txn &t = it->second;
+    Txn *tp = active_.find(m.block);
+    CONSIM_ASSERT(tp, "FwdAck for inactive block ", m.block);
+    Txn &t = *tp;
     CONSIM_ASSERT(t.fwdAckPending, "unexpected FwdAck, block ",
                   m.block);
     t.fwdAckPending = false;
@@ -310,10 +323,9 @@ DirectorySlice::onFwdAck(const Msg &m)
 void
 DirectorySlice::onDone(const Msg &m)
 {
-    auto it = active_.find(m.block);
-    CONSIM_ASSERT(it != active_.end(), "Done for inactive block ",
-                  m.block);
-    Txn &t = it->second;
+    Txn *tp = active_.find(m.block);
+    CONSIM_ASSERT(tp, "Done for inactive block ", m.block);
+    Txn &t = *tp;
     CONSIM_ASSERT(t.grantSent, "Done before grant, block ", m.block);
     CONSIM_ASSERT(!t.doneReceived, "double Done, block ", m.block);
     t.doneReceived = true;
@@ -326,31 +338,24 @@ DirectorySlice::tryFinish(BlockAddr block)
     // A transaction retires only when the requester has confirmed the
     // fill (Done) and every invalidation/forward ack has returned; the
     // blocking home then admits the next queued request for the block.
-    auto it = active_.find(block);
-    CONSIM_ASSERT(it != active_.end(), "tryFinish of inactive txn");
-    const Txn &t = it->second;
-    if (t.doneReceived && t.acksPending == 0 && !t.fwdAckPending)
+    const Txn *t = active_.find(block);
+    CONSIM_ASSERT(t, "tryFinish of inactive txn");
+    if (t->doneReceived && t->acksPending == 0 && !t->fwdAckPending)
         finishTxn(block);
 }
 
 void
 DirectorySlice::finishTxn(BlockAddr block)
 {
-    auto it = active_.find(block);
-    CONSIM_ASSERT(it != active_.end(), "finish of inactive txn");
-    CONSIM_ASSERT(it->second.acksPending == 0 &&
-                      !it->second.fwdAckPending,
+    const Txn *t = active_.find(block);
+    CONSIM_ASSERT(t, "finish of inactive txn");
+    CONSIM_ASSERT(t->acksPending == 0 && !t->fwdAckPending,
                   "finishing txn with outstanding acks, block ", block);
-    active_.erase(it);
+    active_.erase(block);
 
-    auto wit = waiting_.find(block);
-    if (wit == waiting_.end() || wit->second.empty())
+    if (!waiting_.has(block))
         return;
-    Msg next = std::move(wit->second.front());
-    wit->second.pop_front();
-    if (wit->second.empty())
-        waiting_.erase(wit);
-    startTxn(std::move(next));
+    startTxn(waiting_.popFront(block));
 }
 
 GroupId
@@ -386,8 +391,8 @@ DirectorySlice::sendMemRead(const Msg &req)
     // If this transaction already fetched directory state off-chip,
     // the data came up with it (state sits beside the block in DRAM);
     // the controller then only charges a transfer cost.
-    auto it = active_.find(req.block);
-    m.overlappedFetch = it != active_.end() && it->second.dirFetched;
+    const Txn *t = active_.find(req.block);
+    m.overlappedFetch = t && t->dirFetched;
     fab_.send(m);
 }
 
@@ -436,7 +441,7 @@ DirectorySlice::sendToBank(MsgType type, GroupId g, const Msg &req)
 void
 DirectorySlice::auditStuckTxns(Cycle now, Cycle limit) const
 {
-    for (const auto &[block, t] : active_) {
+    active_.forEach([&](BlockAddr block, const Txn &t) {
         if (now - t.started > limit) {
             CONSIM_CHECK_FAIL("dir ", tile_, ": transaction on block "
                               "0x", std::hex, block, std::dec,
@@ -446,16 +451,13 @@ DirectorySlice::auditStuckTxns(Cycle now, Cycle limit) const
                               ", grant_sent=", t.grantSent,
                               ", done=", t.doneReceived, ")");
         }
-    }
+    });
 }
 
 json::Value
 DirectorySlice::diagJson() const
 {
-    std::vector<BlockAddr> keys;
-    keys.reserve(active_.size());
-    for (const auto &[block, t] : active_)
-        keys.push_back(block);
+    std::vector<BlockAddr> keys = active_.keys();
     std::sort(keys.begin(), keys.end());
 
     auto v = json::Value::object();
@@ -475,18 +477,14 @@ DirectorySlice::diagJson() const
     }
     v.set("active", std::move(act));
 
-    keys.clear();
-    for (const auto &[block, q] : waiting_) {
-        if (!q.empty())
-            keys.push_back(block);
-    }
+    keys = waiting_.keys();
     std::sort(keys.begin(), keys.end());
     auto waitv = json::Value::array();
     for (const BlockAddr block : keys) {
         auto e = json::Value::object();
         e.set("block", block);
         e.set("depth",
-              static_cast<std::uint64_t>(waiting_.at(block).size()));
+              static_cast<std::uint64_t>(waiting_.depth(block)));
         waitv.push(std::move(e));
     }
     v.set("waiting", std::move(waitv));
@@ -496,7 +494,7 @@ DirectorySlice::diagJson() const
 void
 DirectorySlice::debugDump() const
 {
-    for (const auto &[block, t] : active_) {
+    active_.forEach([&](BlockAddr block, const Txn &t) {
         std::fprintf(stderr,
                      "  dir%d blk=0x%llx req=%s from=%d acks=%d "
                      "fwdAck=%d grant=%d done=%d\n",
@@ -504,11 +502,11 @@ DirectorySlice::debugDump() const
                      toString(t.req.type), t.req.srcTile,
                      t.acksPending, t.fwdAckPending, t.grantSent,
                      t.doneReceived);
-    }
-    for (const auto &[block, q] : waiting_) {
-        if (!q.empty())
-            std::fprintf(stderr, "  dir%d blk=0x%llx waiting=%zu\n",
-                         tile_, (unsigned long long)block, q.size());
+    });
+    for (const BlockAddr block : waiting_.keys()) {
+        std::fprintf(stderr, "  dir%d blk=0x%llx waiting=%zu\n",
+                     tile_, (unsigned long long)block,
+                     waiting_.depth(block));
     }
 }
 

@@ -13,13 +13,12 @@
 #define CONSIM_COHERENCE_DIRECTORY_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
 #include "coherence/fabric.hh"
 #include "coherence/protocol.hh"
+#include "common/block_map.hh"
 #include "common/coreset.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
@@ -27,14 +26,32 @@
 namespace consim
 {
 
-/** Width of each VM's block-address window (blocks = 1 << bits). */
+/** Default width of each VM's block-address window (blocks =
+ *  1 << bits). 16M blocks fits every VM up to ~72 threads; larger
+ *  over-committed instances (the 128/256-core scale study) widen the
+ *  whole run's windows via requiredVmSpanBits(). The width is per
+ *  run, not per VM, so `block >> bits` stays a pure decode — and a
+ *  run whose VMs all fit the default keeps byte-identical addresses
+ *  to the fixed-width implementation (the home/MC hashes mix the
+ *  full address, so the 16-core golden envelopes pin this). */
 constexpr int vmSpanBits = 24;
+
+/** @return the window width for a run whose largest VM touches
+ *  @p max_blocks distinct blocks (never below the default). */
+constexpr int
+requiredVmSpanBits(std::uint64_t max_blocks)
+{
+    int bits = vmSpanBits;
+    while ((1ull << bits) <= max_blocks)
+        ++bits;
+    return bits;
+}
 
 /** @return the base block address of a VM's window. */
 constexpr BlockAddr
-vmBaseBlock(VmId vm)
+vmBaseBlock(VmId vm, int span_bits = vmSpanBits)
 {
-    return static_cast<BlockAddr>(vm) << vmSpanBits;
+    return static_cast<BlockAddr>(vm) << span_bits;
 }
 
 /** One directory entry: partition-granular MESI + full sharer map. */
@@ -54,12 +71,26 @@ struct DirEntry
 class DirectoryStorage
 {
   public:
+    /** Adopt the run's window width (see requiredVmSpanBits); must
+     *  happen before any VM is registered. */
+    void
+    setSpanBits(int bits)
+    {
+        CONSIM_ASSERT(bits >= vmSpanBits, "window narrower than "
+                      "default");
+        CONSIM_ASSERT(perVm_.empty(),
+                      "span change after VM registration");
+        spanBits_ = bits;
+    }
+
+    int spanBits() const { return spanBits_; }
+
     /** Declare a VM's address window before simulation starts. */
     void
     registerVm(VmId vm, std::uint64_t num_blocks)
     {
         CONSIM_ASSERT(vm >= 0, "bad vm");
-        CONSIM_ASSERT(num_blocks <= (1ull << vmSpanBits),
+        CONSIM_ASSERT(num_blocks <= (1ull << spanBits_),
                       "VM footprint exceeds its address window");
         if (static_cast<std::size_t>(vm) >= perVm_.size())
             perVm_.resize(vm + 1);
@@ -70,8 +101,8 @@ class DirectoryStorage
     DirEntry &
     entry(BlockAddr block)
     {
-        const auto vm = static_cast<std::size_t>(block >> vmSpanBits);
-        const auto off = block & ((1ull << vmSpanBits) - 1);
+        const auto vm = static_cast<std::size_t>(block >> spanBits_);
+        const auto off = block & ((1ull << spanBits_) - 1);
         CONSIM_ASSERT(vm < perVm_.size() && off < perVm_[vm].size(),
                       "directory access outside registered windows: "
                       "block ", block);
@@ -86,7 +117,7 @@ class DirectoryStorage
         for (std::size_t vm = 0; vm < perVm_.size(); ++vm) {
             for (std::size_t off = 0; off < perVm_[vm].size(); ++off) {
                 const BlockAddr block =
-                    (static_cast<BlockAddr>(vm) << vmSpanBits) | off;
+                    (static_cast<BlockAddr>(vm) << spanBits_) | off;
                 fn(block, perVm_[vm][off]);
             }
         }
@@ -94,6 +125,7 @@ class DirectoryStorage
 
   private:
     std::vector<std::vector<DirEntry>> perVm_;
+    int spanBits_ = vmSpanBits;
 };
 
 /** Per-slice statistic counters. */
@@ -154,9 +186,7 @@ class DirectorySlice
     bool
     hasActivity(BlockAddr block) const
     {
-        const auto wit = waiting_.find(block);
-        return active_.count(block) != 0 ||
-               (wit != waiting_.end() && !wit->second.empty());
+        return active_.contains(block) || waiting_.has(block);
     }
 
     /** Active/waiting transaction snapshot for `consim.diag.v1`. */
@@ -210,8 +240,8 @@ class DirectorySlice
     CoreId tile_;
     DirectoryStorage &store_;
     CacheArray<DirCacheLine> dirCache_;
-    std::unordered_map<BlockAddr, Txn> active_;
-    std::unordered_map<BlockAddr, std::deque<Msg>> waiting_;
+    BlockMap<Txn> active_{128};
+    WaitQueueMap<Msg> waiting_{128};
     DirSliceStats stats_;
     stats::Group statsGroup_{"dir"};
 };

@@ -38,6 +38,15 @@ L2Bank::L2Bank(Fabric &fabric, CoreId tile)
     auto it = std::find(members_.begin(), members_.end(), tile_);
     CONSIM_ASSERT(it != members_.end(), "tile not in its own group");
     myBankIdx_ = static_cast<int>(it - members_.begin());
+    // Pre-size the transaction tables from the machine: in the worst
+    // case every core in the machine has a request parked at this
+    // bank, and growing the tables mid-run would break the
+    // zero-allocation steady state the alloc tests enforce.
+    const auto n = std::max<std::size_t>(
+        128, static_cast<std::size_t>(fabric.config().numCores()));
+    active_.reserve(n);
+    wb_.reserve(n);
+    waiting_.reserve(n, 2 * n);
     stats_.registerIn(statsGroup_);
 }
 
@@ -78,10 +87,7 @@ L2Bank::handle(const Msg &msg)
                      "[%llu] bank%d %s act=%zu wait=%zu wb=%zu\n",
                      (unsigned long long)fab_.now(), tile_,
                      describe(msg).c_str(), active_.count(msg.block),
-                     waiting_.count(msg.block)
-                         ? waiting_[msg.block].size()
-                         : 0,
-                     wb_.count(msg.block));
+                     waiting_.depth(msg.block), wb_.count(msg.block));
     }
     switch (msg.type) {
       case MsgType::L1GetS:
@@ -126,9 +132,9 @@ L2Bank::onL1Request(const Msg &m)
 {
     const BlockAddr block = m.block;
     fab_.recordL2Access(m.vm);
-    if (active_.count(block) || wb_.count(block) ||
-        (waiting_.count(block) && !waiting_[block].empty())) {
-        waiting_[block].push_back(m);
+    if (active_.contains(block) || wb_.contains(block) ||
+        waiting_.has(block)) {
+        waiting_.pushBack(block, m);
         return;
     }
     BankTxn t;
@@ -145,9 +151,9 @@ L2Bank::onL1Request(const Msg &m)
 void
 L2Bank::dispatchLocal(BlockAddr block)
 {
-    auto it = active_.find(block);
-    CONSIM_ASSERT(it != active_.end(), "dispatch for inactive block");
-    BankTxn &t = it->second;
+    BankTxn *tp = active_.find(block);
+    CONSIM_ASSERT(tp, "dispatch for inactive block");
+    BankTxn &t = *tp;
     CONSIM_ASSERT(t.phase == Phase::Lookup, "bad dispatch phase");
     const Msg &m = t.req;
     L2CacheLine *line = array_.lookup(localOf(block));
@@ -205,7 +211,7 @@ L2Bank::grantLocal(const Msg &req, L2CacheLine *line)
             sendL1(MsgType::L1Inv, members_[i], req.block, false);
             ++stats_.backInvals;
         });
-        line->presence = CoreSet::single(req_idx);
+        line->presence.assignSingle(req_idx);
         line->ownerCore = static_cast<std::int16_t>(req_idx);
         line->state = L2State::Modified; // silent E->M upgrade
     } else {
@@ -235,17 +241,12 @@ L2Bank::pumpQueue(BlockAddr block)
     // resumes the pump), or the queue drains. Forwards and
     // invalidations may complete synchronously without occupying the
     // block, so a single pop is not enough.
-    while (!active_.count(block)) {
-        if (wb_.count(block))
+    while (!active_.contains(block)) {
+        if (wb_.contains(block))
             return;
-        auto wit = waiting_.find(block);
-        if (wit == waiting_.end() || wit->second.empty())
+        if (!waiting_.has(block))
             return;
-        Msg next = std::move(wit->second.front());
-        wit->second.pop_front();
-        if (wit->second.empty())
-            waiting_.erase(wit);
-        startOp(std::move(next));
+        startOp(waiting_.popFront(block));
     }
 }
 
@@ -257,24 +258,17 @@ L2Bank::drainGlobalOps(BlockAddr block)
     // was in its lookup window: the home is blocked on those, and our
     // request is queued behind the home's current transaction --
     // letting them wait would deadlock the pair.
-    auto wit = waiting_.find(block);
-    while (wit != waiting_.end() && !wit->second.empty()) {
-        const MsgType t = wit->second.front().type;
+    while (waiting_.has(block)) {
+        const MsgType t = waiting_.front(block).type;
         if (t != MsgType::FwdGetS && t != MsgType::FwdGetM &&
             t != MsgType::Inv) {
             break;
         }
-        Msg m = std::move(wit->second.front());
-        wit->second.pop_front();
-        if (wit->second.empty()) {
-            waiting_.erase(wit);
-            wit = waiting_.end();
-        }
+        Msg m = waiting_.popFront(block);
         if (m.type == MsgType::Inv)
             onInv(m);
         else
             processFwdOnLine(m);
-        wit = waiting_.find(block);
     }
 }
 
@@ -332,22 +326,21 @@ L2Bank::onL1PutM(const Msg &m)
     // back marked stale). This applies whether or not the line is
     // still in the array (it is pinned there for victim extractions).
     BlockAddr txn_block = block;
-    auto vit = victimExtract_.find(block);
-    if (vit != victimExtract_.end())
-        txn_block = vit->second;
-    auto it = active_.find(txn_block);
-    if (it != active_.end() &&
-        (it->second.phase == Phase::WaitL1Data ||
-         it->second.phase == Phase::WaitFwdL1Data ||
-         it->second.phase == Phase::WaitVictimL1) &&
-        it->second.extractTarget == m.srcTile) {
+    if (const BlockAddr *vt = victimExtract_.find(block))
+        txn_block = *vt;
+    const BankTxn *t = active_.find(txn_block);
+    if (t &&
+        (t->phase == Phase::WaitL1Data ||
+         t->phase == Phase::WaitFwdL1Data ||
+         t->phase == Phase::WaitVictimL1) &&
+        t->extractTarget == m.srcTile) {
         handleExtractionData(txn_block);
         return;
     }
     if (line_found)
         return;
-    if (auto wit = wb_.find(block); wit != wb_.end()) {
-        wit->second.dirty = true;
+    if (WbEntry *wb = wb_.find(block)) {
+        wb->dirty = true;
         return;
     }
     ++stats_.staleWrites;
@@ -357,17 +350,16 @@ void
 L2Bank::onL1WbData(const Msg &m)
 {
     BlockAddr txn_block = m.block;
-    auto vit = victimExtract_.find(m.block);
-    if (vit != victimExtract_.end())
-        txn_block = vit->second;
-    auto it = active_.find(txn_block);
-    if (it == active_.end()) {
+    if (const BlockAddr *vt = victimExtract_.find(m.block))
+        txn_block = *vt;
+    BankTxn *tp = active_.find(txn_block);
+    if (!tp) {
         // The extraction was satisfied by a crossing L1PutM already.
         CONSIM_ASSERT(m.stale, "WbData without extraction, ",
                       describe(m));
         return;
     }
-    BankTxn &t = it->second;
+    BankTxn &t = *tp;
     if ((t.phase != Phase::WaitL1Data &&
          t.phase != Phase::WaitFwdL1Data &&
          t.phase != Phase::WaitVictimL1) ||
@@ -389,9 +381,9 @@ L2Bank::onL1WbData(const Msg &m)
 void
 L2Bank::handleExtractionData(BlockAddr txn_block)
 {
-    auto it = active_.find(txn_block);
-    CONSIM_ASSERT(it != active_.end(), "extraction without txn");
-    BankTxn &t = it->second;
+    BankTxn *tp = active_.find(txn_block);
+    CONSIM_ASSERT(tp, "extraction without txn");
+    BankTxn &t = *tp;
 
     switch (t.phase) {
       case Phase::WaitL1Data: {
@@ -420,7 +412,7 @@ L2Bank::handleExtractionData(BlockAddr txn_block)
             line->ownerCore = -1;
         }
         const Msg fwd = t.req;
-        active_.erase(it);
+        active_.erase(txn_block);
         serveFwdFromLine(fwd, line);
         // serveFwdFromLine never re-enters a txn for this block; pop
         // any queued work now.
@@ -453,15 +445,15 @@ L2Bank::onFwd(const Msg &m)
 {
     const BlockAddr block = m.block;
     ++stats_.fwdsServed;
-    if (auto wit = wb_.find(block); wit != wb_.end()) {
-        serveFwdFromWb(m, wit->second);
+    if (WbEntry *wb = wb_.find(block)) {
+        serveFwdFromWb(m, *wb);
         return;
     }
-    auto it = active_.find(block);
-    if (it != active_.end() && it->second.phase != Phase::WaitHome) {
+    const BankTxn *t = active_.find(block);
+    if (t && t->phase != Phase::WaitHome) {
         // A local-service operation is mid-flight; it finishes
         // without the home, so the forward waits at the front.
-        waiting_[block].push_front(m);
+        waiting_.pushFront(block, m);
         return;
     }
     processFwdOnLine(m);
@@ -545,8 +537,8 @@ L2Bank::onInv(const Msg &m)
 {
     const BlockAddr block = m.block;
     ++stats_.invsReceived;
-    if (auto wit = wb_.find(block); wit != wb_.end()) {
-        wit->second.dirty = false; // data is dead; Put becomes stale
+    if (WbEntry *wb = wb_.find(block)) {
+        wb->dirty = false; // data is dead; Put becomes stale
     } else {
         L2CacheLine *line = array_.lookup(localOf(block));
         CONSIM_ASSERT(line, "Inv for absent block 0x", std::hex, block,
@@ -571,12 +563,11 @@ L2Bank::onInv(const Msg &m)
 void
 L2Bank::onData(const Msg &m)
 {
-    auto it = active_.find(m.block);
-    CONSIM_ASSERT(it != active_.end() &&
-                      (it->second.phase == Phase::WaitHome ||
-                       it->second.phase == Phase::WaitVictimL1),
+    BankTxn *tp = active_.find(m.block);
+    CONSIM_ASSERT(tp && (tp->phase == Phase::WaitHome ||
+                         tp->phase == Phase::WaitVictimL1),
                   "Data without fill in flight: ", describe(m));
-    BankTxn &t = it->second;
+    BankTxn &t = *tp;
     t.dataArrived = true;
     t.dataMsg = m;
     if (t.phase == Phase::WaitHome)
@@ -586,12 +577,11 @@ L2Bank::onData(const Msg &m)
 void
 L2Bank::onGrant(const Msg &m)
 {
-    auto it = active_.find(m.block);
-    CONSIM_ASSERT(it != active_.end() &&
-                      (it->second.phase == Phase::WaitHome ||
-                       it->second.phase == Phase::WaitVictimL1),
+    BankTxn *tp = active_.find(m.block);
+    CONSIM_ASSERT(tp && (tp->phase == Phase::WaitHome ||
+                         tp->phase == Phase::WaitVictimL1),
                   "Grant without fill in flight: ", describe(m));
-    BankTxn &t = it->second;
+    BankTxn &t = *tp;
     t.grantArrived = true;
     t.grantMsg = m;
     if (t.phase == Phase::WaitHome)
@@ -601,9 +591,9 @@ L2Bank::onGrant(const Msg &m)
 void
 L2Bank::tryCompleteFill(BlockAddr block)
 {
-    auto it = active_.find(block);
-    CONSIM_ASSERT(it != active_.end(), "completeFill inactive");
-    BankTxn &t = it->second;
+    BankTxn *tp = active_.find(block);
+    CONSIM_ASSERT(tp, "completeFill inactive");
+    BankTxn &t = *tp;
     if (t.phase != Phase::WaitHome)
         return;
     if (!t.grantArrived)
@@ -663,9 +653,9 @@ L2Bank::fillRetry(BlockAddr block)
 void
 L2Bank::installAndFinish(BlockAddr block)
 {
-    auto it = active_.find(block);
-    CONSIM_ASSERT(it != active_.end(), "install without txn");
-    BankTxn &t = it->second;
+    BankTxn *tp = active_.find(block);
+    CONSIM_ASSERT(tp, "install without txn");
+    BankTxn &t = *tp;
 
     // Fills honour the owning VM's QoS way mask (all-ones when
     // partitioning is off, where victim() is the identical choice).
@@ -719,10 +709,9 @@ L2Bank::pickVictim(BlockAddr block)
             return;
         }
         const BlockAddr gblock = globalOf(line.tag);
-        if (active_.count(gblock) || wb_.count(gblock))
+        if (active_.contains(gblock) || wb_.contains(gblock))
             return;
-        if (auto w = waiting_.find(gblock);
-            w != waiting_.end() && !w->second.empty())
+        if (waiting_.has(gblock))
             return;
         if (best == nullptr ||
             (best->valid && line.lruStamp < best->lruStamp))
@@ -843,7 +832,7 @@ L2Bank::checkInvariants() const
 void
 L2Bank::auditStuckTxns(Cycle now, Cycle limit) const
 {
-    for (const auto &[block, t] : active_) {
+    active_.forEach([&](BlockAddr block, const BankTxn &t) {
         if (now - t.started > limit) {
             CONSIM_CHECK_FAIL("bank ", tile_, ": transaction on block "
                               "0x", std::hex, block, std::dec,
@@ -852,15 +841,15 @@ L2Bank::auditStuckTxns(Cycle now, Cycle limit) const
                               static_cast<int>(t.phase), ", req ",
                               describe(t.req), ")");
         }
-    }
-    for (const auto &[block, wb] : wb_) {
+    });
+    wb_.forEach([&](BlockAddr block, const WbEntry &wb) {
         if (now - wb.started > limit) {
             CONSIM_CHECK_FAIL("bank ", tile_, ": writeback of block "
                               "0x", std::hex, block, std::dec,
                               " awaiting PutAck for ",
                               now - wb.started, " cycles");
         }
-    }
+    });
 }
 
 namespace
@@ -871,10 +860,7 @@ template <typename Map>
 std::vector<BlockAddr>
 sortedBlocks(const Map &m)
 {
-    std::vector<BlockAddr> keys;
-    keys.reserve(m.size());
-    for (const auto &[block, v] : m)
-        keys.push_back(block);
+    std::vector<BlockAddr> keys = m.keys();
     std::sort(keys.begin(), keys.end());
     return keys;
 }
@@ -901,13 +887,11 @@ L2Bank::diagJson() const
     v.set("active", std::move(act));
     auto waitv = json::Value::array();
     for (const BlockAddr block : sortedBlocks(waiting_)) {
-        const auto &q = waiting_.at(block);
-        if (q.empty())
-            continue;
         auto e = json::Value::object();
         e.set("block", block);
-        e.set("depth", static_cast<std::uint64_t>(q.size()));
-        e.set("front", describe(q.front()));
+        e.set("depth",
+              static_cast<std::uint64_t>(waiting_.depth(block)));
+        e.set("front", describe(waiting_.front(block)));
         waitv.push(std::move(e));
     }
     v.set("waiting", std::move(waitv));
@@ -927,7 +911,7 @@ L2Bank::diagJson() const
 void
 L2Bank::debugDump() const
 {
-    for (const auto &[block, t] : active_) {
+    active_.forEach([&](BlockAddr block, const BankTxn &t) {
         std::fprintf(stderr,
                      "  bank%d blk=0x%llx phase=%d req=%s data=%d "
                      "grant=%d victim=0x%llx expectPutM=%d\n",
@@ -935,18 +919,18 @@ L2Bank::debugDump() const
                      static_cast<int>(t.phase), toString(t.req.type),
                      t.dataArrived, t.grantArrived,
                      (unsigned long long)t.victimBlock, t.expectPutM);
+    });
+    for (const BlockAddr block : waiting_.keys()) {
+        std::fprintf(stderr, "  bank%d blk=0x%llx waiting=%zu "
+                     "front=%s\n",
+                     tile_, (unsigned long long)block,
+                     waiting_.depth(block),
+                     toString(waiting_.front(block).type));
     }
-    for (const auto &[block, q] : waiting_) {
-        if (!q.empty())
-            std::fprintf(stderr, "  bank%d blk=0x%llx waiting=%zu "
-                         "front=%s\n",
-                         tile_, (unsigned long long)block, q.size(),
-                         toString(q.front().type));
-    }
-    for (const auto &[block, wb] : wb_) {
+    wb_.forEach([&](BlockAddr block, const WbEntry &wb) {
         std::fprintf(stderr, "  bank%d blk=0x%llx wb dirty=%d\n",
                      tile_, (unsigned long long)block, wb.dirty);
-    }
+    });
 }
 
 } // namespace consim

@@ -27,13 +27,12 @@
 #ifndef CONSIM_COHERENCE_L2_BANK_HH
 #define CONSIM_COHERENCE_L2_BANK_HH
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
 #include "coherence/fabric.hh"
 #include "coherence/protocol.hh"
+#include "common/block_map.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
 
@@ -123,9 +122,8 @@ class L2Bank
     bool
     hasActivity(BlockAddr block) const
     {
-        const auto wit = waiting_.find(block);
-        return active_.count(block) != 0 || wb_.count(block) != 0 ||
-               (wit != waiting_.end() && !wit->second.empty());
+        return active_.contains(block) || wb_.contains(block) ||
+               waiting_.has(block);
     }
 
     /** Active/waiting/writeback snapshot for `consim.diag.v1`. */
@@ -220,11 +218,11 @@ class L2Bank
     int myBankIdx_;
 
     CacheArray<L2CacheLine> array_;
-    std::unordered_map<BlockAddr, BankTxn> active_;
-    std::unordered_map<BlockAddr, std::deque<Msg>> waiting_;
-    std::unordered_map<BlockAddr, WbEntry> wb_;
+    BlockMap<BankTxn> active_{128};
+    WaitQueueMap<Msg> waiting_{128};
+    BlockMap<WbEntry> wb_{128};
     /** victim block -> fill block for WaitVictimL1 extractions. */
-    std::unordered_map<BlockAddr, BlockAddr> victimExtract_;
+    BlockMap<BlockAddr> victimExtract_{32};
     L2BankStats stats_;
     stats::Group statsGroup_{"l2bank"};
 };

@@ -90,6 +90,15 @@ class CoreSet
         return s;
     }
 
+    /** Make this set exactly { @p idx } in place. Unlike assigning
+     *  single(idx), spilled storage is reused, not reallocated. */
+    void
+    assignSingle(int idx)
+    {
+        reset();
+        set(idx);
+    }
+
     /** Add @p idx to the set (grows storage as needed). */
     void
     set(int idx)

@@ -27,8 +27,11 @@ namespace consim
 class EventFn
 {
   public:
-    /** Bytes of inline capture storage (fits `this` + a Msg). */
-    static constexpr std::size_t inlineCapacity = 64;
+    /** Bytes of inline capture storage. Sized for the dominant
+     *  capture shape, a component pointer plus a 64-byte Msg (72
+     *  bytes with padding) — one byte short and every protocol
+     *  callback heap-allocates. */
+    static constexpr std::size_t inlineCapacity = 80;
 
     EventFn() = default;
 

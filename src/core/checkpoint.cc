@@ -66,15 +66,12 @@ asInt(const Value &v)
     return static_cast<std::int64_t>(v.number());
 }
 
-/** @return an unordered map's keys in ascending order. */
-template <typename Map>
-std::vector<typename Map::key_type>
-sortedKeys(const Map &m)
+/** @return a block map's keys in ascending order. */
+template <typename V>
+std::vector<BlockAddr>
+sortedKeys(const BlockMap<V> &m)
 {
-    std::vector<typename Map::key_type> keys;
-    keys.reserve(m.size());
-    for (const auto &kv : m)
-        keys.push_back(kv.first);
+    std::vector<BlockAddr> keys = m.keys();
     std::sort(keys.begin(), keys.end());
     return keys;
 }
@@ -349,6 +346,14 @@ struct CkptAccess
         v.set("slice", std::move(sl));
         v.set("busy_until", cyclesJson(c.busyUntil_));
         v.set("block_start", cyclesJson(c.blockStart_));
+        // Over-commit rotation state; the run-queue contents are
+        // rebuilt from the placements by the System constructor, so
+        // only the position and next boundary need saving.
+        if (c.contexts_.size() > 1) {
+            v.set("ctx_pos",
+                  static_cast<std::uint64_t>(c.ctxPos_));
+            v.set("next_slice", cyclesJson(c.nextSlice_));
+        }
         return v;
     }
 
@@ -380,6 +385,18 @@ struct CkptAccess
         c.slice_.noMemRef = sl.at(4).boolean();
         c.busyUntil_ = get(v, "busy_until").asUint();
         c.blockStart_ = get(v, "block_start").asUint();
+        // Optional (absent on single-context cores and in snapshots
+        // from before over-commit existed).
+        if (const Value *cp = v.find("ctx_pos")) {
+            CONSIM_ASSERT(c.contexts_.size() > 1,
+                          "checkpoint: rotation state for core ",
+                          c.tile_, " which is not over-committed");
+            const auto pos = static_cast<std::size_t>(cp->asUint());
+            CONSIM_ASSERT(pos < c.contexts_.size(),
+                          "checkpoint: ctx_pos ", pos, " out of range");
+            c.ctxPos_ = pos;
+            c.nextSlice_ = get(v, "next_slice").asUint();
+        }
     }
 
     // --- L1 controllers ---
@@ -474,17 +491,18 @@ struct CkptAccess
         return t;
     }
 
-    /** Serialize a block-keyed deque-of-messages map (sorted). Empty
-     *  deques are kept: idle() distinguishes them from absent keys. */
-    template <typename Map>
+    /** Serialize the per-block waiting queues (sorted by block).
+     *  Empty queues cannot exist (popFront drops emptied keys). */
     static Value
-    saveMsgQueues(const Map &m)
+    saveMsgQueues(const WaitQueueMap<Msg> &m)
     {
         Value v = Value::array();
-        for (BlockAddr k : sortedKeys(m)) {
+        std::vector<BlockAddr> keys = m.keys();
+        std::sort(keys.begin(), keys.end());
+        for (BlockAddr k : keys) {
             Value q = Value::array();
-            for (const Msg &msg : m.at(k))
-                q.push(msgToJson(msg));
+            m.forEachMsg(
+                k, [&](const Msg &msg) { q.push(msgToJson(msg)); });
             Value e = Value::array();
             e.push(static_cast<std::uint64_t>(k));
             e.push(std::move(q));
@@ -493,15 +511,14 @@ struct CkptAccess
         return v;
     }
 
-    template <typename Map>
     static void
-    loadMsgQueues(Map &m, const Value &v)
+    loadMsgQueues(WaitQueueMap<Msg> &m, const Value &v)
     {
         m.clear();
         for (const Value &e : v.items()) {
-            auto &q = m[e.at(0).asUint()];
+            const BlockAddr k = e.at(0).asUint();
             for (const Value &msg : e.at(1).items())
-                q.push_back(msgFromJson(msg));
+                m.pushBack(k, msgFromJson(msg));
         }
     }
 
@@ -789,6 +806,7 @@ struct CkptAccess
         r.buffered_ = static_cast<int>(asInt(get(v, "buffered")));
         r.busyOutputs_ =
             static_cast<int>(asInt(get(v, "busy_outputs")));
+        r.rebuildOccupancy();
     }
 
     static Value
@@ -862,6 +880,7 @@ struct CkptAccess
                     for (const Value &m : vnets.at(q).items())
                         ni.queues_[q].push_back(msgFromJson(m));
                 }
+                ni.recountQueued();
             }
         } else {
             auto *ideal = dynamic_cast<IdealNetwork *>(&n);

@@ -229,6 +229,7 @@ configCtxJson(const RunConfig &res, const RunConfig &raw)
     v.set("warmup_cycles", res.warmupCycles);
     v.set("measure_cycles", res.measureCycles);
     v.set("migration_interval_cycles", res.migrationIntervalCycles);
+    v.set("timeslice_cycles", res.timesliceCycles);
     v.set("watchdog_interval_cycles", res.watchdogIntervalCycles);
     v.set("cycle_deadline", res.cycleDeadline);
     v.set("ckpt_every_cycles", res.ckptEveryCycles);
@@ -267,6 +268,9 @@ configFromCtx(const json::Value &v)
     cfg.measureCycles = ctxGet(v, "measure_cycles").asUint();
     cfg.migrationIntervalCycles =
         ctxGet(v, "migration_interval_cycles").asUint();
+    // Optional: absent in checkpoints from before over-commit.
+    if (const json::Value *ts = v.find("timeslice_cycles"))
+        cfg.timesliceCycles = ts->asUint();
     cfg.watchdogIntervalCycles =
         ctxGet(v, "watchdog_interval_cycles").asUint();
     cfg.cycleDeadline = ctxGet(v, "cycle_deadline").asUint();
@@ -322,6 +326,23 @@ buildRig(const RunConfig &cfg)
                   "vmThreads must be empty or give one entry per VM (",
                   cfg.vmThreads.size(), " entries for ",
                   cfg.workloads.size(), " VMs)");
+    // The run's VM-window width is the smallest that fits the
+    // largest instance (requiredVmSpanBits): runs whose VMs all fit
+    // the default keep byte-identical addresses to the fixed-width
+    // implementation, and over-committed scale runs (say 96 threads
+    // per VM at 256 cores) widen every window in lockstep.
+    std::uint64_t max_blocks = 0;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        const auto nthreads = static_cast<std::uint64_t>(
+            i < cfg.vmThreads.size() && cfg.vmThreads[i] > 0
+                ? cfg.vmThreads[i]
+                : prof.numThreads);
+        max_blocks = std::max(
+            max_blocks, prof.sharedRoBlocks + prof.migratoryBlocks +
+                            nthreads * prof.privateBlocksPerThread);
+    }
+    const int span_bits = requiredVmSpanBits(max_blocks);
     std::vector<int> threads_per_vm;
     for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
         const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
@@ -329,7 +350,8 @@ buildRig(const RunConfig &cfg)
             i < cfg.vmThreads.size() ? cfg.vmThreads[i] : 0;
         rig.storage.push_back(std::make_unique<VirtualMachine>(
             prof, static_cast<VmId>(i),
-            cfg.seed * 1000003ull + i * 7919ull, nthreads));
+            cfg.seed * 1000003ull + i * 7919ull, nthreads,
+            span_bits));
         rig.vms.push_back(rig.storage.back().get());
         threads_per_vm.push_back(rig.storage.back()->numThreads());
     }
@@ -349,6 +371,12 @@ resolveConfig(const RunConfig &cfg)
     RunConfig res = cfg;
     res.warmupCycles =
         cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
+    // 0 stays 0 when the env is unset too: the run.v1 echo emits the
+    // knob only when configured, and the Core falls back to its
+    // built-in default quantum.
+    res.timesliceCycles = cfg.timesliceCycles
+                              ? cfg.timesliceCycles
+                              : envU64("CONSIM_TIMESLICE", 0);
     res.measureCycles =
         cfg.measureCycles ? cfg.measureCycles : defaultMeasureCycles();
     res.watchdogIntervalCycles = cfg.watchdogIntervalCycles
@@ -365,6 +393,8 @@ void
 armSystem(System &sys, const RunConfig &res)
 {
     sys.setWatchdogInterval(res.watchdogIntervalCycles);
+    if (res.timesliceCycles != 0)
+        sys.setTimeslice(res.timesliceCycles);
     if (res.cycleDeadline != 0)
         sys.setCycleDeadline(res.cycleDeadline);
     if (res.ckptEveryCycles != 0)

@@ -42,6 +42,11 @@ struct RunConfig
      *  of two random cores every this many cycles (0 = static
      *  binding, the paper's methodology). */
     Cycle migrationIntervalCycles = 0;
+    /** Preemption quantum for over-committed cores (schedules with
+     *  more VM threads than cores). 0 = resolve from CONSIM_TIMESLICE
+     *  env, falling back to Core::kDefaultTimesliceCycles. Ignored
+     *  when no core holds more than one thread. */
+    Cycle timesliceCycles = 0;
     /** Deterministic fault injection (hardening tests; empty = none). */
     FaultPlan faults;
     /** Per-VM QoS / isolation config (mode off = no QoS, the

@@ -164,6 +164,10 @@ toJson(const RunConfig &cfg)
     v.set("warmup_cycles", cfg.warmupCycles);
     v.set("measure_cycles", cfg.measureCycles);
     v.set("migration_interval_cycles", cfg.migrationIntervalCycles);
+    // Only over-committed runs configure a timeslice; echoed when
+    // set, keeping the default envelope byte-stable across versions.
+    if (cfg.timesliceCycles != 0)
+        v.set("timeslice_cycles", cfg.timesliceCycles);
     // Hardening knobs are echoed only when set, keeping the default
     // envelope byte-stable across versions.
     if (!cfg.faults.empty())

@@ -16,12 +16,12 @@ namespace
 struct GroupSlots
 {
     std::vector<std::vector<CoreId>> freeCores; // per group, ascending
+    const MachineConfig &cfg;
 
-    explicit GroupSlots(const MachineConfig &cfg)
-        : freeCores(cfg.numGroups())
+    explicit GroupSlots(const MachineConfig &c)
+        : freeCores(c.numGroups()), cfg(c)
     {
-        for (GroupId g = 0; g < cfg.numGroups(); ++g)
-            freeCores[g] = cfg.coresOfGroup(g);
+        refill();
     }
 
     /** Claim a core in @p g; invalidCore when the group is full. */
@@ -36,11 +36,47 @@ struct GroupSlots
         return c;
     }
 
+    /**
+     * Start a new over-commit layer: every slot becomes free again,
+     * so further claims double up threads on already-claimed cores.
+     * Called only once the whole machine is full, which keeps layers
+     * balanced (no core holds thread k+2 before every core holds
+     * k+1).
+     */
+    void
+    refill()
+    {
+        for (GroupId g = 0; g < cfg.numGroups(); ++g)
+            freeCores[g] = cfg.coresOfGroup(g);
+    }
+
     int free(GroupId g) const
     {
         return static_cast<int>(freeCores[g].size());
     }
 };
+
+/**
+ * Probe every group starting at @p g for a free core; when the
+ * machine is full, open a new over-commit layer and claim again.
+ * @param g in/out: updated to the group that supplied the core.
+ */
+CoreId
+claimOrOverCommit(GroupSlots &slots, int num_groups, GroupId &g)
+{
+    for (int layer = 0; layer < 2; ++layer) {
+        for (int probe = 0; probe < num_groups; ++probe) {
+            const GroupId cand = (g + probe) % num_groups;
+            const CoreId core = slots.claim(cand);
+            if (core != invalidCore) {
+                g = cand;
+                return core;
+            }
+        }
+        slots.refill();
+    }
+    CONSIM_FATAL("unreachable: refilled slots yielded no core");
+}
 
 std::vector<ThreadPlacement>
 scheduleRoundRobin(const MachineConfig &cfg,
@@ -53,18 +89,10 @@ scheduleRoundRobin(const MachineConfig &cfg,
     // one thread from each workload (Fig. 1, round robin).
     for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
          ++vm) {
-        int g = 0;
+        GroupId g = 0;
         for (int t = 0; t < threads_per_vm[vm]; ++t) {
-            CoreId core = invalidCore;
-            for (int probe = 0; probe < num_groups; ++probe) {
-                const GroupId cand = (g + probe) % num_groups;
-                core = slots.claim(cand);
-                if (core != invalidCore) {
-                    g = (cand + 1) % num_groups;
-                    break;
-                }
-            }
-            CONSIM_ASSERT(core != invalidCore, "machine over-committed");
+            const CoreId core = claimOrOverCommit(slots, num_groups, g);
+            g = (g + 1) % num_groups;
             out.push_back({vm, t, core});
         }
     }
@@ -84,16 +112,9 @@ scheduleAffinity(const MachineConfig &cfg,
     for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
          ++vm) {
         for (int t = 0; t < threads_per_vm[vm]; ++t) {
-            CoreId core = invalidCore;
-            for (int probe = 0; probe < num_groups; ++probe) {
-                const GroupId cand = (g + probe) % num_groups;
-                core = slots.claim(cand);
-                if (core != invalidCore) {
-                    g = cand; // stay in this group until it fills
-                    break;
-                }
-            }
-            CONSIM_ASSERT(core != invalidCore, "machine over-committed");
+            // claimOrOverCommit leaves g at the supplying group, so
+            // the VM stays in this group until it fills.
+            const CoreId core = claimOrOverCommit(slots, num_groups, g);
             out.push_back({vm, t, core});
         }
     }
@@ -120,19 +141,10 @@ scheduleAffinityRr(const MachineConfig &cfg,
                 g = (g + 1) % num_groups;
                 placed_in_group = 0;
             }
-            CoreId core = invalidCore;
-            for (int probe = 0; probe < num_groups; ++probe) {
-                const GroupId cand = (g + probe) % num_groups;
-                core = slots.claim(cand);
-                if (core != invalidCore) {
-                    if (cand != g) {
-                        g = cand;
-                        placed_in_group = 0;
-                    }
-                    break;
-                }
-            }
-            CONSIM_ASSERT(core != invalidCore, "machine over-committed");
+            const GroupId prev = g;
+            const CoreId core = claimOrOverCommit(slots, num_groups, g);
+            if (g != prev)
+                placed_in_group = 0;
             ++placed_in_group;
             out.push_back({vm, t, core});
         }
@@ -157,8 +169,10 @@ scheduleRandom(const MachineConfig &cfg,
     for (VmId vm = 0; vm < static_cast<VmId>(threads_per_vm.size());
          ++vm) {
         for (int t = 0; t < threads_per_vm[vm]; ++t) {
-            CONSIM_ASSERT(next < cores.size(), "machine over-committed");
-            out.push_back({vm, t, cores[next++]});
+            // Over-commit wraps around the shuffled order, layering
+            // a second thread on every core before a third, etc.
+            out.push_back({vm, t, cores[next % cores.size()]});
+            ++next;
         }
     }
     return out;
@@ -173,9 +187,6 @@ scheduleThreads(const MachineConfig &cfg,
 {
     const int total =
         std::accumulate(threads_per_vm.begin(), threads_per_vm.end(), 0);
-    if (total > cfg.numCores())
-        CONSIM_FATAL("cannot place ", total, " threads on ",
-                     cfg.numCores(), " cores");
 
     std::vector<ThreadPlacement> out;
     switch (policy) {
@@ -193,11 +204,17 @@ scheduleThreads(const MachineConfig &cfg,
         break;
     }
 
-    // Sanity: no core claimed twice.
-    std::vector<bool> used(cfg.numCores(), false);
+    // Sanity: over-commit fills in balanced layers — no core holds
+    // more than ceil(total / numCores) threads, and none holds a
+    // second thread unless every core holds a first.
+    const int layers =
+        (total + cfg.numCores() - 1) / std::max(1, cfg.numCores());
+    std::vector<int> used(cfg.numCores(), 0);
     for (const auto &p : out) {
-        CONSIM_ASSERT(!used[p.core], "core ", p.core, " double-booked");
-        used[p.core] = true;
+        ++used[p.core];
+        CONSIM_ASSERT(used[p.core] <= layers, "core ", p.core,
+                      " over-booked (", used[p.core], " threads, ",
+                      layers, " layers)");
     }
     return out;
 }

@@ -41,7 +41,11 @@ struct ThreadPlacement
  * @param threads_per_vm  thread count of each VM, by VmId order
  * @param policy          scheduling policy
  * @param seed            used by SchedPolicy::Random only
- * @return one placement per thread; never over-commits a core.
+ * @return one placement per thread. When the total thread count
+ *         exceeds the core count the machine is over-committed in
+ *         balanced layers: every core receives a first thread before
+ *         any receives a second, and cores time-multiplex their
+ *         queued contexts (Core::enqueueContext).
  */
 std::vector<ThreadPlacement>
 scheduleThreads(const MachineConfig &cfg,

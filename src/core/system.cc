@@ -21,13 +21,21 @@ System::System(const MachineConfig &cfg,
     cfg_.validate();
     const int n = cfg_.numCores();
 
+    // Adopt the run's VM-window width from the VMs (they encode
+    // block addresses with it, so the decode side must match; a
+    // mixed-width run would alias windows).
     for (std::size_t i = 0; i < vms_.size(); ++i) {
         CONSIM_ASSERT(vms_[i] != nullptr &&
                           vms_[i]->id() == static_cast<VmId>(i),
                       "VM ids must be dense and ordered");
-        dirStorage_.registerVm(vms_[i]->id(),
-                               vms_[i]->totalBlocks());
+        if (i == 0)
+            spanBits_ = vms_[i]->spanBits();
+        CONSIM_ASSERT(vms_[i]->spanBits() == spanBits_,
+                      "VMs disagree on the window width");
     }
+    dirStorage_.setSpanBits(spanBits_);
+    for (std::size_t i = 0; i < vms_.size(); ++i)
+        dirStorage_.registerVm(vms_[i]->id(), vms_[i]->totalBlocks());
 
     groupOf_.resize(n);
     for (CoreId t = 0; t < n; ++t)
@@ -69,7 +77,14 @@ System::System(const MachineConfig &cfg,
     // follow the canonical (src, seq) order instead of global
     // injection order; inflight_ stays empty and tick() is skipped.
     netBypass_ = cfg_.idealNoc;
+    netHandoff_ = std::max<Cycle>(
+        3, static_cast<Cycle>(cfg_.meshX + cfg_.meshY) / 4);
     window_ = computeWindow();
+    // Pre-size the calendar ring from the machine size: a few events
+    // per core per cycle covers the observed steady-state peak, so
+    // the measure window never grows a bucket (the zero-allocation
+    // contract tests/test_alloc_steady_state.cc enforces).
+    events_.reserveBuckets(static_cast<std::size_t>(4 * n));
     // Mesh ejections reach their destination unit a fixed handoff
     // after ejection, as a NET-keyed event: the same NI->protocol
     // latency in both engines, and the slack that lets the parallel
@@ -78,7 +93,7 @@ System::System(const MachineConfig &cfg,
         SimEvent ev(SimEventKind::Deliver, m);
         ev.src = netSrc_;
         ev.seq = seqBySrc_[static_cast<std::size_t>(netSrc_)]++;
-        const Cycle due = netTickCycle_ + netHandoffCycles;
+        const Cycle due = netTickCycle_ + netHandoff_;
         if (parallelActive_)
             lanes_[ev.msg.dstTile]->q.insertAbs(netTickCycle_, due,
                                                 std::move(ev));
@@ -102,8 +117,11 @@ System::System(const MachineConfig &cfg,
                           p.vm < static_cast<VmId>(vms_.size()),
                       "placement for unknown VM ", p.vm);
         VirtualMachine &vm = *vms_[p.vm];
-        cores_.at(p.core)->bindThread(&vm.instance().thread(p.thread),
-                                      p.vm);
+        // enqueue, not bind: an over-committed schedule places
+        // several threads on one core, which then time-slices
+        // between them (Core::enqueueContext).
+        cores_.at(p.core)->enqueueContext(
+            &vm.instance().thread(p.thread), p.vm);
     }
 
     // Link every component's registry node into one tree rooted at
@@ -630,7 +648,7 @@ System::computeWindow() const
     // after ejection. Ideal-NoC configs are bounded by the constant
     // network latency instead.
     Cycle w = cfg_.idealNoc ? static_cast<Cycle>(cfg_.idealNocLatency)
-                            : netHandoffCycles;
+                            : netHandoff_;
     // The flat intra-group path is the fastest cross-tile channel on
     // multi-core partitions.
     bool spans_tiles = false;
@@ -689,6 +707,10 @@ System::ensureLanes()
     for (CoreId t = 0; t < n; ++t) {
         lanes_.push_back(std::make_unique<TileLane>());
         lanes_.back()->tile = t;
+        // Lane queues hold one tile's events only — a small
+        // per-bucket reserve keeps windows allocation-free without
+        // ballooning memory across hundreds of lanes.
+        lanes_.back()->q.reserveBuckets(8);
     }
     const int jobs = runJobs_;
     team_ = std::make_unique<LockstepTeam>(
@@ -850,8 +872,8 @@ System::runParallel(Cycle cycles)
                 std::min<Cycle>(window_, service - now_);
             if (!netBypass_) {
                 const Cycle ahead = now_ + w;
-                replayMeshTo(ahead > netHandoffCycles
-                                 ? ahead - netHandoffCycles
+                replayMeshTo(ahead > netHandoff_
+                                 ? ahead - netHandoff_
                                  : 0);
             }
             windowStart_ = now_;
@@ -959,6 +981,11 @@ System::swapRandomThreads(Rng &rng)
         if (ca.blocked() || cb.blocked())
             continue;
         if (ca.idle() && cb.idle())
+            continue;
+        // Over-committed cores rotate through a run queue; swapping
+        // the live binding out from under it would be undone at the
+        // next timeslice boundary. Skip them.
+        if (ca.multiplexed() || cb.multiplexed())
             continue;
         InstrStream *sa = ca.stream();
         const VmId va = ca.vm();

@@ -119,7 +119,7 @@ class System : public Fabric
     CoreId memTileFor(BlockAddr block) const override;
     VmId vmOfBlock(BlockAddr block) const override
     {
-        return static_cast<VmId>(block >> vmSpanBits);
+        return static_cast<VmId>(block >> spanBits_);
     }
     Cycle memFaultExtraLatency() const override;
     std::uint64_t qosWayMask(VmId vm) const override;
@@ -237,6 +237,19 @@ class System : public Fabric
     void setWatchdogInterval(Cycle interval);
 
     /**
+     * Preemption quantum for over-committed cores (those holding
+     * more than one software context). 0 restores the built-in
+     * default (Core::kDefaultTimesliceCycles). No effect on cores
+     * with a single context.
+     */
+    void
+    setTimeslice(Cycle interval)
+    {
+        for (auto &c : cores_)
+            c->setTimeslice(interval);
+    }
+
+    /**
      * Abort run() with SimError(Deadline) when the simulated clock
      * reaches @p deadline (absolute cycle) with work still to do.
      * 0 disables. Sweep workers use this as a per-point budget.
@@ -344,13 +357,21 @@ class System : public Fabric
     /**
      * Mesh ejection -> destination-unit handoff latency, applied in
      * both engines: a packet ejected at cycle e is handled at
-     * e + netHandoffCycles. Modelling the NI->protocol handoff as a
+     * e + netHandoff_. Modelling the NI->protocol handoff as a
      * scheduled (NET-keyed) event is what lets the parallel engine
      * replay the mesh lazily — the handoff bounds how far ahead of
      * the mesh clock the tiles may run, so it must be >= the
      * lookahead window.
+     *
+     * The handoff scales with mesh diameter (max(3, (X+Y)/4), set in
+     * the constructor): any cross-tile message already pays at least
+     * a diameter's worth of hop latency on a large mesh, so a deeper
+     * NI handoff is invisible in relative timing there while it lets
+     * the tile-parallel engine run proportionally wider windows
+     * instead of pinning at 3 cycles. 4x4 and 8x4 meshes keep the
+     * historical value of 3 (golden run hashes are unchanged).
      */
-    static constexpr Cycle netHandoffCycles = 3;
+    Cycle netHandoff_ = 3;
 
     /**
      * One tile's private execution lane: its own clock, calendar
@@ -466,6 +487,7 @@ class System : public Fabric
     std::vector<GroupLut> membersOf_;              ///< per group
     std::vector<CoreId> mcTiles_;
 
+    int spanBits_ = vmSpanBits; ///< run's VM-window width (decode)
     DirectoryStorage dirStorage_;
     std::unique_ptr<Network> net_;
     std::vector<std::unique_ptr<L1Controller>> l1s_;

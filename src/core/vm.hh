@@ -31,14 +31,21 @@ class VirtualMachine
      * @param seed        instance seed
      * @param num_threads thread-count override for heterogeneous
      *                    mixes (0 = the profile's default)
+     * @param span_bits   the run's VM-window width (0 = default;
+     *                    see requiredVmSpanBits — all VMs of a run
+     *                    must agree)
      */
     VirtualMachine(const WorkloadProfile &profile, VmId vm,
-                   std::uint64_t seed, int num_threads = 0)
-        : instance_(profile, vm, seed, num_threads), id_(vm),
-          statsGroup_(indexedName("vm", vm))
+                   std::uint64_t seed, int num_threads = 0,
+                   int span_bits = 0)
+        : instance_(profile, vm, seed, num_threads, span_bits),
+          id_(vm), statsGroup_(indexedName("vm", vm))
     {
         stats_.registerIn(statsGroup_);
     }
+
+    /** The VM-window width this VM's streams encode with. */
+    int spanBits() const { return instance_.spanBits(); }
 
     VmId id() const { return id_; }
     const WorkloadProfile &profile() const { return instance_.profile(); }

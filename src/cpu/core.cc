@@ -23,11 +23,40 @@ Core::bindThread(InstrStream *stream, VmId vm)
 }
 
 void
+Core::enqueueContext(InstrStream *stream, VmId vm)
+{
+    CONSIM_ASSERT(stream != nullptr, "enqueueContext wants a stream");
+    contexts_.push_back({stream, vm});
+    if (contexts_.size() == 1)
+        bindThread(stream, vm);
+}
+
+void
+Core::rotateContext(Cycle now)
+{
+    // Boundaries are absolute multiples of the quantum, so a resumed
+    // run preempts on the same cycles as the original.
+    nextSlice_ = (now / timeslice_ + 1) * timeslice_;
+    ctxPos_ = (ctxPos_ + 1) % contexts_.size();
+    bindThread(contexts_[ctxPos_].stream, contexts_[ctxPos_].vm);
+}
+
+void
 Core::tick()
 {
     if (stream_ == nullptr || blocked_ || wedged_)
         return;
     const Cycle now = fab_.now();
+    if (contexts_.size() > 1 && !haveSlice_ && now >= busyUntil_) {
+        // Preempt only at clean instruction boundaries: never
+        // mid-miss (blocked_ above), never mid-burst. A context
+        // holding the core past its boundary yields at the first
+        // boundary after it, which is deterministic in sim state.
+        if (nextSlice_ == 0)
+            nextSlice_ = (now / timeslice_ + 1) * timeslice_;
+        else if (now >= nextSlice_)
+            rotateContext(now);
+    }
     if (now < busyUntil_)
         return;
 

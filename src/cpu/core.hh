@@ -9,6 +9,8 @@
 #ifndef CONSIM_CPU_CORE_HH
 #define CONSIM_CPU_CORE_HH
 
+#include <vector>
+
 #include "coherence/fabric.hh"
 #include "coherence/l1_controller.hh"
 #include "common/stats.hh"
@@ -36,10 +38,22 @@ struct CoreStats
     }
 };
 
-/** One hardware context. Idle when no stream is bound. */
+/**
+ * One hardware context. Idle when no stream is bound.
+ *
+ * Over-commit: a core may hold several software contexts (more VM
+ * threads than cores, as a consolidation hypervisor would schedule).
+ * enqueueContext() appends to a run queue; the core round-robins
+ * through it on fixed timeslice epochs, switching only at clean
+ * instruction boundaries (never mid-miss, never mid-burst), so the
+ * rotation is deterministic and checkpoint-exact.
+ */
 class Core
 {
   public:
+    /** Default preemption quantum for over-committed cores. */
+    static constexpr Cycle kDefaultTimesliceCycles = 10'000;
+
     Core(Fabric &fabric, CoreId tile, L1Controller &l1);
 
     /**
@@ -48,6 +62,29 @@ class Core
      * @param vm     the VM the thread belongs to.
      */
     void bindThread(InstrStream *stream, VmId vm);
+
+    /**
+     * Append a software context to the run queue and bind it when it
+     * is the first. With more than one context the core time-slices
+     * between them (see class comment).
+     */
+    void enqueueContext(InstrStream *stream, VmId vm);
+
+    /** Set the preemption quantum; 0 restores the default. */
+    void
+    setTimeslice(Cycle interval)
+    {
+        timeslice_ = interval ? interval : kDefaultTimesliceCycles;
+    }
+
+    /** @return true when more than one context shares this core. */
+    bool multiplexed() const { return contexts_.size() > 1; }
+
+    /** @return number of queued software contexts. */
+    int numContexts() const
+    {
+        return static_cast<int>(contexts_.size());
+    }
 
     /** Advance one cycle. */
     void tick();
@@ -90,6 +127,14 @@ class Core
     friend struct CkptAccess;
 
     void missComplete();
+    void rotateContext(Cycle now);
+
+    /** One schedulable software context (over-committed cores). */
+    struct Context
+    {
+        InstrStream *stream = nullptr;
+        VmId vm = invalidVm;
+    };
 
     Fabric &fab_;
     CoreId tile_;
@@ -104,6 +149,15 @@ class Core
     WorkSlice slice_;
     Cycle busyUntil_ = 0;
     Cycle blockStart_ = 0;
+
+    // Over-commit run queue. Empty or single-entry on dedicated
+    // cores; rotation state is checkpointed so a resume continues
+    // the same schedule.
+    std::vector<Context> contexts_;
+    std::size_t ctxPos_ = 0;
+    Cycle timeslice_ = kDefaultTimesliceCycles;
+    Cycle nextSlice_ = 0; ///< next rotation boundary (absolute)
+
     CoreStats stats_;
     stats::Group statsGroup_{"core"};
 };

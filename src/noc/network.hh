@@ -8,12 +8,12 @@
 #ifndef CONSIM_NOC_NETWORK_HH
 #define CONSIM_NOC_NETWORK_HH
 
-#include <deque>
 #include <functional>
 #include <utility>
 
 #include "coherence/protocol.hh"
 #include "common/json.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -225,8 +225,9 @@ class IdealNetwork : public Network
     friend struct CkptAccess;
 
     int latency_;
-    // FIFO works because latency is constant.
-    std::deque<std::pair<Cycle, Msg>> inflight_;
+    // FIFO works because latency is constant. RingBuf keeps the
+    // warmed-up queue allocation-free (see common/ring.hh).
+    RingBuf<std::pair<Cycle, Msg>> inflight_;
 };
 
 } // namespace consim

@@ -18,10 +18,11 @@ NetworkInterface::enqueue(Msg m)
 {
     const int vnet = vnetOf(m.type);
     queues_[vnet].push_back(std::move(m));
+    ++queuedTotal_;
 }
 
 void
-NetworkInterface::tick(Cycle now)
+NetworkInterface::tickSlow(Cycle now)
 {
     for (int vnet = 0; vnet < params_.numVnets; ++vnet) {
         auto &q = queues_[vnet];
@@ -36,28 +37,18 @@ NetworkInterface::tick(Cycle now)
         RouterPacket pkt;
         pkt.msg = std::move(q.front());
         q.pop_front();
+        --queuedTotal_;
         pkt.lenFlits = len;
         router_->arrive(PortLocal, vc, std::move(pkt), now);
     }
 }
 
-bool
-NetworkInterface::idle() const
+void
+NetworkInterface::recountQueued()
 {
-    for (const auto &q : queues_) {
-        if (!q.empty())
-            return false;
-    }
-    return true;
-}
-
-int
-NetworkInterface::queued() const
-{
-    int n = 0;
+    queuedTotal_ = 0;
     for (const auto &q : queues_)
-        n += static_cast<int>(q.size());
-    return n;
+        queuedTotal_ += static_cast<int>(q.size());
 }
 
 } // namespace consim

@@ -9,10 +9,10 @@
 #ifndef CONSIM_NOC_NETWORK_INTERFACE_HH
 #define CONSIM_NOC_NETWORK_INTERFACE_HH
 
-#include <deque>
 #include <vector>
 
 #include "coherence/protocol.hh"
+#include "common/ring.hh"
 #include "noc/router.hh"
 
 namespace consim
@@ -27,22 +27,34 @@ class NetworkInterface
     /** Queue a message for injection (unbounded source queue). */
     void enqueue(Msg m);
 
-    /** Try to inject up to one packet per vnet into the router. */
-    void tick(Cycle now);
+    /** Try to inject up to one packet per vnet into the router. The
+     *  empty early-out lives here so the mesh loop inlines it. */
+    void
+    tick(Cycle now)
+    {
+        if (queuedTotal_ != 0)
+            tickSlow(now);
+    }
 
     /** @return true when no messages await injection. */
-    bool idle() const;
+    bool idle() const { return queuedTotal_ == 0; }
 
     /** @return messages waiting across all vnets (diagnostics). */
-    int queued() const;
+    int queued() const { return queuedTotal_; }
 
   private:
     friend struct CkptAccess;
 
+    void tickSlow(Cycle now);
+
+    /** Recount queuedTotal_ (checkpoint restore refills queues). */
+    void recountQueued();
+
     CoreId tile_;
     NocParams params_;
     Router *router_;
-    std::vector<std::deque<Msg>> queues_; ///< one per vnet
+    std::vector<RingBuf<Msg>> queues_; ///< one per vnet
+    int queuedTotal_ = 0;              ///< across all vnets
 };
 
 } // namespace consim

@@ -12,8 +12,16 @@ Router::Router(CoreId tile, const NocParams &params, NetworkStats *stats)
 {
     CONSIM_ASSERT(params_.vcBufferFlits >= params_.dataFlits,
                   "VC buffer must hold a full data packet");
-    for (auto &vc : inputs_)
+    CONSIM_ASSERT(NumPorts * params_.totalVcs() <= 64,
+                  "switch allocator tracks input-VC occupancy in one "
+                  "64-bit word; ", NumPorts * params_.totalVcs(),
+                  " input VCs exceed it");
+    for (auto &vc : inputs_) {
         vc.freeFlits = params_.vcBufferFlits;
+        // A VC holds at most vcBufferFlits packets (1 flit minimum),
+        // so a warmed ring never grows mid-run.
+        vc.q.reserve(static_cast<std::size_t>(params_.vcBufferFlits));
+    }
 }
 
 void
@@ -82,14 +90,14 @@ Router::arrive(int in_port, int vc, RouterPacket pkt, Cycle now)
     pkt.outPort = xyRoute(tile_, pkt.msg.dstTile, params_.meshX);
     pkt.readyCycle = now + params_.pipelineDelay;
     in(in_port, vc).q.push_back(std::move(pkt));
+    occ_ |= std::uint64_t(1)
+            << (in_port * params_.totalVcs() + vc);
     ++buffered_;
 }
 
 void
-Router::tickOutputs(Cycle now)
+Router::tickOutputsSlow(Cycle now)
 {
-    if (busyOutputs_ == 0)
-        return;
     for (int port = 0; port < NumPorts; ++port) {
         auto &out = outputs_[port];
         if (!out.busy)
@@ -112,10 +120,8 @@ Router::tickOutputs(Cycle now)
 }
 
 void
-Router::tickAllocate(Cycle now)
+Router::tickAllocateSlow(Cycle now)
 {
-    if (buffered_ == 0)
-        return;
     bool inPortUsed[NumPorts] = {};
     // With QoS active the protected VM's packets get first claim on
     // the switch, except on a deterministic yield cycle (every
@@ -133,12 +139,37 @@ Router::allocatePass(Cycle now, bool inPortUsed[NumPorts],
     const int total = NumPorts * params_.totalVcs();
     // Round-robin over input VCs for fairness; one grant per input
     // port and one per output port per cycle (shared across passes).
-    for (int k = 0; k < total; ++k) {
-        const int idx = (rrInput_ + k) % total;
+    //
+    // This is the reference arbitration loop, kept verbatim in
+    // spirit: visit idx = (rrInput_ + k) % total for k = 0..total-1,
+    // where rrInput_ advances to idx+1 on every grant (so the visit
+    // sequence re-anchors mid-sweep). Iterations that land on an
+    // empty VC have no side effects, so the occupancy bitmask lets
+    // us jump straight to the next non-empty VC in that exact
+    // sequence instead of touching all NumPorts*totalVcs queues —
+    // the arbitration order (and therefore every simulation result)
+    // is unchanged.
+    int k = 0;
+    while (k < total && occ_ != 0) {
+        const int start = (rrInput_ + k) % total;
+        int idx;
+        if (const std::uint64_t ge = occ_ >> start; ge != 0) {
+            const int d = lowestSetBit(ge);
+            k += d;
+            idx = start + d;
+        } else {
+            // Wrap: the next occupied VC sits below `start`.
+            const int w = lowestSetBit(occ_);
+            k += (total - start) + w;
+            idx = w;
+        }
+        if (k >= total)
+            break;
         const int port = idx / params_.totalVcs();
         const int vc = idx % params_.totalVcs();
         auto &ivc = in(port, vc);
-        if (ivc.q.empty() || inPortUsed[port])
+        ++k;
+        if (inPortUsed[port])
             continue;
         RouterPacket &pkt = ivc.q.front();
         if (protected_only && pkt.msg.vm != qosProtectedVm_)
@@ -173,10 +204,22 @@ Router::allocatePass(Cycle now, bool inPortUsed[NumPorts],
         out.dstVc = downVc;
         out.pkt = std::move(pkt);
         ivc.q.pop_front();
+        if (ivc.q.empty())
+            occ_ &= ~(std::uint64_t(1) << idx);
         --buffered_;
         ivc.freeFlits += out.pkt.lenFlits;
         inPortUsed[port] = true;
-        rrInput_ = (idx + 1) % total;
+        rrInput_ = idx + 1 == total ? 0 : idx + 1;
+    }
+}
+
+void
+Router::rebuildOccupancy()
+{
+    occ_ = 0;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        if (!inputs_[i].q.empty())
+            occ_ |= std::uint64_t(1) << i;
     }
 }
 

@@ -22,12 +22,13 @@
 #ifndef CONSIM_NOC_ROUTER_HH
 #define CONSIM_NOC_ROUTER_HH
 
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "coherence/protocol.hh"
 #include "common/json.hh"
+#include "common/ring.hh"
 #include "noc/network.hh"
 #include "noc/routing.hh"
 
@@ -107,11 +108,22 @@ class Router
      */
     void arrive(int in_port, int vc, RouterPacket pkt, Cycle now);
 
-    /** Phase 1: advance output transmissions; land arrivals. */
-    void tickOutputs(Cycle now);
+    /** Phase 1: advance output transmissions; land arrivals. The
+     *  idle early-out lives here so the mesh loop inlines it. */
+    void
+    tickOutputs(Cycle now)
+    {
+        if (busyOutputs_ != 0)
+            tickOutputsSlow(now);
+    }
 
     /** Phase 2: switch allocation (speculative VA+SA). */
-    void tickAllocate(Cycle now);
+    void
+    tickAllocate(Cycle now)
+    {
+        if (buffered_ != 0)
+            tickAllocateSlow(now);
+    }
 
     /** @return true when no buffered packets or active transfers. */
     bool idle() const;
@@ -156,7 +168,7 @@ class Router
 
     struct InputVc
     {
-        std::deque<RouterPacket> q;
+        RingBuf<RouterPacket> q;
         int freeFlits = 0;
     };
 
@@ -179,10 +191,17 @@ class Router
         return inputs_[port * params_.totalVcs() + vc];
     }
 
+    void tickOutputsSlow(Cycle now);
+    void tickAllocateSlow(Cycle now);
+
     /** One switch-allocation sweep; @p protected_only restricts
      *  grants to the QoS-protected VM's packets (priority pass). */
     void allocatePass(Cycle now, bool inPortUsed[NumPorts],
                       bool protected_only);
+
+    /** Recompute the input-VC occupancy bitmask from the queues
+     *  (checkpoint restore rebuilds queues behind our back). */
+    void rebuildOccupancy();
 
     CoreId tile_;
     NocParams params_;
@@ -194,6 +213,7 @@ class Router
     int rrInput_ = 0;                   ///< SA fairness pointer
     int buffered_ = 0;                  ///< packets across input VCs
     int busyOutputs_ = 0;               ///< outputs mid-transmission
+    std::uint64_t occ_ = 0;             ///< input VCs with packets
     VmId qosProtectedVm_ = invalidVm;   ///< QoS: protected VM (config)
     int qosReservedVcs_ = 0;            ///< QoS: reserved VCs per vnet
 };

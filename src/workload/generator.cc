@@ -11,12 +11,14 @@ namespace consim
 SyntheticStream::SyntheticStream(const WorkloadProfile &profile,
                                  VmId vm, int thread_idx,
                                  std::uint64_t seed,
-                                 Footprint *footprint)
+                                 Footprint *footprint, int span_bits)
     : prof_(profile), vm_(vm), threadIdx_(thread_idx),
       rng_(seed ^ (0xa5a5u + static_cast<std::uint64_t>(thread_idx) *
                                  0x9e3779b97f4a7c15ull)),
-      footprint_(footprint)
+      footprint_(footprint),
+      base_(vmBaseBlock(vm, span_bits > 0 ? span_bits : vmSpanBits))
 {
+    const int bits = span_bits > 0 ? span_bits : vmSpanBits;
     sharedRoBase_ = 0;
     migratoryBase_ = prof_.sharedRoBlocks;
     privateBase_ = migratoryBase_ + prof_.migratoryBlocks +
@@ -26,7 +28,7 @@ SyntheticStream::SyntheticStream(const WorkloadProfile &profile,
     // thread's private region beyond the profile-default footprint,
     // so check the stream's own extent, not the profile's.
     CONSIM_ASSERT(privateBase_ + prof_.privateBlocksPerThread <
-                      (1ull << vmSpanBits),
+                      (1ull << bits),
                   "thread ", thread_idx, " private region exceeds the "
                   "VM address window");
     // Threads of one VM share data, so they share window schedules.
@@ -104,7 +106,7 @@ SyntheticStream::next()
         vm_offset = pickPrivate();
         s.isWrite = rng_.chance(prof_.privateWriteFraction);
     }
-    s.block = vmBaseBlock(vm_) + vm_offset;
+    s.block = base_ + vm_offset;
 
     if (footprint_)
         footprint_->touch(vm_offset);
@@ -130,23 +132,25 @@ SyntheticStream::next()
 
 WorkloadInstance::WorkloadInstance(const WorkloadProfile &profile,
                                    VmId vm, std::uint64_t seed,
-                                   int num_threads)
+                                   int num_threads, int span_bits)
     : prof_(profile), vm_(vm),
       numThreads_(num_threads > 0 ? num_threads : profile.numThreads),
+      spanBits_(span_bits > 0 ? span_bits : vmSpanBits),
       footprint_(prof_.sharedRoBlocks + prof_.migratoryBlocks +
                  static_cast<std::uint64_t>(
                      num_threads > 0 ? num_threads
                                      : profile.numThreads) *
                      prof_.privateBlocksPerThread)
 {
-    CONSIM_ASSERT(totalBlocks() < (1ull << vmSpanBits),
+    const int bits = spanBits_;
+    CONSIM_ASSERT(totalBlocks() < (1ull << bits),
                   "instance footprint (", totalBlocks(), " blocks, ",
                   numThreads_, " threads) exceeds the VM address "
-                  "window");
+                  "window; widen the run's span (requiredVmSpanBits)");
     streams_.reserve(numThreads_);
     for (int t = 0; t < numThreads_; ++t) {
         streams_.push_back(std::make_unique<SyntheticStream>(
-            prof_, vm_, t, seed, &footprint_));
+            prof_, vm_, t, seed, &footprint_, bits));
     }
 }
 

@@ -81,10 +81,13 @@ class SyntheticStream : public InstrStream
      * @param thread_idx 0..numThreads-1 within the VM
      * @param seed       stream seed (derives the thread's RNG)
      * @param footprint  shared per-VM footprint tracker (may be null)
+     * @param span_bits  the run's VM-window width (see
+     *                   requiredVmSpanBits; default fits VMs up to
+     *                   ~72 threads)
      */
     SyntheticStream(const WorkloadProfile &profile, VmId vm,
                     int thread_idx, std::uint64_t seed,
-                    Footprint *footprint);
+                    Footprint *footprint, int span_bits = 0);
 
     WorkSlice next() override;
 
@@ -105,6 +108,7 @@ class SyntheticStream : public InstrStream
     int threadIdx_;
     Rng rng_;
     Footprint *footprint_;
+    BlockAddr base_; ///< window base: vmBaseBlock(vm, span_bits)
 
     // VM-relative region bases (block offsets)
     std::uint64_t sharedRoBase_;
@@ -136,13 +140,21 @@ class WorkloadInstance
      *                    mixes (0 = the profile's default). Streams
      *                    and the private-region footprint scale with
      *                    it; the shared regions are per-VM and do not.
+     * @param span_bits   the run's VM-window width (0 = the default
+     *                    vmSpanBits); every VM of a run must use the
+     *                    same width or addresses would collide.
      */
     WorkloadInstance(const WorkloadProfile &profile, VmId vm,
-                     std::uint64_t seed, int num_threads = 0);
+                     std::uint64_t seed, int num_threads = 0,
+                     int span_bits = 0);
 
     const WorkloadProfile &profile() const { return prof_; }
     VmId vm() const { return vm_; }
     int numThreads() const { return numThreads_; }
+
+    /** The run's resolved VM-window width this instance encodes
+     *  addresses with. */
+    int spanBits() const { return spanBits_; }
 
     /** Distinct blocks this instance can touch: the profile's shared
      *  regions plus one private region per actual thread. */
@@ -169,6 +181,7 @@ class WorkloadInstance
     const WorkloadProfile &prof_;
     VmId vm_;
     int numThreads_;
+    int spanBits_;
     Footprint footprint_;
     std::vector<std::unique_ptr<SyntheticStream>> streams_;
 };

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Steady-state allocation audit: once a System is warmed up —
+ * transaction tables sized, ring buffers grown, sharer sets spilled,
+ * event calendar settled — the measure window must perform ZERO
+ * heap allocations. The global operator-new hook
+ * (common/alloc_hook.hh) counts every allocation in the process, so
+ * a nonzero delta pinpoints a hot-path regression (a std::deque
+ * sneaking back in, a map rehash mid-window, a per-message closure
+ * that outgrew the inline buffer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/alloc_hook.hh"
+#include "core/experiment.hh"
+#include "core/mix.hh"
+#include "core/scheduler.hh"
+#include "core/system.hh"
+#include "core/vm.hh"
+
+using namespace consim;
+
+namespace
+{
+
+/** VM storage + placements for @p cfg (runExperiment's rig, inlined
+ *  here because the experiment driver doesn't expose phases). */
+struct Rig
+{
+    std::vector<std::unique_ptr<VirtualMachine>> storage;
+    std::vector<VirtualMachine *> vms;
+    std::vector<ThreadPlacement> placements;
+};
+
+Rig
+buildRig(const RunConfig &cfg)
+{
+    Rig rig;
+    std::vector<int> threads_per_vm;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        const auto &prof = WorkloadProfile::get(cfg.workloads[i]);
+        const int nthreads =
+            i < cfg.vmThreads.size() ? cfg.vmThreads[i] : 0;
+        rig.storage.push_back(std::make_unique<VirtualMachine>(
+            prof, static_cast<VmId>(i),
+            cfg.seed * 1000003ull + i * 7919ull, nthreads));
+        rig.vms.push_back(rig.storage.back().get());
+        threads_per_vm.push_back(rig.storage.back()->numThreads());
+    }
+    rig.placements = scheduleThreads(cfg.machine, threads_per_vm,
+                                     cfg.policy, cfg.seed);
+    return rig;
+}
+
+/** Warm @p cfg up, then require an allocation-free measure window. */
+void
+expectZeroAllocWindow(const RunConfig &cfg, Cycle warmup,
+                      Cycle window)
+{
+    Rig rig = buildRig(cfg);
+    System sys(cfg.machine, rig.vms, rig.placements);
+    // Warmup sizes every pool to its steady state: BlockMap tables,
+    // WaitQueueMap node pools, router/NI rings, calendar lanes,
+    // spilled CoreSet words.
+    sys.run(warmup);
+    // CONSIM_ALLOC_TRAP=1 turns the first in-window allocation into
+    // a trap instruction: run under a debugger to see the call site.
+    const bool trap = std::getenv("CONSIM_ALLOC_TRAP") != nullptr;
+    const std::uint64_t before = allocCount();
+    if (trap)
+        allocTrap(true);
+    sys.run(window);
+    if (trap)
+        allocTrap(false);
+    const std::uint64_t delta = allocCount() - before;
+    EXPECT_EQ(delta, 0u)
+        << delta << " heap allocations leaked into a " << window
+        << "-cycle measure window after " << warmup
+        << " warmup cycles";
+}
+
+} // namespace
+
+TEST(AllocSteadyState, SixteenCoreMixWindowIsAllocationFree)
+{
+    const RunConfig cfg = mixConfig(Mix::byName("Mix 1"),
+                                    SchedPolicy::Affinity,
+                                    SharingDegree::Shared4);
+    expectZeroAllocWindow(cfg, 60'000, 30'000);
+}
+
+TEST(AllocSteadyState, PrivateSharingWindowIsAllocationFree)
+{
+    // Private partitions exercise the directory's 3-hop paths and
+    // the c2c forwarding machinery hardest.
+    const RunConfig cfg = mixConfig(Mix::byName("Mix 1"),
+                                    SchedPolicy::RoundRobin,
+                                    SharingDegree::Private);
+    expectZeroAllocWindow(cfg, 60'000, 30'000);
+}
+
+TEST(AllocSteadyState, SixtyFourCoreWindowIsAllocationFree)
+{
+    // Scaled-up mesh: spilled CoreSets (64 cores > one word after
+    // group math), longer wormhole routes, more routers — the paths
+    // the 256-core sweeps lean on.
+    RunConfig cfg = mixConfig(Mix::byName("Mix 1"),
+                              SchedPolicy::Affinity,
+                              SharingDegree::Shared8);
+    cfg.machine.meshX = 8;
+    cfg.machine.meshY = 8;
+    cfg.vmThreads = {16, 16, 16, 16};
+    expectZeroAllocWindow(cfg, 60'000, 30'000);
+}
+
+TEST(AllocSteadyState, OverCommittedWindowIsAllocationFree)
+{
+    // Over-committed: 32 threads on 16 cores. Context rotation
+    // (bindThread) must not allocate either.
+    RunConfig cfg = mixConfig(Mix::byName("Mix 1"),
+                              SchedPolicy::Affinity,
+                              SharingDegree::Shared4);
+    cfg.vmThreads = {8, 8, 8, 8};
+    expectZeroAllocWindow(cfg, 60'000, 30'000);
+}

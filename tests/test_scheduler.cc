@@ -154,12 +154,40 @@ TEST(Scheduler, FullySharedSingleGroup)
         EXPECT_EQ(cfg.groupOfCore(p.core), 0);
 }
 
-TEST(SchedulerDeathTest, OverCommitRejected)
+TEST(Scheduler, OverCommitLayersBalanced)
+{
+    // 20 threads on 16 cores: every core receives a first thread
+    // before any receives a second, and nobody holds a third.
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const auto out =
+        scheduleThreads(cfg, {4, 4, 4, 4, 4}, SchedPolicy::Affinity, 1);
+    ASSERT_EQ(out.size(), 20u);
+    std::vector<int> perCore(cfg.numCores(), 0);
+    for (const auto &p : out)
+        ++perCore[p.core];
+    for (int c = 0; c < cfg.numCores(); ++c) {
+        EXPECT_GE(perCore[c], 1) << "core " << c << " left idle";
+        EXPECT_LE(perCore[c], 2) << "core " << c << " over-booked";
+    }
+}
+
+TEST(Scheduler, OverCommitEveryPolicyBalanced)
 {
     const auto cfg = machineWith(SharingDegree::Shared4);
-    EXPECT_DEATH(
-        scheduleThreads(cfg, {4, 4, 4, 4, 4}, SchedPolicy::Affinity, 1),
-        "cannot place");
+    for (const auto policy :
+         {SchedPolicy::RoundRobin, SchedPolicy::Affinity,
+          SchedPolicy::AffinityRR, SchedPolicy::Random}) {
+        const auto out =
+            scheduleThreads(cfg, {16, 16, 3}, policy, 7);
+        ASSERT_EQ(out.size(), 35u);
+        std::vector<int> perCore(cfg.numCores(), 0);
+        for (const auto &p : out)
+            ++perCore[p.core];
+        for (int c = 0; c < cfg.numCores(); ++c) {
+            EXPECT_GE(perCore[c], 2);
+            EXPECT_LE(perCore[c], 3);
+        }
+    }
 }
 
 TEST(Mix, TableIvHeterogeneousComposition)

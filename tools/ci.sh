@@ -2,7 +2,10 @@
 # CI gate: tier-1 verify (full build + test suite), a parallel-run
 # determinism check (--run-jobs 4 must match serial byte-for-byte), a
 # scale-out smoke (32-core/8-VM parallel determinism and
-# checkpoint-resume byte-identity), a checked-mode pass (full suite with every runtime invariant checker
+# checkpoint-resume byte-identity), a scale-to-256 smoke (128-core
+# over-committed parallel determinism + resume byte-identity), a
+# zero-allocation assertion over the measure window, a checked-mode
+# pass (full suite with every runtime invariant checker
 # enabled) plus a fault-injection smoke over the whole catalog, a
 # perf-regression smoke against the committed BENCH_*.json, an
 # ASan+UBSan pass over the whole tier-1 suite (memory safety of the
@@ -137,6 +140,50 @@ diff -u "$scale_dir/serial.result" "$scale_dir/resumed.result" || {
     exit 1; }
 echo "scale-out smoke: 32-core parallel + resume byte-identical"
 
+echo "=== scale-to-256 smoke: 128-core chip, over-committed ==="
+# The same two contracts at the consolidation-study scale: a 16x8 mesh
+# running Mix 1 with 1.5x over-committed schedules (192 threads on 128
+# cores, so the time-sliced context rotation is live). Short windows —
+# this is a correctness smoke, not a perf point (bench/fig16_scale256
+# owns the throughput numbers).
+big_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir" "$par_dir" "$scale_dir" "$big_dir"' EXIT
+big_args=(--mesh 16x8 --sharing 8
+    --vm jbb --vm tpcw --vm tpch --vm web
+    --vm-threads 48,48,48,48
+    --warmup 10000 --measure 10000 --watchdog 20000)
+./build/tools/consim_run "${big_args[@]}" \
+    --json "$big_dir/serial.json" >/dev/null
+./build/tools/consim_run "${big_args[@]}" --run-jobs 4 \
+    --json "$big_dir/par.json" >/dev/null
+diff -u "$big_dir/serial.json" "$big_dir/par.json" || {
+    echo "scale-to-256 smoke: --run-jobs 4 diverged at 128 cores" >&2
+    exit 1; }
+if ./build/tools/consim_run "${big_args[@]}" \
+    --deadline 12000 --ckpt-every 10000 \
+    --ckpt-out "$big_dir/trip.ckpt" >/dev/null 2>&1; then
+    echo "scale-to-256 smoke: deadline run unexpectedly succeeded" >&2
+    exit 1
+fi
+[[ -s "$big_dir/trip.ckpt" ]] || {
+    echo "scale-to-256 smoke: no checkpoint written" >&2; exit 1; }
+./build/tools/consim_run --resume "$big_dir/trip.ckpt" \
+    --json "$big_dir/resumed.json" >/dev/null
+awk '/"result": \{/,0' "$big_dir/serial.json" >"$big_dir/serial.result"
+awk '/"result": \{/,0' "$big_dir/resumed.json" >"$big_dir/resumed.result"
+diff -u "$big_dir/serial.result" "$big_dir/resumed.result" || {
+    echo "scale-to-256 smoke: resumed result diverged at 128 cores" >&2
+    exit 1; }
+echo "scale-to-256 smoke: 128-core parallel + resume byte-identical"
+
+echo "=== zero-allocation: measure window allocates nothing ==="
+# The pooled/arena hot paths must keep the steady state off the heap:
+# the global operator-new hook counts every allocation inside the
+# measure window across paper-machine, 64-core, and over-committed
+# configurations, and the count must be exactly zero.
+./build/tests/test_alloc_steady_state
+echo "zero-allocation: measure window clean"
+
 echo "=== isolation smoke: protected VM vs bullies, QoS bound ==="
 # A protected SPECjbb VM against three 4-thread bully antagonists on a
 # bandwidth-constrained 2 MB-LLC node (the fig15 scenario, shrunk).
@@ -206,9 +253,13 @@ if [[ "$skip_perf" == 1 ]]; then
 else
     echo "=== perf smoke: throughput vs committed baseline ==="
     # Single-sim throughput must stay within 15% of the most recent
-    # committed BENCH_*.json (wall-clock noise on shared runners is
-    # real, so the gate is deliberately loose — it catches order-of-
-    # magnitude regressions in the event core, not percent drift).
+    # committed BENCH_*.json. perf_smoke reports the median of three
+    # timed repetitions (the sim is deterministic, so the repeats
+    # differ only by host noise) and stamps the envelope with host
+    # metadata (host_cpus, cpu_model, loadavg_1m) so a tripped gate
+    # can be triaged against the machine it ran on. The floor is
+    # still deliberately loose — it catches order-of-magnitude
+    # regressions in the event core, not percent drift.
     baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n1 || true)"
     if [[ -z "$baseline" ]]; then
         echo "perf smoke: no committed BENCH_*.json baseline; skipping"

@@ -18,7 +18,12 @@
  *                              8x8, 16x8)
  *     --vm-threads N,N,...     per-VM thread counts for heterogeneous
  *                              mixes (0 = profile default; one entry
- *                              per VM)
+ *                              per VM; totals above the core count
+ *                              over-commit the chip with time-sliced
+ *                              contexts)
+ *     --timeslice N            preemption quantum for over-committed
+ *                              cores (cycles; default 10000; also
+ *                              CONSIM_TIMESLICE)
  *     --l2 BYTES               aggregate L2 capacity (default 16MB;
  *                              must split into whole sets per bank —
  *                              non-pow2 meshes want a matching
@@ -104,8 +109,8 @@ usage(const char *msg = nullptr)
     std::cerr <<
         "usage: consim_run [--mix NAME | --vm KIND...] "
         "[--policy P] [--sharing N]\n"
-        "       [--mesh XxY] [--vm-threads N,N,...] [--l2 BYTES] "
-        "[--mem-issue N]\n"
+        "       [--mesh XxY] [--vm-threads N,N,...] [--timeslice N] "
+        "[--l2 BYTES] [--mem-issue N]\n"
         "       [--warmup N] [--measure N] [--seed N] [--seeds N] "
         "[--migrate N]\n"
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
@@ -330,6 +335,11 @@ main(int argc, char **argv)
             parseMesh(next_arg(i), cfg.machine);
         } else if (a == "--vm-threads") {
             cfg.vmThreads = parseVmThreads(next_arg(i));
+        } else if (a == "--timeslice") {
+            // Preemption quantum for over-committed cores (cycles;
+            // default Core::kDefaultTimesliceCycles). Echoed in the
+            // run.v1 config only when set.
+            cfg.timesliceCycles = parseCount(a, next_arg(i));
         } else if (a == "--l2") {
             // Non-pow2 meshes need a matching aggregate (validate()
             // wants a whole number of sets per bank, e.g. 36-divisible
