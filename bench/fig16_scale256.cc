@@ -32,6 +32,7 @@
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "core/experiment.hh"
 #include "core/mix.hh"
 
@@ -43,12 +44,10 @@ using namespace consim;
 Cycle
 scaleCycles()
 {
-    if (const char *v = std::getenv("CONSIM_SCALE_CYCLES")) {
-        const auto parsed = std::strtoull(v, nullptr, 10);
-        if (parsed > 0)
-            return parsed;
-    }
-    return 40'000;
+    // Strict: a malformed CONSIM_SCALE_CYCLES is fatal, not silently
+    // the default window (which would fake a perf regression/gain).
+    const std::uint64_t v = envU64("CONSIM_SCALE_CYCLES", 0);
+    return v ? v : 40'000;
 }
 
 struct ScalePoint

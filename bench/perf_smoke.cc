@@ -44,6 +44,7 @@
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "core/experiment.hh"
 #include "core/mix.hh"
 #include "exec/sweep.hh"
@@ -58,12 +59,10 @@ using benchutil::seconds;
 Cycle
 perfCycles()
 {
-    if (const char *v = std::getenv("CONSIM_PERF_CYCLES")) {
-        const auto parsed = std::strtoull(v, nullptr, 10);
-        if (parsed > 0)
-            return parsed;
-    }
-    return 300'000;
+    // Strict: a malformed CONSIM_PERF_CYCLES is fatal, not silently
+    // the default window (which would fake a perf regression/gain).
+    const std::uint64_t v = envU64("CONSIM_PERF_CYCLES", 0);
+    return v ? v : 300'000;
 }
 
 /** The two results must agree exactly (parallel determinism gate). */

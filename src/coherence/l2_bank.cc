@@ -7,6 +7,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace consim
 {
@@ -78,11 +79,15 @@ L2Bank::idxOfCore(CoreId core) const
 void
 L2Bank::handle(const Msg &msg)
 {
+    // Strict: junk in CONSIM_TRACE_BLOCK used to fall through
+    // strtoll and silently trace block 0 (or nothing); envU64 makes
+    // malformed or negative values fatal. Unset disables the trace.
     static const char *trace_env = std::getenv("CONSIM_TRACE_BLOCK");
-    static const long long trace_block =
-        trace_env ? std::strtoll(trace_env, nullptr, 0) : -1;
-    if (trace_block >= 0 &&
-        msg.block == static_cast<BlockAddr>(trace_block)) {
+    static const BlockAddr trace_block =
+        trace_env
+            ? static_cast<BlockAddr>(envU64("CONSIM_TRACE_BLOCK", 0))
+            : 0;
+    if (trace_env != nullptr && msg.block == trace_block) {
         std::fprintf(stderr,
                      "[%llu] bank%d %s act=%zu wait=%zu wb=%zu\n",
                      (unsigned long long)fab_.now(), tile_,

@@ -74,7 +74,7 @@ class SimError : public std::runtime_error
     /** Attach the most recent pre-trip checkpoint (may be ""). */
     void setCkpt(std::string ckpt) { ckpt_ = std::move(ckpt); }
 
-    /** `consim.ckpt.v4` JSON text of the last snapshot before the
+    /** `consim.ckpt.v5` JSON text of the last snapshot before the
      *  failure ("" when periodic snapshotting was off). */
     const std::string &ckpt() const { return ckpt_; }
 

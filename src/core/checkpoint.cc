@@ -1,6 +1,6 @@
 /**
  * @file
- * `consim.ckpt.v4` serializer: System::saveCheckpoint /
+ * `consim.ckpt.v5` serializer: System::saveCheckpoint /
  * System::restoreCheckpoint plus the protocol-message codec. See
  * checkpoint.hh for the document layout and the byte-identity
  * contract. (v2 replaced the single event sequence counter with the
@@ -309,26 +309,29 @@ struct CkptAccess
 
     // --- cores ---
 
+    /** Recover a thread index from a stream pointer; the binding is
+     *  restored by index into the same VM set. */
+    static int
+    threadIndexOf(const System &s, VmId vm, const InstrStream *stream,
+                  CoreId tile)
+    {
+        WorkloadInstance &inst = s.vms_.at(vm)->instance();
+        for (int i = 0; i < inst.numThreads(); ++i)
+            if (&inst.thread(i) == stream)
+                return i;
+        CONSIM_CHECK_FAIL("checkpoint: unbindable stream on core ",
+                          tile);
+        return -1;
+    }
+
     static Value
     saveCore(const System &s, const Core &c)
     {
         Value v = Value::object();
         if (c.stream_ != nullptr) {
-            // Recover the thread index from the stream pointer; the
-            // binding is restored by index into the same VM set.
-            WorkloadInstance &inst = s.vms_.at(c.vm_)->instance();
-            int thread = -1;
-            for (int i = 0; i < inst.numThreads(); ++i) {
-                if (&inst.thread(i) == c.stream_) {
-                    thread = i;
-                    break;
-                }
-            }
-            CONSIM_ASSERT(thread >= 0,
-                          "checkpoint: unbindable stream on core ",
-                          c.tile_);
             v.set("vm", c.vm_);
-            v.set("thread", thread);
+            v.set("thread",
+                  threadIndexOf(s, c.vm_, c.stream_, c.tile_));
         } else {
             v.set("vm", -1);
             v.set("thread", -1);
@@ -346,6 +349,20 @@ struct CkptAccess
         v.set("slice", std::move(sl));
         v.set("busy_until", cyclesJson(c.busyUntil_));
         v.set("block_start", cyclesJson(c.blockStart_));
+        // Parked dynamic-scheduling migration (absent unless a swap
+        // was decided while this core was mid-miss): the deferred
+        // target binding, serialized like the live one.
+        if (c.rebindPending_) {
+            if (c.rebindStream_ != nullptr) {
+                v.set("rebind_vm", c.rebindVm_);
+                v.set("rebind_thread",
+                      threadIndexOf(s, c.rebindVm_, c.rebindStream_,
+                                    c.tile_));
+            } else {
+                v.set("rebind_vm", -1);
+                v.set("rebind_thread", -1);
+            }
+        }
         // Over-commit rotation state; the run-queue contents are
         // rebuilt from the placements by the System constructor, so
         // only the position and next boundary need saving.
@@ -385,6 +402,20 @@ struct CkptAccess
         c.slice_.noMemRef = sl.at(4).boolean();
         c.busyUntil_ = get(v, "busy_until").asUint();
         c.blockStart_ = get(v, "block_start").asUint();
+        if (const Value *rv = v.find("rebind_vm")) {
+            c.rebindPending_ = true;
+            const auto rvm = static_cast<VmId>(asInt(*rv));
+            if (rvm >= 0) {
+                const int th = static_cast<int>(
+                    asInt(get(v, "rebind_thread")));
+                c.rebindStream_ =
+                    &s.vms_.at(rvm)->instance().thread(th);
+                c.rebindVm_ = rvm;
+            } else {
+                c.rebindStream_ = nullptr;
+                c.rebindVm_ = invalidVm;
+            }
+        }
         // Optional (absent on single-context cores and in snapshots
         // from before over-commit existed).
         if (const Value *cp = v.find("ctx_pos")) {
@@ -1056,6 +1087,49 @@ struct CkptAccess
             q.set("prev_delta", s.qosPrevDelta_);
             m.set("qos", std::move(q));
         }
+        // Dynamic-scheduling runtime state (v5): the migration
+        // count and the epoch-baseline counters the policies delta
+        // against. The policies themselves are pure functions, so
+        // this is the entire state. Emitted only when armed so
+        // dyn-free snapshots keep their exact prior shape.
+        if (s.dynSched_.enabled()) {
+            Value d = Value::object();
+            d.set("migrations", s.dynMigrations_);
+            Value retired = Value::array();
+            for (const std::uint64_t r : s.dynLastRetired_)
+                retired.push(r);
+            d.set("last_retired", std::move(retired));
+            Value vms = Value::array();
+            for (const auto &v : s.dynLastVm_) {
+                Value row = Value::array();
+                for (const std::uint64_t x : v)
+                    row.push(x);
+                vms.push(std::move(row));
+            }
+            d.set("last_vm", std::move(vms));
+            Value groups = Value::array();
+            for (const auto &g : s.dynLastGroup_) {
+                Value row = Value::array();
+                for (const std::uint64_t x : g)
+                    row.push(x);
+                groups.push(std::move(row));
+            }
+            d.set("last_group", std::move(groups));
+            // Feedback-loop state: backoff window and (when a swap
+            // awaits its verdict) the swap plus the pre-swap epoch
+            // miss/access totals it is judged against.
+            d.set("hold", s.dynHold_);
+            d.set("backoff", s.dynBackoff_);
+            if (s.dynEval_.decided()) {
+                Value ev = Value::array();
+                ev.push(s.dynEval_.a);
+                ev.push(s.dynEval_.b);
+                ev.push(s.dynPreMiss_);
+                ev.push(s.dynPreAcc_);
+                d.set("eval", std::move(ev));
+            }
+            m.set("dyn_sched", std::move(d));
+        }
         m.set("stats", s.statsRoot_.saveState());
         return m;
     }
@@ -1120,6 +1194,47 @@ struct CkptAccess
                 get(*q, "last_miss_total").asUint();
             s.qosPrevDelta_ = get(*q, "prev_delta").asUint();
         }
+        if (const Value *d = m.find("dyn_sched")) {
+            CONSIM_ASSERT(s.dynSched_.enabled(),
+                          "checkpoint carries dynamic-scheduling "
+                          "runtime state but the rebuilt machine has "
+                          "it off — reinstall the dyn-sched config "
+                          "before restore");
+            s.dynMigrations_ = get(*d, "migrations").asUint();
+            const Value &retired = get(*d, "last_retired");
+            CONSIM_ASSERT(retired.size() == s.dynLastRetired_.size(),
+                          "checkpoint: dyn-sched core-baseline count "
+                          "mismatch");
+            for (std::size_t i = 0; i < retired.size(); ++i)
+                s.dynLastRetired_[i] = retired.at(i).asUint();
+            const Value &vms = get(*d, "last_vm");
+            CONSIM_ASSERT(vms.size() == s.dynLastVm_.size(),
+                          "checkpoint: dyn-sched VM-baseline count "
+                          "mismatch");
+            for (std::size_t i = 0; i < vms.size(); ++i)
+                for (std::size_t k = 0; k < 3; ++k)
+                    s.dynLastVm_[i][k] = vms.at(i).at(k).asUint();
+            const Value &groups = get(*d, "last_group");
+            CONSIM_ASSERT(groups.size() == s.dynLastGroup_.size(),
+                          "checkpoint: dyn-sched group-baseline count "
+                          "mismatch");
+            for (std::size_t i = 0; i < groups.size(); ++i)
+                for (std::size_t k = 0; k < 2; ++k)
+                    s.dynLastGroup_[i][k] =
+                        groups.at(i).at(k).asUint();
+            s.dynHold_ =
+                static_cast<std::uint32_t>(get(*d, "hold").asUint());
+            s.dynBackoff_ = static_cast<std::uint32_t>(
+                get(*d, "backoff").asUint());
+            if (const Value *ev = d->find("eval")) {
+                s.dynEval_.a =
+                    static_cast<CoreId>(asInt(ev->at(0)));
+                s.dynEval_.b =
+                    static_cast<CoreId>(asInt(ev->at(1)));
+                s.dynPreMiss_ = ev->at(2).asUint();
+                s.dynPreAcc_ = ev->at(3).asUint();
+            }
+        }
         s.statsRoot_.restoreState(get(m, "stats"));
     }
 };
@@ -1128,7 +1243,7 @@ json::Value
 System::saveCheckpoint() const
 {
     json::Value doc = json::Value::object();
-    doc.set("schema", "consim.ckpt.v4");
+    doc.set("schema", "consim.ckpt.v5");
     doc.set("context", ckptCtx_);
     doc.set("machine", CkptAccess::saveMachine(*this));
     doc.set("vms", CkptAccess::saveVms(*this));
@@ -1140,17 +1255,19 @@ System::restoreCheckpoint(const json::Value &doc)
 {
     const json::Value *schema = doc.find("schema");
     CONSIM_ASSERT(schema != nullptr &&
-                      schema->str() == "consim.ckpt.v4",
-                  "not a consim.ckpt.v4 document (v1 checkpoints "
+                      schema->str() == "consim.ckpt.v5",
+                  "not a consim.ckpt.v5 document (v1 checkpoints "
                   "predate per-source event keys; v2 checkpoints "
                   "encode sharer/presence state as fixed 16-bit "
                   "masks, which the parametric scale model replaced "
                   "with variable-width word arrays; v3 snapshots "
                   "lack the QoS runtime state — per-VM memory-"
                   "controller token buckets and the dynamic "
-                  "repartitioner's way allocation — so none can be "
-                  "restored; re-run the original configuration to "
-                  "take a fresh snapshot)");
+                  "repartitioner's way allocation; v4 snapshots "
+                  "lack the migration-policy runtime state — the "
+                  "dynamic scheduler's epoch baselines and migration "
+                  "count — so none can be restored; re-run the "
+                  "original configuration to take a fresh snapshot)");
     CkptAccess::loadMachine(*this, get(doc, "machine"));
     CkptAccess::loadVms(*this, get(doc, "vms"));
     // Operational knobs (watchdog, deadline, periodic snapshotting)

@@ -1,6 +1,6 @@
 /**
  * @file
- * Checkpoint/resume (`consim.ckpt.v4`): serialization of the complete
+ * Checkpoint/resume (`consim.ckpt.v5`): serialization of the complete
  * deterministic machine state.
  *
  * A checkpoint captures everything the next cycle's behaviour depends
@@ -18,7 +18,7 @@
  * Document layout:
  *
  *   {
- *     "schema":  "consim.ckpt.v4",
+ *     "schema":  "consim.ckpt.v5",
  *     "context": { ... },   // experiment-layer context, verbatim
  *                           // (run config echo, phase, migration RNG)
  *     "machine": { cycle, events, cores, l1s, banks, dirs, mcs,

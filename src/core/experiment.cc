@@ -235,6 +235,7 @@ configCtxJson(const RunConfig &res, const RunConfig &raw)
     v.set("ckpt_every_cycles", res.ckptEveryCycles);
     v.set("faults", res.faults.spec());
     v.set("qos", res.qos.spec());
+    v.set("dyn_sched", res.dynSched.spec());
     // The as-configured (pre-env-resolution) values of the four
     // resolvable knobs, so a resume can echo the original config
     // verbatim in its consim.run.v1 envelope while still running
@@ -253,7 +254,7 @@ configFromCtx(const json::Value &v)
     cfg.machine = machineFromCtx(ctxGet(v, "machine"));
     for (const auto &w : ctxGet(v, "workloads").items()) {
         const int k = static_cast<int>(w.number());
-        CONSIM_ASSERT(k >= 0 && k <= 4,
+        CONSIM_ASSERT(k >= 0 && k <= 5,
                       "checkpoint context: bad workload kind ", k);
         cfg.workloads.push_back(static_cast<WorkloadKind>(k));
     }
@@ -288,6 +289,14 @@ configFromCtx(const json::Value &v)
         const bool ok = QosConfig::parse(qspec, cfg.qos, &err);
         CONSIM_ASSERT(ok, "checkpoint context: bad qos spec '",
                       qspec, "': ", err);
+    }
+    {
+        const std::string dspec = ctxGet(v, "dyn_sched").str();
+        std::string err;
+        const bool ok =
+            DynSchedConfig::parse(dspec, cfg.dynSched, &err);
+        CONSIM_ASSERT(ok, "checkpoint context: bad dyn-sched spec '",
+                      dspec, "': ", err);
     }
     return cfg;
 }
@@ -518,6 +527,7 @@ extractResult(System &sys, const std::vector<VirtualMachine *> &vms,
     out.netPackets = net_pkts->value();
     out.replication = sys.replicationSnapshot();
     out.occupancy = sys.occupancySnapshot();
+    out.dynMigrations = sys.dynMigrations();
     return out;
 }
 
@@ -532,6 +542,8 @@ runExperiment(const RunConfig &cfg)
     armSystem(sys, res);
     if (res.qos.enabled())
         sys.setQosConfig(res.qos);
+    if (res.dynSched.enabled())
+        sys.setDynSched(res.dynSched);
     if (!res.faults.empty())
         sys.setFaultPlan(res.faults);
     Rng mig_rng(res.seed ^ 0xd15ea5e);
@@ -564,16 +576,19 @@ RunResult
 resumeExperiment(const json::Value &ckpt)
 {
     const json::Value *schema = ckpt.find("schema");
-    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v4",
-                  "resume: not a consim.ckpt.v4 document (v1 snapshots "
+    CONSIM_ASSERT(schema && schema->str() == "consim.ckpt.v5",
+                  "resume: not a consim.ckpt.v5 document (v1 snapshots "
                   "predate per-source event keys; v2 snapshots encode "
                   "sharer/presence state as fixed 16-bit masks, which "
                   "the parametric scale model replaced with "
                   "variable-width word arrays; v3 snapshots lack the "
                   "QoS runtime state — per-VM memory-controller token "
                   "buckets and the dynamic repartitioner's way "
-                  "allocation — so none can be restored; re-run the "
-                  "original configuration to take a fresh snapshot)");
+                  "allocation; v4 snapshots lack the migration-policy "
+                  "runtime state — the dynamic scheduler's epoch "
+                  "baselines and migration count — so none can be "
+                  "restored; re-run the original configuration to "
+                  "take a fresh snapshot)");
     const json::Value *ctxp = ckpt.find("context");
     CONSIM_ASSERT(ctxp && ctxp->find("config"),
                   "checkpoint has no experiment context (saved outside "
@@ -589,9 +604,12 @@ resumeExperiment(const json::Value &ckpt)
     // The QoS config must be reinstalled before restore: the loaders
     // check the MC token-bucket layout and the dynamic repartitioner
     // state against an already-configured machine, then overwrite the
-    // mutable parts (dyn_ways, miss-curve samples, buckets).
+    // mutable parts (dyn_ways, miss-curve samples, buckets). Same for
+    // the dyn-sched config and its epoch baselines.
     if (res.qos.enabled())
         sys.setQosConfig(res.qos);
+    if (res.dynSched.enabled())
+        sys.setDynSched(res.dynSched);
     sys.restoreCheckpoint(ckpt);
     // Re-arm operational knobs against the restored clock. The fault
     // plan is deliberately NOT re-armed: one-shot faults that already
@@ -676,6 +694,7 @@ averageRunResults(std::vector<RunResult> runs)
         }
         acc.netAvgLatency += b.netAvgLatency;
         packets += static_cast<double>(b.netPackets);
+        acc.dynMigrations += b.dynMigrations;
     }
     const double n = static_cast<double>(runs.size());
     for (auto &v : acc.vms) {

@@ -53,6 +53,11 @@ struct RunConfig
      *  default). Echoed in the run.v1 config only when enabled
      *  (envelope byte-stability). */
     QosConfig qos;
+    /** Dynamic hypervisor scheduling: an online migration policy
+     *  re-evaluated every epoch (policy off = static binding, the
+     *  paper's methodology). Echoed in the run.v1 config only when
+     *  enabled (envelope byte-stability). */
+    DynSchedConfig dynSched;
     /** Forward-progress watchdog check interval. 0 = resolve from
      *  CONSIM_WATCHDOG env, falling back to 1,000,000 cycles;
      *  CONSIM_WATCHDOG=0 disables. */
@@ -61,7 +66,7 @@ struct RunConfig
      *  SimError(Deadline) past this absolute cycle. 0 = none. */
     Cycle cycleDeadline = 0;
     /** Periodic checkpoint interval: keep a small ring of
-     *  `consim.ckpt.v4` snapshots every this many cycles and attach
+     *  `consim.ckpt.v5` snapshots every this many cycles and attach
      *  the most recent one to watchdog/deadline SimErrors. 0 = resolve
      *  from CONSIM_CKPT env, which defaults to off. */
     Cycle ckptEveryCycles = 0;
@@ -142,6 +147,9 @@ struct RunResult
     std::uint64_t netPackets = 0;
     ReplicationSnapshot replication;
     OccupancySnapshot occupancy;
+    /** Thread migrations the dynamic scheduler performed (summed
+     *  across seeds; reported in run.v1 only when nonzero). */
+    std::uint64_t dynMigrations = 0;
     /** Seed runs folded into this result by averageRunResults (0 = a
      *  single un-averaged run; reported as `seeds_used` in JSON when
      *  nonzero). */
@@ -157,7 +165,7 @@ struct RunResult
 RunResult runExperiment(const RunConfig &cfg);
 
 /**
- * Recover the full RunConfig embedded in a `consim.ckpt.v4` document's
+ * Recover the full RunConfig embedded in a `consim.ckpt.v5` document's
  * experiment context, with the env-resolvable knobs (warmup, measure,
  * watchdog, checkpoint interval) restored to their as-configured
  * values — i.e. exactly the config originally passed to runExperiment,
@@ -167,7 +175,7 @@ RunResult runExperiment(const RunConfig &cfg);
 RunConfig configFromCheckpoint(const json::Value &ckpt);
 
 /**
- * Finish an interrupted run from a `consim.ckpt.v4` document produced
+ * Finish an interrupted run from a `consim.ckpt.v5` document produced
  * by runExperiment's periodic snapshotting: rebuild the System from
  * the embedded config, restore the machine state, and complete the
  * remaining warmup/measurement phases. Yields a RunResult — and hence

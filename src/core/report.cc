@@ -174,6 +174,8 @@ toJson(const RunConfig &cfg)
         v.set("faults", cfg.faults.toJson());
     if (cfg.qos.enabled())
         v.set("qos", cfg.qos.toJson());
+    if (cfg.dynSched.enabled())
+        v.set("dyn_sched", cfg.dynSched.toJson());
     if (cfg.watchdogIntervalCycles != 0)
         v.set("watchdog_interval_cycles", cfg.watchdogIntervalCycles);
     if (cfg.cycleDeadline != 0)
@@ -218,6 +220,10 @@ toJson(const RunResult &r)
     // byte-stable by omitting the field.
     if (r.seedsUsed != 0)
         v.set("seeds_used", r.seedsUsed);
+    // Migration count appears only when the dynamic scheduler moved a
+    // thread, keeping dyn-free envelopes byte-stable across versions.
+    if (r.dynMigrations != 0)
+        v.set("dyn_migrations", r.dynMigrations);
     auto vms = json::Value::array();
     for (const auto &vm : r.vms)
         vms.push(toJson(vm));

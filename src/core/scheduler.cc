@@ -1,9 +1,12 @@
 #include "core/scheduler.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <numeric>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "common/rng.hh"
 
 namespace consim
@@ -217,6 +220,413 @@ scheduleThreads(const MachineConfig &cfg,
                       layers, " layers)");
     }
     return out;
+}
+
+// ---------------------------------------------------------------- //
+// Dynamic-scheduling spec grammar.                                  //
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+constexpr const char *dynGrammar =
+    "off | load-balance[,epoch=E] | affinity-repair[,epoch=E] | "
+    "contention-aware[,epoch=E]";
+
+bool
+dynFail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg + " (valid: " + dynGrammar + ")";
+    return false;
+}
+
+/** Split @p s on @p sep, dropping empty pieces and whitespace. */
+std::vector<std::string>
+dynSplit(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+} // namespace
+
+const char *
+toString(DynSchedPolicy p)
+{
+    switch (p) {
+      case DynSchedPolicy::Off:
+        return "off";
+      case DynSchedPolicy::LoadBalance:
+        return "load-balance";
+      case DynSchedPolicy::AffinityRepair:
+        return "affinity-repair";
+      case DynSchedPolicy::ContentionAware:
+        return "contention-aware";
+    }
+    return "?";
+}
+
+bool
+DynSchedConfig::parse(const std::string &text, DynSchedConfig &out,
+                      std::string *err)
+{
+    DynSchedConfig d;
+    const std::vector<std::string> parts = dynSplit(text, ',');
+    if (parts.empty())
+        return dynFail(err, "empty dyn-sched spec");
+    const std::string &policy = parts[0];
+    if (policy == "off") {
+        if (parts.size() > 1)
+            return dynFail(err,
+                           "dyn-sched policy 'off' takes no parameters");
+        out = d;
+        return true;
+    }
+    if (policy == "load-balance") {
+        d.policy = DynSchedPolicy::LoadBalance;
+    } else if (policy == "affinity-repair") {
+        d.policy = DynSchedPolicy::AffinityRepair;
+    } else if (policy == "contention-aware") {
+        d.policy = DynSchedPolicy::ContentionAware;
+    } else {
+        return dynFail(err, "unknown dyn-sched policy '" + policy +
+                                "' (off|load-balance|affinity-repair|"
+                                "contention-aware)");
+    }
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string &kv = parts[i];
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            return dynFail(err, "expected key=value, got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        std::uint64_t v = 0;
+        if (!parseU64(val, v))
+            return dynFail(err, "bad number '" + val + "' for " + key);
+        if (key == "epoch") {
+            d.epochCycles = v;
+        } else {
+            return dynFail(err,
+                           "unknown dyn-sched parameter '" + key + "'");
+        }
+    }
+    if (d.epochCycles < 1)
+        return dynFail(err, "epoch must be >= 1");
+    out = d;
+    return true;
+}
+
+std::string
+DynSchedConfig::spec() const
+{
+    if (policy == DynSchedPolicy::Off)
+        return "off";
+    std::ostringstream os;
+    os << toString(policy) << ",epoch=" << epochCycles;
+    return os.str();
+}
+
+json::Value
+DynSchedConfig::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("policy", toString(policy));
+    if (policy == DynSchedPolicy::Off)
+        return v;
+    v.set("epoch_cycles", epochCycles);
+    return v;
+}
+
+// ---------------------------------------------------------------- //
+// The three migration policies.                                     //
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/**
+ * Shared partner scan: the best swap partner inside @p g — idle
+ * eligible cores first (a migration, not an exchange), otherwise the
+ * eligible core scoring lowest under @p score; ties toward the lowest
+ * core id. @p exclude is skipped. invalidCore when the group offers
+ * no eligible endpoint.
+ */
+template <typename ScoreFn>
+CoreId
+pickPartnerInGroup(const MachineConfig &cfg, const DynSample &s,
+                   GroupId g, CoreId exclude, ScoreFn score)
+{
+    CoreId best = invalidCore;
+    double best_score = 0.0;
+    for (const CoreId c : cfg.coresOfGroup(g)) {
+        if (c == exclude || !s.cores[c].eligible)
+            continue;
+        if (s.cores[c].idle)
+            return c; // ascending scan: lowest-id idle core wins
+        const double sc = score(c);
+        if (best == invalidCore || sc < best_score) {
+            best = c;
+            best_score = sc;
+        }
+    }
+    return best;
+}
+
+/**
+ * Load balance: equalize per-group aggregate retired load. Moves the
+ * busiest thread of the heaviest group toward the lightest group when
+ * the spread exceeds 1/8 of the heavy group's load.
+ */
+class LoadBalancePolicy : public MigrationPolicy
+{
+  public:
+    const char *name() const override { return "load-balance"; }
+
+    ThreadSwap
+    decide(const MachineConfig &cfg, const DynSample &s) const override
+    {
+        std::vector<std::uint64_t> load(cfg.numGroups(), 0);
+        for (CoreId c = 0; c < static_cast<CoreId>(s.cores.size());
+             ++c)
+            load[cfg.groupOfCore(c)] += s.cores[c].retired;
+        GroupId hi = 0, lo = 0;
+        for (GroupId g = 1; g < cfg.numGroups(); ++g) {
+            if (load[g] > load[hi])
+                hi = g;
+            if (load[g] < load[lo])
+                lo = g;
+        }
+        if (hi == lo || load[hi] == 0 ||
+            load[hi] - load[lo] < load[hi] / 8)
+            return {};
+        // Victim: the busiest migratable thread of the heavy group.
+        CoreId victim = invalidCore;
+        for (const CoreId c : cfg.coresOfGroup(hi)) {
+            if (!s.cores[c].eligible || s.cores[c].idle)
+                continue;
+            if (victim == invalidCore ||
+                s.cores[c].retired > s.cores[victim].retired)
+                victim = c;
+        }
+        if (victim == invalidCore)
+            return {};
+        const CoreId partner = pickPartnerInGroup(
+            cfg, s, lo, victim,
+            [&](CoreId c) {
+                return static_cast<double>(s.cores[c].retired);
+            });
+        // Swapping two equally-busy threads is churn, not balance.
+        if (partner == invalidCore ||
+            (!s.cores[partner].idle &&
+             s.cores[partner].retired >= s.cores[victim].retired))
+            return {};
+        return {victim, partner};
+    }
+};
+
+/**
+ * Affinity repair: when a VM pays a high cache-to-cache fraction, its
+ * sharers are split across L2 partitions — re-pack a stray thread
+ * into the VM's most-populated (home) group.
+ */
+class AffinityRepairPolicy : public MigrationPolicy
+{
+  public:
+    const char *name() const override { return "affinity-repair"; }
+
+    ThreadSwap
+    decide(const MachineConfig &cfg, const DynSample &s) const override
+    {
+        // VMs by c2c fraction, worst first; ties toward the lower id.
+        std::vector<VmId> order;
+        for (VmId v = 0; v < static_cast<VmId>(s.vms.size()); ++v) {
+            const DynVmSample &vm = s.vms[v];
+            if (vm.l2Misses >= kMinMisses &&
+                vm.c2cTransfers * 5 >= vm.l2Misses) // >= 20% c2c
+                order.push_back(v);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](VmId a, VmId b) {
+                             return frac(s.vms[a]) > frac(s.vms[b]);
+                         });
+        for (const VmId vm : order) {
+            // Thread census per group for this VM.
+            std::vector<int> pop(cfg.numGroups(), 0);
+            for (CoreId c = 0;
+                 c < static_cast<CoreId>(s.cores.size()); ++c)
+                if (s.cores[c].vm == vm && !s.cores[c].idle)
+                    ++pop[cfg.groupOfCore(c)];
+            GroupId home = 0;
+            int spread = 0;
+            for (GroupId g = 0; g < cfg.numGroups(); ++g) {
+                if (pop[g] > 0)
+                    ++spread;
+                if (pop[g] > pop[home])
+                    home = g;
+            }
+            if (spread <= 1)
+                continue; // already packed
+            // Stray: the lowest-id migratable thread outside home.
+            CoreId stray = invalidCore;
+            for (CoreId c = 0;
+                 c < static_cast<CoreId>(s.cores.size()); ++c) {
+                if (s.cores[c].vm == vm && !s.cores[c].idle &&
+                    s.cores[c].eligible &&
+                    cfg.groupOfCore(c) != home) {
+                    stray = c;
+                    break;
+                }
+            }
+            if (stray == invalidCore)
+                continue;
+            // Partner: a non-sharer slot inside home (idle preferred,
+            // else the lightest foreign thread).
+            CoreId partner = invalidCore;
+            double partner_score = 0.0;
+            for (const CoreId c : cfg.coresOfGroup(home)) {
+                if (!s.cores[c].eligible || s.cores[c].vm == vm)
+                    continue;
+                if (s.cores[c].idle) {
+                    partner = c;
+                    break;
+                }
+                const double sc =
+                    static_cast<double>(s.cores[c].retired);
+                if (partner == invalidCore || sc < partner_score) {
+                    partner = c;
+                    partner_score = sc;
+                }
+            }
+            if (partner == invalidCore)
+                continue;
+            return {stray, partner};
+        }
+        return {};
+    }
+
+  private:
+    static constexpr std::uint64_t kMinMisses = 64;
+
+    static double
+    frac(const DynVmSample &v)
+    {
+        return static_cast<double>(v.c2cTransfers) /
+               static_cast<double>(v.l2Misses);
+    }
+};
+
+/**
+ * Contention aware: evict the thread with the worst per-VM L2
+ * miss-rate delta from the most-contended partition toward the
+ * least-contended one.
+ */
+class ContentionAwarePolicy : public MigrationPolicy
+{
+  public:
+    const char *name() const override { return "contention-aware"; }
+
+    ThreadSwap
+    decide(const MachineConfig &cfg, const DynSample &s) const override
+    {
+        GroupId hi = invalidGroup, lo = invalidGroup;
+        double hi_rate = 0.0, lo_rate = 0.0;
+        // A quiet partition is the perfect migration target but a
+        // meaningless eviction source, so only the source needs a
+        // minimum-traffic gate. The gate is relative — a quarter of
+        // the mean per-group traffic, floored at kMinAccesses — so
+        // short epochs on small partitions still expose their
+        // thrashers while a trickle next to busy groups stays gated.
+        std::uint64_t total = 0;
+        for (const DynGroupSample &gs : s.groups)
+            total += gs.l2Hits + gs.l2Misses;
+        const std::uint64_t gate = std::max<std::uint64_t>(
+            kMinAccesses,
+            total / (4 * static_cast<std::uint64_t>(cfg.numGroups())));
+        for (GroupId g = 0; g < cfg.numGroups(); ++g) {
+            const DynGroupSample &gs = s.groups[g];
+            const std::uint64_t acc = gs.l2Hits + gs.l2Misses;
+            const double rate =
+                acc ? static_cast<double>(gs.l2Misses) /
+                          static_cast<double>(acc)
+                    : 0.0;
+            if (acc >= gate &&
+                (hi == invalidGroup || rate > hi_rate)) {
+                hi = g;
+                hi_rate = rate;
+            }
+            if (lo == invalidGroup || rate < lo_rate) {
+                lo = g;
+                lo_rate = rate;
+            }
+        }
+        if (hi == invalidGroup || hi == lo ||
+            hi_rate - lo_rate < kMinMargin)
+            return {};
+        // Victim: the thread whose VM suffers the worst miss rate.
+        CoreId victim = invalidCore;
+        double victim_rate = 0.0;
+        for (const CoreId c : cfg.coresOfGroup(hi)) {
+            if (!s.cores[c].eligible || s.cores[c].idle)
+                continue;
+            const double r = vmMissRate(s, c);
+            if (victim == invalidCore || r > victim_rate) {
+                victim = c;
+                victim_rate = r;
+            }
+        }
+        if (victim == invalidCore)
+            return {};
+        const CoreId partner = pickPartnerInGroup(
+            cfg, s, lo, victim,
+            [&](CoreId c) { return vmMissRate(s, c); });
+        if (partner == invalidCore)
+            return {};
+        return {victim, partner};
+    }
+
+  private:
+    static constexpr std::uint64_t kMinAccesses = 32;
+    static constexpr double kMinMargin = 0.05;
+
+    static double
+    vmMissRate(const DynSample &s, CoreId c)
+    {
+        const DynVmSample &v = s.vms[s.cores[c].vm];
+        return static_cast<double>(v.l2Misses) /
+               static_cast<double>(std::max<std::uint64_t>(
+                   1, v.l2Accesses));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<MigrationPolicy>
+makeMigrationPolicy(DynSchedPolicy p)
+{
+    switch (p) {
+      case DynSchedPolicy::LoadBalance:
+        return std::make_unique<LoadBalancePolicy>();
+      case DynSchedPolicy::AffinityRepair:
+        return std::make_unique<AffinityRepairPolicy>();
+      case DynSchedPolicy::ContentionAware:
+        return std::make_unique<ContentionAwarePolicy>();
+      case DynSchedPolicy::Off:
+        break;
+    }
+    CONSIM_FATAL("no migration policy for '", toString(p), "'");
 }
 
 } // namespace consim

@@ -12,15 +12,27 @@
  *    of a workload share each partition;
  *  - random: seeded random placement, modelling the steady state of
  *    an over-committed virtual machine system.
+ *
+ * On top of the static placement sits the *dynamic* scheduling layer:
+ * a MigrationPolicy samples the stats registry at epoch boundaries
+ * and proposes at most one thread swap per epoch, which System::run
+ * applies at the epoch service point (a migration boundary, the same
+ * machinery checkpoints serialize). Every policy is a deterministic
+ * pure function of the epoch-delta sample — no RNG — so serial and
+ * `--run-jobs` runs decide identically and a checkpoint only needs
+ * the epoch baselines to resume byte-identically.
  */
 
 #ifndef CONSIM_CORE_SCHEDULER_HH
 #define CONSIM_CORE_SCHEDULER_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "common/types.hh"
 
 namespace consim
@@ -51,6 +63,127 @@ std::vector<ThreadPlacement>
 scheduleThreads(const MachineConfig &cfg,
                 const std::vector<int> &threads_per_vm,
                 SchedPolicy policy, std::uint64_t seed);
+
+// ---------------------------------------------------------------- //
+// Dynamic (runtime) scheduling.                                     //
+// ---------------------------------------------------------------- //
+
+/** Online thread-migration policy. */
+enum class DynSchedPolicy
+{
+    Off,             ///< static placement only (the paper's machine)
+    LoadBalance,     ///< equalize per-group aggregate retired load
+    AffinityRepair,  ///< re-pack a c2c-heavy VM toward shared groups
+    ContentionAware, ///< evict the worst thread from the most-
+                     ///< contended L2 group toward the least-contended
+};
+
+/** @return the grammar keyword for a policy. */
+const char *toString(DynSchedPolicy p);
+
+/**
+ * Dynamic-scheduling knobs for one simulation point.
+ *
+ * Spec grammar (CLI `--dyn-sched` / env `CONSIM_DYN_SCHED` /
+ * checkpoint context):
+ *   off
+ *   load-balance[,epoch=E]
+ *   affinity-repair[,epoch=E]
+ *   contention-aware[,epoch=E]
+ * e.g. "contention-aware,epoch=20000"
+ */
+struct DynSchedConfig
+{
+    DynSchedPolicy policy = DynSchedPolicy::Off;
+    /** Re-evaluate at absolute multiples of this many cycles. */
+    Cycle epochCycles = 100'000;
+
+    bool enabled() const { return policy != DynSchedPolicy::Off; }
+
+    /**
+     * Parse the spec grammar. On failure returns false and, when
+     * @p err is non-null, stores a human-readable reason that names
+     * the valid catalog (same style as QosConfig::parse).
+     */
+    static bool parse(const std::string &text, DynSchedConfig &out,
+                      std::string *err = nullptr);
+
+    /** @return the config in grammar form (round-trips parse). */
+    std::string spec() const;
+
+    /** @return JSON object for the run.v1 config echo. */
+    json::Value toJson() const;
+};
+
+/** One core's epoch-delta view, as sampled at the service point. */
+struct DynCoreSample
+{
+    VmId vm = invalidVm;        ///< bound VM (invalidVm when idle)
+    bool eligible = false;      ///< legal swap endpoint (not wedged,
+                                ///< not time-multiplexed; mid-miss
+                                ///< cores rebind at the fill return)
+    bool idle = false;          ///< no stream bound
+    std::uint64_t retired = 0;  ///< instructions retired this epoch
+};
+
+/** One VM's epoch-delta counters. */
+struct DynVmSample
+{
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t c2cTransfers = 0; ///< clean + dirty cache-to-cache
+};
+
+/** One sharing group's (L2 partition's) epoch-delta counters. */
+struct DynGroupSample
+{
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/** The full epoch sample a policy decides from. */
+struct DynSample
+{
+    std::vector<DynCoreSample> cores;   ///< by CoreId
+    std::vector<DynVmSample> vms;       ///< by VmId
+    std::vector<DynGroupSample> groups; ///< by GroupId
+};
+
+/** A proposed swap of the threads bound to two cores. */
+struct ThreadSwap
+{
+    CoreId a = invalidCore;
+    CoreId b = invalidCore;
+
+    bool decided() const { return a != invalidCore; }
+};
+
+/**
+ * Interface of the three dynamic policies. decide() must be a pure
+ * function of its arguments (deterministic, ties broken toward the
+ * lowest id) so that the serial and tile-parallel engines — and a
+ * resumed checkpoint — reach identical verdicts from identical
+ * samples.
+ */
+class MigrationPolicy
+{
+  public:
+    virtual ~MigrationPolicy() = default;
+
+    /** @return the grammar keyword of the concrete policy. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Propose at most one swap for this epoch. Only cores with
+     * `eligible` set may appear in the result; ThreadSwap{} (not
+     * decided) means "placement is fine, do nothing".
+     */
+    virtual ThreadSwap decide(const MachineConfig &cfg,
+                              const DynSample &s) const = 0;
+};
+
+/** @return the policy object for @p p (never null; p != Off). */
+std::unique_ptr<MigrationPolicy> makeMigrationPolicy(DynSchedPolicy p);
 
 } // namespace consim
 

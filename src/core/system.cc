@@ -265,6 +265,167 @@ System::qosRepartition()
 }
 
 void
+System::setDynSched(const DynSchedConfig &dyn)
+{
+    if (dyn.enabled()) {
+        CONSIM_ASSERT(cfg_.numGroups() >= 1,
+                      "dyn-sched needs at least one sharing group");
+    }
+    dynSched_ = dyn;
+    dynPolicy_ =
+        dyn.enabled() ? makeMigrationPolicy(dyn.policy) : nullptr;
+    dynMigrations_ = 0;
+    dynLastRetired_.assign(cfg_.numCores(), 0);
+    dynLastVm_.assign(vms_.size(), {0, 0, 0});
+    dynLastGroup_.assign(cfg_.numGroups(), {0, 0});
+    dynHold_ = 0;
+    dynBackoff_ = 1;
+    dynEval_ = {};
+    dynPreMiss_ = 0;
+    dynPreAcc_ = 0;
+}
+
+DynSample
+System::dynTakeSample()
+{
+    DynSample s;
+    s.cores.resize(cfg_.numCores());
+    for (CoreId c = 0; c < cfg_.numCores(); ++c) {
+        const Core &core = *cores_[c];
+        DynCoreSample &cs = s.cores[c];
+        cs.vm = core.vm();
+        cs.idle = core.idle();
+        // Migration legality: over-committed cores rotate a run
+        // queue the swap would fight with, and wedged cores never
+        // reach the instruction boundary a deferred rebind lands on.
+        // Cores blocked on a miss ARE eligible — in a memory-bound
+        // workload a busy core is mid-miss at almost every epoch
+        // boundary, so requiring !blocked() here would starve every
+        // policy; scheduleRebind() parks the migration until the
+        // fill returns instead.
+        cs.eligible = !core.multiplexed() && !core.wedged();
+        const std::uint64_t now =
+            core.coreStats().instructions.value();
+        cs.retired = now - dynLastRetired_[c];
+        dynLastRetired_[c] = now;
+    }
+    s.vms.resize(vms_.size());
+    for (VmId v = 0; v < static_cast<VmId>(vms_.size()); ++v) {
+        const VmStats &vs = vms_[v]->vmStats();
+        const std::uint64_t acc = vs.l2Accesses.value();
+        const std::uint64_t miss = vs.l2Misses.value();
+        const std::uint64_t c2c =
+            vs.c2cClean.value() + vs.c2cDirty.value();
+        DynVmSample &out = s.vms[v];
+        out.l2Accesses = acc - dynLastVm_[v][0];
+        out.l2Misses = miss - dynLastVm_[v][1];
+        out.c2cTransfers = c2c - dynLastVm_[v][2];
+        dynLastVm_[v] = {acc, miss, c2c};
+    }
+    s.groups.resize(cfg_.numGroups());
+    std::vector<std::array<std::uint64_t, 2>> totals(
+        cfg_.numGroups(), std::array<std::uint64_t, 2>{0, 0});
+    for (CoreId t = 0; t < cfg_.numCores(); ++t) {
+        const L2BankStats &bs = banks_[t]->bankStats();
+        totals[groupOf_[t]][0] += bs.hits.value();
+        totals[groupOf_[t]][1] += bs.misses.value();
+    }
+    for (GroupId g = 0; g < cfg_.numGroups(); ++g) {
+        s.groups[g].l2Hits = totals[g][0] - dynLastGroup_[g][0];
+        s.groups[g].l2Misses = totals[g][1] - dynLastGroup_[g][1];
+        dynLastGroup_[g] = totals[g];
+    }
+    return s;
+}
+
+void
+System::dynSchedEpoch()
+{
+    if (!dynPolicy_)
+        return;
+    // A prior swap whose endpoints were mid-miss may still be
+    // parked; deciding on top of it would double-bind a stream.
+    // Miss latencies are orders of magnitude below any epoch, so
+    // this skip fires only when an epoch boundary races a fill.
+    for (const auto &core : cores_)
+        if (core->rebindPending())
+            return;
+    // Baselines advance every epoch even while holding, so a
+    // decision after a backoff window sees one epoch's delta, not a
+    // stale accumulation.
+    const DynSample s = dynTakeSample();
+    std::uint64_t epochMiss = 0, epochAcc = 0;
+    for (const DynVmSample &v : s.vms) {
+        epochMiss += v.l2Misses;
+        epochAcc += v.l2Accesses;
+    }
+    if (dynHold_ > 0) {
+        --dynHold_;
+        return;
+    }
+    if (dynEval_.decided()) {
+        // Verdict on the last swap: the chip miss rate must have
+        // dropped by at least one point (integer cross-product
+        // comparison; no float rounding in the resume path). A swap
+        // that did not pay is reverted and the policy backs off
+        // exponentially, so steady workloads converge to near-zero
+        // churn while a later phase change re-engages within epochs.
+        const bool helped =
+            epochAcc > 0 && dynPreAcc_ > 0 &&
+            100 * epochMiss * dynPreAcc_ + epochAcc * dynPreAcc_ <=
+                100 * dynPreMiss_ * epochAcc;
+        if (helped) {
+            dynBackoff_ = 1;
+        } else {
+            // Revert unless an endpoint was wedged by fault
+            // injection in the meantime (it can never reach the
+            // rebind boundary).
+            if (!cores_.at(dynEval_.a)->wedged() &&
+                !cores_.at(dynEval_.b)->wedged())
+                applySwap(dynEval_);
+            dynHold_ = dynBackoff_;
+            dynBackoff_ = std::min<std::uint32_t>(dynBackoff_ * 2, 64);
+            dynEval_ = {};
+            return;
+        }
+        dynEval_ = {};
+    }
+    const ThreadSwap swap = dynPolicy_->decide(cfg_, s);
+    if (!swap.decided())
+        return;
+    Core &ca = *cores_.at(swap.a);
+    Core &cb = *cores_.at(swap.b);
+    CONSIM_ASSERT(!ca.multiplexed() && !cb.multiplexed() &&
+                      !ca.wedged() && !cb.wedged() &&
+                      !(ca.idle() && cb.idle()),
+                  "policy '", dynPolicy_->name(),
+                  "' proposed an illegal swap (", swap.a, " <-> ",
+                  swap.b, ")");
+    applySwap(swap);
+    dynEval_ = swap;
+    dynPreMiss_ = epochMiss;
+    dynPreAcc_ = epochAcc;
+    dynHold_ = 1; // one warm-up epoch before the verdict
+}
+
+void
+System::applySwap(const ThreadSwap &swap)
+{
+    // Exchange the bindings; each endpoint installs at its own next
+    // clean instruction boundary (immediately when free, at the fill
+    // return when blocked).
+    Core &ca = *cores_.at(swap.a);
+    Core &cb = *cores_.at(swap.b);
+    InstrStream *sa = ca.stream();
+    const VmId va = ca.vm();
+    InstrStream *sb = cb.stream();
+    const VmId vb = cb.vm();
+    ca.scheduleRebind(sb, vb);
+    cb.scheduleRebind(sa, va);
+    ++dynMigrations_;
+}
+
+void
 System::send(Msg m)
 {
     TileLane *const lane = tlsLane_;
@@ -573,8 +734,9 @@ System::run(Cycle cycles)
     }
     const Cycle end = now_ + cycles;
     const Cycle qosEpoch = qosEpochInterval();
+    const Cycle dynEpoch = dynEpochInterval();
     if (watchdogInterval_ == 0 && deadline_ == 0 &&
-        ckptInterval_ == 0 && qosEpoch == 0) {
+        ckptInterval_ == 0 && qosEpoch == 0 && dynEpoch == 0) {
         // Fast path: the per-cycle loop carries no hardening checks.
         while (now_ < end)
             tick();
@@ -588,6 +750,10 @@ System::run(Cycle cycles)
             qosEpoch ? (now_ / qosEpoch + 1) * qosEpoch : 0;
         if (qosEpoch != 0)
             chunkEnd = std::min(chunkEnd, epochAt);
+        const Cycle dynAt =
+            dynEpoch ? (now_ / dynEpoch + 1) * dynEpoch : 0;
+        if (dynEpoch != 0)
+            chunkEnd = std::min(chunkEnd, dynAt);
         if (watchdogInterval_ != 0)
             chunkEnd = std::min(chunkEnd, nextWatchdogCheck_);
         if (deadline_ != 0)
@@ -600,6 +766,10 @@ System::run(Cycle cycles)
         // shared boundary captures the post-epoch allocation.
         if (qosEpoch != 0 && now_ >= epochAt)
             qosRepartition();
+        // Remap before the snapshot for the same reason: a resumed
+        // run must not redo a migration the snapshot already holds.
+        if (dynEpoch != 0 && now_ >= dynAt)
+            dynSchedEpoch();
         // Snapshot before the deadline check: a run tripping at its
         // deadline then carries a checkpoint taken at that very
         // cycle, so a resume loses no work.
@@ -860,6 +1030,11 @@ System::runParallel(Cycle cycles)
             qosEpoch ? (now_ / qosEpoch + 1) * qosEpoch : 0;
         if (qosEpoch != 0)
             service = std::min(service, epochAt);
+        const Cycle dynEpoch = dynEpochInterval();
+        const Cycle dynAt =
+            dynEpoch ? (now_ / dynEpoch + 1) * dynEpoch : 0;
+        if (dynEpoch != 0)
+            service = std::min(service, dynAt);
         if (watchdogInterval_ != 0)
             service = std::min(service, nextWatchdogCheck_);
         if (deadline_ != 0)
@@ -885,6 +1060,10 @@ System::runParallel(Cycle cycles)
         gather();
         if (qosEpoch != 0 && now_ >= epochAt)
             qosRepartition();
+        // Post-gather the global state equals the serial engine's, so
+        // the deterministic policy reaches the identical verdict.
+        if (dynEpoch != 0 && now_ >= dynAt)
+            dynSchedEpoch();
         if (ckptInterval_ != 0 && now_ >= nextCkpt_) {
             takeSnapshot();
             nextCkpt_ = now_ + ckptInterval_;
@@ -965,6 +1144,12 @@ System::resetStats()
     // the counters it diffs just went back to zero.
     qosLastMissTotal_ = 0;
     qosPrevDelta_ = 0;
+    // Same for the migration policies' epoch baselines.
+    std::fill(dynLastRetired_.begin(), dynLastRetired_.end(), 0);
+    std::fill(dynLastVm_.begin(), dynLastVm_.end(),
+              std::array<std::uint64_t, 3>{0, 0, 0});
+    std::fill(dynLastGroup_.begin(), dynLastGroup_.end(),
+              std::array<std::uint64_t, 2>{0, 0});
 }
 
 bool

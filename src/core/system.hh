@@ -9,6 +9,7 @@
 #ifndef CONSIM_CORE_SYSTEM_HH
 #define CONSIM_CORE_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -280,6 +281,25 @@ class System : public Fabric
      *  static mode; moves at epoch boundaries in dynamic mode). */
     int qosDynWays() const { return qosDynWays_; }
 
+    // --- dynamic scheduling (online thread migration) ---
+
+    /**
+     * Install the dynamic-scheduling policy (call before running).
+     * At every `epochCycles` boundary — a service point both engines
+     * land on the same absolute cycles — the policy reads the epoch's
+     * per-core / per-VM / per-group counter deltas from the stats
+     * registry and proposes at most one thread swap, which is applied
+     * through the same rebinding the random-migration hook uses.
+     * Policies are deterministic (no RNG), so serial and `--run-jobs`
+     * runs migrate identically and checkpoints only carry the epoch
+     * baselines.
+     */
+    void setDynSched(const DynSchedConfig &dyn);
+    const DynSchedConfig &dynSchedConfig() const { return dynSched_; }
+
+    /** Thread migrations performed by the dynamic scheduler. */
+    std::uint64_t dynMigrations() const { return dynMigrations_; }
+
     /**
      * Window-boundary audit (run under CONSIM_CHECK=full): NoC
      * credit/flit conservation, stuck-transaction (leaked MSHR
@@ -299,13 +319,13 @@ class System : public Fabric
      */
     json::Value diagJson(const std::string &reason) const;
 
-    // --- checkpoint / resume (`consim.ckpt.v4`) ---
+    // --- checkpoint / resume (`consim.ckpt.v5`) ---
 
     /**
      * Serialize the complete deterministic machine state (cycle,
      * event queue with per-source ordering keys, caches, transaction
      * tables, NoC, RNG streams, stats registry) as a
-     * `consim.ckpt.v4` document. The embedded
+     * `consim.ckpt.v5` document. The embedded
      * experiment context (setCheckpointContext) rides along so the
      * experiment layer can resume its warmup/measure loop. Throws
      * SimError(Invariant) if an Opaque event is pending.
@@ -480,6 +500,18 @@ class System : public Fabric
     /** Re-size the protected way allocation at an epoch boundary. */
     void qosRepartition();
 
+    /** Dynamic-scheduling epoch length (0 when disabled). */
+    Cycle dynEpochInterval() const
+    {
+        return dynSched_.enabled() ? dynSched_.epochCycles : 0;
+    }
+    /** Read the epoch-delta sample and advance the baselines. */
+    DynSample dynTakeSample();
+    /** Sample, decide, and apply at most one swap (epoch boundary). */
+    void dynSchedEpoch();
+    /** Exchange two cores' bindings via deferred rebinds. */
+    void applySwap(const ThreadSwap &swap);
+
     MachineConfig cfg_;
     std::vector<VirtualMachine *> vms_;
 
@@ -552,6 +584,29 @@ class System : public Fabric
     /** Epoch-boundary miss-curve samples (dynamic repartitioner). */
     std::uint64_t qosLastMissTotal_ = 0; ///< protected-VM L2 misses
     std::uint64_t qosPrevDelta_ = 0;     ///< last epoch's miss delta
+
+    // --- dynamic-scheduling state ---
+    DynSchedConfig dynSched_;
+    std::unique_ptr<MigrationPolicy> dynPolicy_;
+    std::uint64_t dynMigrations_ = 0;
+    /** Previous-epoch counter baselines (delta = now - baseline). */
+    std::vector<std::uint64_t> dynLastRetired_;     ///< per core
+    /** Per VM: {l2Accesses, l2Misses, c2cClean + c2cDirty}. */
+    std::vector<std::array<std::uint64_t, 3>> dynLastVm_;
+    /** Per group: {l2Hits, l2Misses} summed over member banks. */
+    std::vector<std::array<std::uint64_t, 2>> dynLastGroup_;
+    /**
+     * Migration feedback loop: every applied swap is evaluated two
+     * epochs later against the chip miss rate it was supposed to
+     * improve; a swap that did not help is reverted and the policy
+     * backs off exponentially (steady workloads converge to almost
+     * no churn, phase changes re-engage quickly).
+     */
+    std::uint32_t dynHold_ = 0;    ///< epochs left to sit out
+    std::uint32_t dynBackoff_ = 1; ///< next hold after a failed swap
+    ThreadSwap dynEval_;           ///< applied swap awaiting verdict
+    std::uint64_t dynPreMiss_ = 0; ///< pre-swap epoch chip L2 misses
+    std::uint64_t dynPreAcc_ = 0;  ///< pre-swap epoch chip accesses
 
     // --- checkpoint state ---
     Cycle ckptInterval_ = 0;      ///< 0 = periodic snapshots off

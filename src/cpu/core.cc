@@ -32,6 +32,28 @@ Core::enqueueContext(InstrStream *stream, VmId vm)
 }
 
 void
+Core::scheduleRebind(InstrStream *stream, VmId vm)
+{
+    CONSIM_ASSERT(!wedged_, "migrating a wedged core");
+    CONSIM_ASSERT(!multiplexed(), "migrating a time-sliced core");
+    rebindPending_ = true;
+    rebindStream_ = stream;
+    rebindVm_ = vm;
+}
+
+void
+Core::installRebind()
+{
+    rebindPending_ = false;
+    bindThread(rebindStream_, rebindVm_);
+    rebindStream_ = nullptr;
+    rebindVm_ = invalidVm;
+    // One dead cycle for the context switch: the incoming thread
+    // starts fetching on the next tick, never the install tick.
+    busyUntil_ = fab_.now() + 1;
+}
+
+void
 Core::rotateContext(Cycle now)
 {
     // Boundaries are absolute multiples of the quantum, so a resumed
@@ -44,6 +66,13 @@ Core::rotateContext(Cycle now)
 void
 Core::tick()
 {
+    // A deferred migration lands at the first clean instruction
+    // boundary: never mid-miss (the fill retires against the old
+    // binding first), never mid-slice. Deterministic in sim state,
+    // so serial and parallel runs install on the same cycle.
+    if (rebindPending_ && !blocked_ && !wedged_ && !haveSlice_ &&
+        fab_.now() >= busyUntil_)
+        installRebind();
     if (stream_ == nullptr || blocked_ || wedged_)
         return;
     const Cycle now = fab_.now();

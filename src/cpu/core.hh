@@ -70,6 +70,20 @@ class Core
      */
     void enqueueContext(InstrStream *stream, VmId vm);
 
+    /**
+     * Dynamic-scheduling migration: rebind this hardware context to
+     * @p stream / @p vm at the next clean instruction boundary. A
+     * core that is between instructions switches on its next tick; a
+     * core blocked on an outstanding miss finishes the in-flight
+     * reference first (the fill retires against the departing
+     * thread's VM) and switches when the fill returns. Never legal on
+     * wedged or time-multiplexed cores.
+     */
+    void scheduleRebind(InstrStream *stream, VmId vm);
+
+    /** @return true while a deferred rebind awaits a boundary. */
+    bool rebindPending() const { return rebindPending_; }
+
     /** Set the preemption quantum; 0 restores the default. */
     void
     setTimeslice(Cycle interval)
@@ -128,6 +142,7 @@ class Core
 
     void missComplete();
     void rotateContext(Cycle now);
+    void installRebind();
 
     /** One schedulable software context (over-committed cores). */
     struct Context
@@ -144,6 +159,9 @@ class Core
 
     bool blocked_ = false;
     bool wedged_ = false;
+    bool rebindPending_ = false;
+    InstrStream *rebindStream_ = nullptr;
+    VmId rebindVm_ = invalidVm;
     std::uint64_t retiredTotal_ = 0;
     bool haveSlice_ = false;
     WorkSlice slice_;

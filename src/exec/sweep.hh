@@ -69,7 +69,7 @@ struct SweepRun
                               ///< "exception" (when !ok)
     std::string errorMessage; ///< exception what() (when !ok)
     std::string diag;         ///< consim.diag.v1 text ("" if none)
-    /** `consim.ckpt.v4` text of the last pre-trip snapshot attached
+    /** `consim.ckpt.v5` text of the last pre-trip snapshot attached
      *  to the final error ("" when snapshotting was off or the point
      *  succeeded) — resumable via resumeExperiment / --resume. */
     std::string ckpt;

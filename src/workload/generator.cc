@@ -73,12 +73,26 @@ SyntheticStream::pickMigratory()
 BlockAddr
 SyntheticStream::pickPrivate()
 {
+    // Burst phases (Bursty profile): while this VM holds the burst
+    // slot, the private hot window widens past an L2 partition. The
+    // schedule is a pure function of the thread's own reference count
+    // (and the VM id, which rotates the slot), so it is deterministic
+    // and checkpoint-exact; both phases draw the RNG identically.
+    std::uint64_t hot = prof_.hotPrivateBlocks;
+    if (prof_.burstPeriodRefs != 0 &&
+        (static_cast<std::uint64_t>(vm_) +
+         refs_ / prof_.burstPeriodRefs) %
+                prof_.burstPhases ==
+            0) {
+        hot = std::min(prof_.burstHotPrivateBlocks,
+                       prof_.privateBlocksPerThread);
+    }
     std::uint64_t off;
-    if (prof_.hotPrivateBlocks > 0 && rng_.chance(prof_.hotFraction)) {
+    if (hot > 0 && rng_.chance(prof_.hotFraction)) {
         const std::uint64_t span =
             rng_.chance(prof_.veryHotFraction)
-                ? std::min(prof_.veryHotBlocks, prof_.hotPrivateBlocks)
-                : prof_.hotPrivateBlocks;
+                ? std::min(prof_.veryHotBlocks, hot)
+                : hot;
         off = (hotPrivatePos_ + rng_.below(span)) % segPrivate_;
     } else {
         off = rng_.below(prof_.privateBlocksPerThread);

@@ -19,6 +19,8 @@ toString(WorkloadKind k)
         return "SPECweb";
       case WorkloadKind::Bully:
         return "Bully";
+      case WorkloadKind::Bursty:
+        return "Bursty";
     }
     return "?";
 }
@@ -215,6 +217,59 @@ makeBully()
     return p;
 }
 
+/**
+ * Bursty: a phase-changing consolidation guest, not a paper workload.
+ * Most of the time it runs a quiet, cache-resident transaction mix;
+ * every burstPeriodRefs references it takes a turn (rotating across
+ * VM ids) at a sustained burst phase whose private hot window
+ * overflows a small-chip L2 partition when two threads share one,
+ * but fits when a thread has a partition to itself. A static
+ * placement packs the burster's threads and pays the thrash for the
+ * whole phase; a migration policy can spread them into idle
+ * partitions — the workload exists to give the dynamic scheduling
+ * policies a phase worth reacting to.
+ */
+WorkloadProfile
+makeBursty()
+{
+    WorkloadProfile p;
+    p.kind = WorkloadKind::Bursty;
+    p.name = "Bursty";
+    p.sharedRoBlocks = 20'000;
+    p.migratoryBlocks = 200;
+    p.privateBlocksPerThread = 120'000;
+    p.pSharedRo = 0.20;
+    p.pMigratory = 0.010;
+    p.hotFraction = 0.95;
+    p.veryHotFraction = 0.5;
+    p.hotSharedBlocks = 400;
+    p.slideStepShared = 100;
+    p.hotPrivateBlocks = 400; // quiet phase: ~25 KB, L2-resident
+    p.slideStepPrivate = 100;
+    p.hotSlidePeriod = 4'000;
+    p.activeSharedSegment = 4'000;
+    p.activePrivateSegment = 60'000;
+    p.burstPeriodRefs = 200'000;
+    // Burst: ~160 KB per thread. Sized against the dyn-sched bursty
+    // chip (2 MB L2, sharing 2 => 256 KB partitions): two packed
+    // threads overflow a partition, one thread alone fits, and the
+    // window is small enough to re-warm within a few epochs after a
+    // migration — so moving a burster to an idle partition pays off
+    // inside the feedback loop's verdict horizon.
+    p.burstHotPrivateBlocks = 2'500;
+    p.burstPhases = 3;
+    p.privateWriteFraction = 0.30;
+    p.migratoryWriteFraction = 0.5;
+    p.computeMin = 1;
+    p.computeMax = 2;
+    p.refsPerTransaction = 500;
+    p.paperC2cAll = 0.0; // synthetic: no paper targets
+    p.paperC2cClean = 0.0;
+    p.paperC2cDirty = 0.0;
+    p.paperBlocks = 0;
+    return p;
+}
+
 } // namespace
 
 const WorkloadProfile &
@@ -236,6 +291,10 @@ WorkloadProfile::get(WorkloadKind k)
       case WorkloadKind::Bully: {
         static const WorkloadProfile bully = makeBully();
         return bully;
+      }
+      case WorkloadKind::Bursty: {
+        static const WorkloadProfile bursty = makeBursty();
+        return bursty;
       }
     }
     CONSIM_PANIC("bad workload kind");

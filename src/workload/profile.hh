@@ -46,6 +46,13 @@ enum class WorkloadKind
      *  cache and saturates the memory controllers. Not one of the
      *  paper's workloads — excluded from all(). */
     Bully,
+    /** Phase-changing variant for dynamic-scheduling studies: each VM
+     *  alternates deterministically between a quiet cache-resident
+     *  phase and a burst phase whose private hot window thrashes an
+     *  L2 partition; VMs burst in rotation, so no static placement
+     *  keeps the current burster isolated. Not one of the paper's
+     *  workloads — excluded from all(). */
+    Bursty,
 };
 
 /** @return the paper's name for a workload. */
@@ -86,6 +93,18 @@ struct WorkloadProfile
      *  sensitivity of Fig. 2). 0 = whole region. */
     std::uint64_t activeSharedSegment = 0;
     std::uint64_t activePrivateSegment = 0;
+
+    // --- deterministic burst phases (Bursty; 0 = steady) ---
+    /** References per burst phase slot. A VM is bursting while
+     *  (vmId + refs/burstPeriodRefs) % burstPhases == 0, so the
+     *  burst rotates across VMs and the schedule is a pure function
+     *  of each thread's own reference count (checkpoint-exact). */
+    std::uint64_t burstPeriodRefs = 0;
+    /** Private hot-window width while bursting (replaces
+     *  hotPrivateBlocks; sized to thrash an L2 partition). */
+    std::uint64_t burstHotPrivateBlocks = 0;
+    /** Phase slots per rotation (>= 2: one burster, rest quiet). */
+    std::uint64_t burstPhases = 0;
 
     // --- write behaviour ---
     double privateWriteFraction = 0.3;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Checkpoint/resume (`consim.ckpt.v4`) tests: resume byte-identity
+ * Checkpoint/resume (`consim.ckpt.v5`) tests: resume byte-identity
  * across every sharing degree and scheduling policy (including the
  * migration-boundary corner), watchdog-trip checkpoints under fault
  * injection, the sweep engine's resume-before-reseed retry ladder and
@@ -172,7 +172,7 @@ TEST(CheckpointSchemaDeathTest, OldSnapshotsRefusedWithExplanation)
     v1.set("schema", "consim.ckpt.v1");
     EXPECT_DEATH(resumeExperiment(v1), "re-run the original");
     EXPECT_DEATH(resumeExperiment(json::Value::object()),
-                 "not a consim.ckpt.v4 document");
+                 "not a consim.ckpt.v5 document");
 }
 
 // ---------------------------------------------------------------- //

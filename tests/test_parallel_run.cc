@@ -3,7 +3,7 @@
  * Tile-parallel event core (`--run-jobs` / CONSIM_RUN_JOBS) tests:
  * the parallel engine must be byte-identical to serial — same
  * RunResult bits, same `consim.run.v1` envelope, same periodic
- * `consim.ckpt.v4` snapshots — across every sharing degree,
+ * `consim.ckpt.v5` snapshots — across every sharing degree,
  * scheduling policy, interconnect ablation, and worker count. A
  * multi-window stress case doubles as the TSan workload (tools/ci.sh
  * runs this binary under -DCONSIM_SAN=thread).
@@ -121,7 +121,7 @@ namespace
 {
 
 /** Run @p cfg into a deadline trip and return the attached pre-trip
- *  `consim.ckpt.v4` snapshot text. */
+ *  `consim.ckpt.v5` snapshot text. */
 std::string
 tripAndGrabCheckpoint(RunConfig cfg)
 {

@@ -5,7 +5,7 @@
  * way-restricted victim scan, router VC reservation admission, the
  * QoS guarantees under CONSIM_CHECK=full (way masks honoured, token
  * buckets conserved, unreserved VMs never starved), serial-vs-
- * parallel byte-identity of a bully run, and `consim.ckpt.v4`
+ * parallel byte-identity of a bully run, and `consim.ckpt.v5`
  * round-tripping of the QoS runtime state.
  */
 
@@ -391,7 +391,7 @@ TEST(QosParallelRun, BullyRunByteIdenticalAcrossRunJobs)
 }
 
 // ---------------------------------------------------------------- //
-// consim.ckpt.v4: QoS runtime state round-trips.                    //
+// consim.ckpt.v5: QoS runtime state round-trips.                    //
 // ---------------------------------------------------------------- //
 
 TEST(QosCheckpoint, V4RoundTripsBucketAndRepartitionerState)
@@ -417,7 +417,7 @@ TEST(QosCheckpoint, V4RoundTripsBucketAndRepartitionerState)
         json::Value doc;
         std::string err;
         ASSERT_TRUE(json::parse(e.ckpt(), doc, &err)) << err;
-        EXPECT_EQ(doc.find("schema")->str(), "consim.ckpt.v4");
+        EXPECT_EQ(doc.find("schema")->str(), "consim.ckpt.v5");
         // The snapshot carries the QoS machine section and the
         // per-MC bucket arrays.
         ASSERT_NE(doc.find("machine"), nullptr);

@@ -190,6 +190,41 @@ TEST(Scheduler, OverCommitEveryPolicyBalanced)
     }
 }
 
+TEST(Scheduler, RandomOverCommitLayersHeterogeneous)
+{
+    // Audit pin: under Random with uneven --vm-threads vectors the
+    // over-commit layering contract must hold *at every prefix* of
+    // the placement order — a core may only receive its (k+1)-th
+    // thread once every core holds k. scheduleRandom walks a single
+    // shuffled permutation modulo the core count, so a violation
+    // would mean the permutation wrap regressed.
+    const auto cfg = machineWith(SharingDegree::Shared4);
+    const std::vector<std::vector<int>> shapes = {
+        {1, 7, 2, 16, 5},  // 31 threads: mid-layer boundary inside VM 3
+        {3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 2}, // 35, many small VMs
+        {16, 1, 16, 1},    // giant VMs straddling layer boundaries
+        {2, 4, 8, 0, 1},   // a zero-thread VM in the middle
+    };
+    for (const auto &shape : shapes) {
+        for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+            const auto out =
+                scheduleThreads(cfg, shape, SchedPolicy::Random, seed);
+            std::vector<int> perCore(cfg.numCores(), 0);
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                const int before = perCore[out[i].core];
+                const int low = *std::min_element(perCore.begin(),
+                                                  perCore.end());
+                EXPECT_EQ(before, low)
+                    << "placement " << i << " (seed " << seed
+                    << ") started layer " << before + 1 << " on core "
+                    << out[i].core << " while another core still has "
+                    << low << " threads";
+                ++perCore[out[i].core];
+            }
+        }
+    }
+}
+
 TEST(Mix, TableIvHeterogeneousComposition)
 {
     const auto &mixes = Mix::heterogeneous();

@@ -4,7 +4,10 @@
 # scale-out smoke (32-core/8-VM parallel determinism and
 # checkpoint-resume byte-identity), a scale-to-256 smoke (128-core
 # over-committed parallel determinism + resume byte-identity), a
-# zero-allocation assertion over the measure window, a checked-mode
+# zero-allocation assertion over the measure window, an isolation
+# smoke (QoS must protect the VM) and a dyn-sched smoke (migration
+# must beat the static placement on the bursty mix, and resume across
+# migration epochs must be byte-identical), a checked-mode
 # pass (full suite with every runtime invariant checker
 # enabled) plus a fault-injection smoke over the whole catalog, a
 # perf-regression smoke against the committed BENCH_*.json, an
@@ -228,6 +231,64 @@ if grep -q '"mc_throttle_stalls"' "$iso_dir/noqos.json"; then
 fi
 echo "isolation smoke: QoS bound holds, stalls land on the bullies"
 
+echo "=== dyn-sched smoke: migration beats static on the bursty mix ==="
+# The fig17 bursty scenario, single point: three 4-thread Bursty VMs
+# on a sharing-2 chip with a 2 MB LLC. Contention-aware migration must
+# commit more transactions than the static affinity placement over the
+# same window (same measured cycles, so more transactions == lower
+# aggregate cy/txn), must actually migrate, and a run interrupted and
+# resumed across migration epochs must match the uninterrupted run
+# byte-for-byte.
+dyn_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir" "$par_dir" "$scale_dir" "$iso_dir" "$dyn_dir"' EXIT
+dyn_args=(--vm bursty --vm bursty --vm bursty --vm-threads 4,4,4
+    --sharing 2 --l2 2097152
+    --warmup 200000 --measure 1200000 --watchdog 200000)
+dyn_spec="contention-aware,epoch=25000"
+./build/tools/consim_run "${dyn_args[@]}" \
+    --json "$dyn_dir/static.json" >/dev/null
+./build/tools/consim_run "${dyn_args[@]}" --dyn-sched "$dyn_spec" \
+    --json "$dyn_dir/dyn.json" >/dev/null
+txns() {
+    grep -o '"transactions": *[0-9]*' "$1" |
+        sed 's/.*: *//' | awk '{ s += $1 } END { print s }'
+}
+static_txns="$(txns "$dyn_dir/static.json")"
+dyn_txns="$(txns "$dyn_dir/dyn.json")"
+[[ -n "$static_txns" && -n "$dyn_txns" ]] || {
+    echo "dyn-sched smoke: cannot extract transactions" >&2; exit 1; }
+# Fixed 1% margin: the run is deterministic (seed 1 commits 930 vs
+# 913 transactions, +1.9%), so host noise cannot erode the gate.
+awk -v dyn="$dyn_txns" -v st="$static_txns" 'BEGIN {
+    bound = st * 1.01;
+    printf "dyn-sched smoke: %s txns (dynamic) vs %s (static," \
+           " bound %.0f)\n", dyn, st, bound;
+    exit (dyn + 0 > bound) ? 0 : 1;
+}' || {
+    echo "dyn-sched smoke: migration failed to beat static placement" >&2
+    exit 1; }
+grep -q '"dyn_migrations"' "$dyn_dir/dyn.json" || {
+    echo "dyn-sched smoke: no migrations reported" >&2; exit 1; }
+if grep -q '"dyn_migrations"' "$dyn_dir/static.json"; then
+    echo "dyn-sched smoke: migrations leaked into the static envelope" >&2
+    exit 1
+fi
+if ./build/tools/consim_run "${dyn_args[@]}" --dyn-sched "$dyn_spec" \
+    --deadline 700000 --ckpt-every 600000 \
+    --ckpt-out "$dyn_dir/trip.ckpt" >/dev/null 2>&1; then
+    echo "dyn-sched smoke: deadline run unexpectedly succeeded" >&2
+    exit 1
+fi
+[[ -s "$dyn_dir/trip.ckpt" ]] || {
+    echo "dyn-sched smoke: no checkpoint written" >&2; exit 1; }
+./build/tools/consim_run --resume "$dyn_dir/trip.ckpt" \
+    --json "$dyn_dir/resumed.json" >/dev/null
+awk '/"result": \{/,0' "$dyn_dir/dyn.json" >"$dyn_dir/dyn.result"
+awk '/"result": \{/,0' "$dyn_dir/resumed.json" >"$dyn_dir/resumed.result"
+diff -u "$dyn_dir/dyn.result" "$dyn_dir/resumed.result" || {
+    echo "dyn-sched smoke: resumed migrating run diverged" >&2; exit 1; }
+echo "dyn-sched smoke: dynamic wins, resume across migrations clean"
+
 if [[ "$skip_checked" == 1 ]]; then
     echo "=== checked mode: skipped ==="
 else
@@ -310,5 +371,12 @@ cmake --build build-tsan -j "$(nproc)" \
 ./build-tsan/tools/consim_run "${iso_args[@]}" --qos "$iso_qos" \
     --run-jobs 4 >/dev/null
 echo "tsan: isolation run clean under --run-jobs 4"
+
+# Likewise the migration paths (epoch sampling, deferred rebinds at
+# the window boundary, the feedback loop): one migrating bursty run
+# with workers on.
+./build-tsan/tools/consim_run "${dyn_args[@]}" --dyn-sched "$dyn_spec" \
+    --run-jobs 4 >/dev/null
+echo "tsan: migrating run clean under --run-jobs 4"
 
 echo "=== ci.sh: all green ==="

@@ -50,12 +50,17 @@
  *                              "static:vm=0,ways=4,vcs=1,tokens=8" or
  *                              "dynamic:vm=0,ways=4,epoch=100000"
  *                              (also via the CONSIM_QOS env var)
- *     --ckpt-every N           keep periodic consim.ckpt.v4 snapshots
+ *     --dyn-sched SPEC         online thread-migration policy, e.g.
+ *                              "load-balance,epoch=100000",
+ *                              "affinity-repair" or
+ *                              "contention-aware,epoch=50000"
+ *                              (also via CONSIM_DYN_SCHED)
+ *     --ckpt-every N           keep periodic consim.ckpt.v5 snapshots
  *                              every N cycles (0 disables; default
  *                              CONSIM_CKPT, off)
  *     --ckpt-out PATH          on failure, write the last pre-trip
  *                              snapshot to PATH (needs --ckpt-every)
- *     --resume PATH            resume a consim.ckpt.v4 snapshot; the
+ *     --resume PATH            resume a consim.ckpt.v5 snapshot; the
  *                              run config comes from the checkpoint
  *                              (exclusive with --mix/--vm/--seeds)
  *     --run-jobs N             worker threads inside each simulation
@@ -116,7 +121,8 @@ usage(const char *msg = nullptr)
         "       [--no-dir-cache] [--no-clean-fwd] [--ideal-noc] "
         "[--csv] [--dump-stats]\n"
         "       [--check off|basic|full] [--watchdog N] "
-        "[--deadline N] [--fault PLAN] [--qos SPEC]\n"
+        "[--deadline N] [--fault PLAN] [--qos SPEC] "
+        "[--dyn-sched SPEC]\n"
         "       [--ckpt-every N] [--ckpt-out PATH] [--resume PATH] "
         "[--run-jobs N]\n"
         "       [--json PATH]\n";
@@ -178,7 +184,9 @@ parseKind(const std::string &s)
         return WorkloadKind::SpecWeb;
     if (s == "bully")
         return WorkloadKind::Bully;
-    usage("unknown workload kind (jbb|tpcw|tpch|web|bully)");
+    if (s == "bursty")
+        return WorkloadKind::Bursty;
+    usage("unknown workload kind (jbb|tpcw|tpch|web|bully|bursty)");
 }
 
 SchedPolicy
@@ -314,6 +322,12 @@ main(int argc, char **argv)
         if (!QosConfig::parse(env, cfg.qos, &err))
             usage(("bad CONSIM_QOS spec: " + err).c_str());
     }
+    if (const char *env = std::getenv("CONSIM_DYN_SCHED")) {
+        // Same contract as CONSIM_QOS: flags win, junk is fatal.
+        std::string err;
+        if (!DynSchedConfig::parse(env, cfg.dynSched, &err))
+            usage(("bad CONSIM_DYN_SCHED spec: " + err).c_str());
+    }
 
     auto next_arg = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -384,6 +398,11 @@ main(int argc, char **argv)
             std::string err;
             if (!QosConfig::parse(next_arg(i), cfg.qos, &err))
                 usage(("bad --qos spec: " + err).c_str());
+        } else if (a == "--dyn-sched") {
+            std::string err;
+            if (!DynSchedConfig::parse(next_arg(i), cfg.dynSched,
+                                       &err))
+                usage(("bad --dyn-sched spec: " + err).c_str());
         } else if (a == "--ckpt-every") {
             const std::uint64_t n = parseCount(a, next_arg(i));
             // In RunConfig, 0 means "library default", so an explicit
@@ -603,6 +622,8 @@ main(int argc, char **argv)
         sys.setFaultPlan(cfg.faults);
     if (cfg.qos.enabled())
         sys.setQosConfig(cfg.qos);
+    if (cfg.dynSched.enabled())
+        sys.setDynSched(cfg.dynSched);
 
     const Cycle warmup =
         cfg.warmupCycles ? cfg.warmupCycles : defaultWarmupCycles();
